@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+// Batch accumulates several edits into ONE operation (one timestamp, one
+// message, atomic integration everywhere) — the right shape for find&replace
+// or a multi-cursor edit. Positions given to each call address the document
+// as it stands at that point *within* the batch.
+type Batch struct {
+	baseLen int
+	curLen  int
+	acc     *op.Op
+	err     error
+}
+
+// Insert adds an insertion at pos (coordinates of the batch's current
+// state).
+func (b *Batch) Insert(pos int, text string) *Batch {
+	if b.err != nil {
+		return b
+	}
+	next, err := op.NewInsert(b.curLen, pos, text)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	return b.compose(next)
+}
+
+// Delete adds a deletion at pos.
+func (b *Batch) Delete(pos, count int) *Batch {
+	if b.err != nil {
+		return b
+	}
+	next, err := op.NewDelete(b.curLen, pos, count)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	return b.compose(next)
+}
+
+// Replace adds a combined delete+insert.
+func (b *Batch) Replace(pos, count int, text string) *Batch {
+	if b.err != nil {
+		return b
+	}
+	next, err := op.NewReplace(b.curLen, pos, count, text)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	return b.compose(next)
+}
+
+func (b *Batch) compose(next *op.Op) *Batch {
+	combined, err := op.Compose(b.acc, next)
+	if err != nil {
+		b.err = fmt.Errorf("repro: batch compose: %w", err)
+		return b
+	}
+	b.acc = combined
+	b.curLen = combined.TargetLen()
+	return b
+}
+
+// Edit runs fn against a batch over the current document and applies the
+// combined operation atomically. If fn leaves the batch empty (or errored),
+// nothing is generated and the error (if any) is returned.
+func (e *Editor) Edit(fn func(b *Batch)) error {
+	err := e.edit(func(c *core.Client) (core.ClientMsg, error) {
+		b := &Batch{
+			baseLen: c.DocLen(),
+			curLen:  c.DocLen(),
+			acc:     op.New().Retain(c.DocLen()),
+		}
+		fn(b)
+		if b.err != nil {
+			return core.ClientMsg{}, b.err
+		}
+		if b.acc.IsNoop() {
+			return core.ClientMsg{}, errNoopEdit
+		}
+		return c.Generate(b.acc)
+	})
+	if err == errNoopEdit {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBatchAtomicMultiEdit(t *testing.T) {
+	s, err := NewLocalSession(2, "the cat sat on the mat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+
+	// Replace both "the"s and add a suffix, atomically.
+	if err := a.Edit(func(bt *Batch) {
+		bt.Replace(0, 3, "THE")
+		bt.Replace(15, 3, "THE")
+		bt.Insert(bt.curLen, "!")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := "THE cat sat on THE mat!"
+	if a.Text() != want {
+		t.Fatalf("local batch: %q", a.Text())
+	}
+	// One operation, one timestamp.
+	if _, local := a.SV(); local != 1 {
+		t.Fatalf("batch generated %d ops, want 1", local)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != want {
+		t.Fatalf("remote: %q", b.Text())
+	}
+}
+
+func TestBatchPositionsTrackIntermediateState(t *testing.T) {
+	s, err := NewLocalSession(1, "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	if err := e.Edit(func(bt *Batch) {
+		bt.Insert(1, "XYZ") // "aXYZb"
+		bt.Delete(2, 2)     // positions in the batch's current state: "aXb"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Text() != "aXb" {
+		t.Fatalf("got %q", e.Text())
+	}
+}
+
+func TestBatchErrorAborts(t *testing.T) {
+	s, err := NewLocalSession(1, "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	err = e.Edit(func(bt *Batch) {
+		bt.Insert(0, "ok")
+		bt.Delete(50, 1) // out of range
+	})
+	if err == nil {
+		t.Fatal("bad batch must fail")
+	}
+	if e.Text() != "ab" {
+		t.Fatalf("failed batch must not mutate: %q", e.Text())
+	}
+	if _, local := e.SV(); local != 0 {
+		t.Fatal("failed batch must not generate")
+	}
+}
+
+func TestBatchEmptyIsNoop(t *testing.T) {
+	s, err := NewLocalSession(1, "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	if err := e.Edit(func(*Batch) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, local := e.SV(); local != 0 {
+		t.Fatal("empty batch must not generate")
+	}
+}
+
+func TestBatchConcurrentWithRemote(t *testing.T) {
+	s, err := NewLocalSession(2, "header body footer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+	if err := a.Edit(func(bt *Batch) {
+		bt.Replace(7, 4, "BODY")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(b.Len(), "!"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != "header BODY footer!" {
+		t.Fatalf("converged: %q", a.Text())
+	}
+}

@@ -1,0 +1,184 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestChaosDisconnectsAndRejoins subjects a live session to editor churn:
+// editors write concurrently while some are abruptly closed and replaced.
+// The survivors must converge with the notifier and never wedge.
+func TestChaosDisconnectsAndRejoins(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "chaos base document")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	dial := func() *Editor {
+		t.Helper()
+		conn, err := ln.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Connect(conn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	var mu sync.Mutex
+	editors := map[int]*Editor{}
+	for i := 0; i < 4; i++ {
+		e := dial()
+		editors[e.Site()] = e
+	}
+
+	r := rand.New(rand.NewSource(31337))
+	for round := 0; round < 30; round++ {
+		// Every live editor makes a burst of edits concurrently.
+		var wg sync.WaitGroup
+		mu.Lock()
+		live := make([]*Editor, 0, len(editors))
+		for _, e := range editors {
+			live = append(live, e)
+		}
+		mu.Unlock()
+		for _, e := range live {
+			wg.Add(1)
+			go func(e *Editor) {
+				defer wg.Done()
+				for k := 0; k < 3; k++ {
+					n := e.Len()
+					pos := 0
+					if n > 0 {
+						pos = rand.New(rand.NewSource(int64(k))).Intn(n + 1)
+					}
+					if err := e.Insert(pos, fmt.Sprintf("<%d>", e.Site())); err != nil && e.Err() == nil {
+						// Local validation errors are fine; background
+						// failures are not (checked at the end).
+						return
+					}
+				}
+			}(e)
+		}
+		wg.Wait()
+
+		// Randomly kill one editor and bring a replacement in.
+		if r.Intn(3) == 0 {
+			mu.Lock()
+			for site, e := range editors {
+				_ = e.Close()
+				delete(editors, site)
+				break
+			}
+			mu.Unlock()
+			e := dial()
+			mu.Lock()
+			editors[e.Site()] = e
+			mu.Unlock()
+		}
+	}
+
+	// Quiesce the survivors.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		received, sent := nt.Counts()
+		quiet := true
+		mu.Lock()
+		for _, e := range editors {
+			fromServer, local := e.SV()
+			if received[e.Site()] != local || sent[e.Site()] != fromServer {
+				quiet = false
+				break
+			}
+		}
+		mu.Unlock()
+		if quiet {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("chaos session did not quiesce")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	want := nt.Text()
+	mu.Lock()
+	defer mu.Unlock()
+	for site, e := range editors {
+		if err := e.Err(); err != nil {
+			t.Fatalf("editor %d failed: %v", site, err)
+		}
+		if e.Text() != want {
+			t.Fatalf("survivor %d diverged: %q vs %q", site, e.Text(), want)
+		}
+	}
+}
+
+// TestSlowConsumerDoesNotBlockOthers: one editor stops reading (its engine
+// is never driven because we hold its connection hostage); everyone else
+// must still make progress thanks to the unbounded per-peer send queues.
+func TestSlowConsumerDoesNotBlockOthers(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	// A raw connection that joins but never reads its broadcasts.
+	rawConn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawConn.Close()
+	if err := rawConn.Send(mustJoinReq(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rawConn.Recv(); err != nil { // consume only the snapshot
+		t.Fatal(err)
+	}
+
+	// Two healthy editors exchange a large volume of edits.
+	a := mustConnect(t, ln)
+	defer a.Close()
+	b := mustConnect(t, ln)
+	defer b.Close()
+	for i := 0; i < 500; i++ {
+		e := a
+		if i%2 == 1 {
+			e = b
+		}
+		if err := e.Insert(e.Len(), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiet(t, nt, a, b)
+	if a.Text() != b.Text() || len(a.Text()) != 500 {
+		t.Fatalf("healthy editors stalled: %d/%d runes", len(a.Text()), len(b.Text()))
+	}
+}
+
+func mustJoinReq(site int) wire.Msg { return wire.JoinReq{Site: site} }
+
+func mustConnect(t *testing.T, ln *transport.MemListener) *Editor {
+	t.Helper()
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Connect(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

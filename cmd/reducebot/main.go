@@ -1,0 +1,121 @@
+// Command reducebot is a load generator for a live notifier: it connects N
+// bot editors over TCP, has them edit concurrently at a configurable rate,
+// then waits for quiescence and verifies all replicas converged. Useful for
+// soak-testing a reducesrv deployment and for demonstrating the constant
+// clock size under real network load.
+//
+//	reducesrv -listen :7467 &
+//	reducebot -connect 127.0.0.1:7467 -bots 8 -ops 200 -rate 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("connect", "127.0.0.1:7467", "notifier address")
+	bots := flag.Int("bots", 4, "number of concurrent bot editors")
+	ops := flag.Int("ops", 100, "operations per bot")
+	rate := flag.Float64("rate", 20, "operations per second per bot")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	insertRatio := flag.Float64("inserts", 0.8, "fraction of edits that insert")
+	flag.Parse()
+
+	editors := make([]*repro.Editor, *bots)
+	for i := range editors {
+		conn, err := transport.DialTCP(*addr)
+		if err != nil {
+			log.Fatalf("reducebot: dial: %v", err)
+		}
+		e, err := repro.Connect(conn, 0)
+		if err != nil {
+			log.Fatalf("reducebot: join: %v", err)
+		}
+		defer e.Close()
+		editors[i] = e
+		log.Printf("bot %d joined as site %d", i, e.Site())
+	}
+
+	interval := time.Duration(float64(time.Second) / *rate)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, e := range editors {
+		wg.Add(1)
+		go func(i int, e *repro.Editor) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(*seed + int64(i)))
+			for k := 0; k < *ops; k++ {
+				n := e.Len()
+				if n == 0 || r.Float64() < *insertRatio {
+					pos := 0
+					if n > 0 {
+						pos = r.Intn(n + 1)
+					}
+					if err := e.Insert(pos, fmt.Sprintf("[%d.%d]", e.Site(), k)); err != nil {
+						log.Printf("bot %d: insert: %v", i, err)
+						return
+					}
+				} else {
+					pos := r.Intn(n)
+					count := 1 + r.Intn(min(3, n-pos))
+					if err := e.Delete(pos, count); err != nil {
+						log.Printf("bot %d: delete: %v", i, err)
+						return
+					}
+				}
+				time.Sleep(interval)
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	genDone := time.Since(start)
+
+	// Converge: poll until all replicas agree (counts are not visible
+	// across the wire, so compare texts with a settle window).
+	log.Printf("generation done in %v; waiting for convergence", genDone.Round(time.Millisecond))
+	deadline := time.Now().Add(60 * time.Second)
+	stable := 0
+	for {
+		same := true
+		ref := editors[0].Text()
+		for _, e := range editors[1:] {
+			if e.Text() != ref {
+				same = false
+				break
+			}
+		}
+		if same {
+			stable++
+			if stable >= 20 { // 20 consecutive identical polls
+				break
+			}
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("reducebot: replicas did not converge")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	total := *bots * *ops
+	fmt.Printf("\nconverged: %d bots × %d ops = %d ops in %v wall\n",
+		*bots, *ops, total, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("final document: %d runes\n", editors[0].Len())
+	for _, e := range editors {
+		fromServer, local := e.SV()
+		if err := e.Err(); err != nil {
+			log.Fatalf("site %d failed: %v", e.Site(), err)
+		}
+		fmt.Printf("site %d clock: [%d,%d]\n", e.Site(), fromServer, local)
+	}
+}

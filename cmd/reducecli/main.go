@@ -1,0 +1,204 @@
+// Command reducecli is a scriptable client for the REDUCE notifier
+// (cmd/reducesrv). It reads edit commands from stdin and prints the replica
+// after every change, making it usable both interactively and from scripts:
+//
+//	reducecli -connect 127.0.0.1:7467 <<'EOF'
+//	i 0 hello world
+//	d 5 6
+//	show
+//	EOF
+//
+// Commands:
+//
+//	i <pos> <text...>   insert text at rune position pos
+//	d <pos> <count>     delete count runes at pos
+//	r <pos> <count> <text...>  replace count runes at pos with text
+//	a <text...>         append text at the end
+//	u                   undo the most recent local edit
+//	sel <anchor> <head> set and share the selection
+//	who                 print known remote selections
+//	load <file>         replace the document with a file's contents (diffed)
+//	show                print the replica and the 2-element state vector
+//	sleep <ms>          pause (for scripting concurrent sessions)
+//	quit                leave the session
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("connect", "127.0.0.1:7467", "notifier address")
+	site := flag.Int("site", 0, "requested site id (0 = auto-assign)")
+	follow := flag.Bool("follow", false, "print every remote change as it arrives")
+	flag.Parse()
+
+	conn, err := transport.DialTCP(*addr)
+	if err != nil {
+		log.Fatalf("reducecli: %v", err)
+	}
+	ed, err := repro.Connect(conn, *site, core.WithClientUndo())
+	if err != nil {
+		log.Fatalf("reducecli: %v", err)
+	}
+	defer ed.Close()
+	log.Printf("joined as site %d; document is %d runes", ed.Site(), ed.Len())
+	if *follow {
+		ed.OnChange(func(text string) {
+			fmt.Printf("[change] %q\n", text)
+		})
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if err := runCommand(ed, fields); err != nil {
+			if err == errQuit {
+				break
+			}
+			log.Printf("error: %v", err)
+		}
+		if err := ed.Err(); err != nil {
+			log.Fatalf("session failed: %v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reducecli: stdin: %v", err)
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func runCommand(ed *repro.Editor, fields []string) error {
+	switch fields[0] {
+	case "i", "insert":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: i <pos> <text>")
+		}
+		pos, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		if err := ed.Insert(pos, fields[2]); err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", ed.Text())
+	case "d", "delete":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: d <pos> <count>")
+		}
+		pos, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		if err := ed.Delete(pos, count); err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", ed.Text())
+	case "a", "append":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: a <text>")
+		}
+		text := strings.Join(fields[1:], " ")
+		if err := ed.Insert(ed.Len(), text); err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", ed.Text())
+	case "r", "replace":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: r <pos> <count> <text>")
+		}
+		rest := strings.SplitN(fields[2], " ", 2)
+		pos, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		count, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return err
+		}
+		text := ""
+		if len(rest) > 1 {
+			text = rest[1]
+		}
+		if err := ed.Replace(pos, count, text); err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", ed.Text())
+	case "u", "undo":
+		if err := ed.Undo(); err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", ed.Text())
+	case "sel":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: sel <anchor> <head>")
+		}
+		anchor, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		head, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		ed.SetSelection(anchor, head)
+		if err := ed.ShareSelection(); err != nil {
+			return err
+		}
+	case "who":
+		for _, rp := range ed.Presences() {
+			fmt.Printf("site %d selects [%d,%d)\n", rp.Site, rp.Selection.Anchor, rp.Selection.Head)
+		}
+	case "load":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: load <file>")
+		}
+		b, err := os.ReadFile(fields[1])
+		if err != nil {
+			return err
+		}
+		if err := ed.SetText(string(b)); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d bytes\n", len(b))
+	case "show":
+		fromServer, local := ed.SV()
+		fmt.Printf("site %d, SV=[%d,%d]: %q\n", ed.Site(), fromServer, local, ed.Text())
+	case "sleep":
+		if len(fields) < 2 {
+			return fmt.Errorf("usage: sleep <ms>")
+		}
+		ms, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	case "quit", "q":
+		return errQuit
+	default:
+		return fmt.Errorf("unknown command %q (i/d/a/show/sleep/quit)", fields[0])
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command reducesrv runs the notifier (site 0) of the Web-based REDUCE
+// group editor as a TCP daemon — the role the paper's Java notifier
+// application plays at the Web server machine (Fig. 1).
+//
+//	reducesrv -listen :7467 -text "initial document"
+//
+// Editors connect with cmd/reducecli (or any client of the wire protocol).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "127.0.0.1:7467", "address to listen on")
+	text := flag.String("text", "", "initial document text")
+	file := flag.String("file", "", "load the initial document from a file (overrides -text)")
+	relay := flag.Bool("unsafe-relay", false, "ablation: relay ORIGINAL operations (breaks consistency; for experiments)")
+	status := flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
+	journalPath := flag.String("journal", "", "persist the session to this journal file (recovers from it on restart)")
+	flag.Parse()
+
+	initial := *text
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatalf("reducesrv: %v", err)
+		}
+		initial = string(b)
+	}
+
+	ln, err := transport.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("reducesrv: listen: %v", err)
+	}
+	var opts []core.ServerOption
+	if *relay {
+		opts = append(opts, core.WithServerMode(core.ModeRelay))
+		log.Printf("WARNING: relay mode — operations are not transformed; divergence expected")
+	}
+	var nt *repro.Notifier
+	if *journalPath != "" {
+		nt, err = repro.ServeWithJournal(ln, initial, *journalPath, opts...)
+		if err == nil {
+			log.Printf("reducesrv: journaling to %s", *journalPath)
+		}
+	} else {
+		nt, err = repro.Serve(ln, initial, opts...)
+	}
+	if err != nil {
+		log.Fatalf("reducesrv: %v", err)
+	}
+	log.Printf("reducesrv: notifier listening on %s (%d bytes of initial text)", nt.Addr(), len(initial))
+
+	if *status > 0 {
+		go func() {
+			for range time.Tick(*status) {
+				received, _ := nt.Counts()
+				var total uint64
+				for _, c := range received {
+					total += c
+				}
+				log.Printf("status: %d sites joined, %d ops executed, doc %d bytes",
+					len(nt.Sites()), total, len(nt.Text()))
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println()
+	log.Printf("reducesrv: shutting down; final document:\n%s", nt.Text())
+	_ = nt.Close()
+}

@@ -1,0 +1,85 @@
+// Presence: live shared cursors (telepointers). Three users edit the same
+// paragraph while sharing their selections; the demo prints what each user's
+// screen would highlight — note how remote selections stay glued to their
+// text as concurrent edits land around them.
+//
+//	go run ./examples/presence
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	session, err := repro.NewLocalSession(3, "the quick brown fox jumps over the lazy dog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+	alice, bob, carol := session.Editors[0], session.Editors[1], session.Editors[2]
+
+	// Everyone selects their favourite word and shares it.
+	share := func(e *repro.Editor, word string) {
+		text := e.Text()
+		at := strings.Index(text, word)
+		if at < 0 {
+			log.Fatalf("%q not found", word)
+		}
+		start := len([]rune(text[:at]))
+		e.SetSelection(start, start+len([]rune(word)))
+		if err := e.ShareSelection(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	share(alice, "quick")
+	share(bob, "fox")
+	share(carol, "lazy")
+	settle(session)
+
+	show(session)
+
+	// Concurrent edits all over the document — selections must follow.
+	fmt.Println("\n-- concurrent edits: alice prepends, bob uppercases 'jumps', carol appends --")
+	if err := alice.Insert(0, ">>> "); err != nil {
+		log.Fatal(err)
+	}
+	jumpAt := strings.Index(bob.Text(), "jumps")
+	if err := bob.Replace(len([]rune(bob.Text()[:jumpAt])), 5, "JUMPS"); err != nil {
+		log.Fatal(err)
+	}
+	if err := carol.Insert(carol.Len(), " — fin."); err != nil {
+		log.Fatal(err)
+	}
+	settle(session)
+
+	show(session)
+}
+
+// settle waits for quiescence of ops and a beat for presence relays.
+func settle(s *repro.LocalSession) {
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // presence is ephemeral, give it a beat
+}
+
+// show renders each editor's view with every remote selection highlighted.
+func show(s *repro.LocalSession) {
+	for _, e := range s.Editors {
+		fmt.Printf("\nsite %d sees: %q\n", e.Site(), e.Text())
+		for _, rp := range e.Presences() {
+			rs := []rune(e.Text())
+			a, h := rp.Selection.Anchor, rp.Selection.Head
+			if a > h {
+				a, h = h, a
+			}
+			fmt.Printf("  site %d selects %q at [%d,%d)\n", rp.Site, string(rs[a:h]), a, h)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package causal provides a ground-truth causality oracle implementing the
+// paper's Definition 1 directly from generation/execution event logs.
+//
+// The oracle is the referee for the soundness experiments (EXPERIMENTS.md
+// E5/E8): the compressed-vector-clock verdicts produced online must agree
+// with the happens-before relation this package derives offline from the
+// actual event sequence.
+//
+// Definition 1 (causal ordering "→"): for operations O_a generated at site i
+// and O_b generated at site j, O_a → O_b iff
+//
+//	(1) i == j and O_a was generated before O_b, or
+//	(2) i != j and O_a was executed at site j before O_b was generated, or
+//	(3) there is an O_x with O_a → O_x and O_x → O_b.
+//
+// The oracle encodes this as reachability in an event graph whose vertices
+// are generation and execution events, with edges for per-site program order
+// and for "an operation must be generated before it can be executed
+// remotely".
+package causal
+
+import "fmt"
+
+// OpRef names an operation by its generating site and that site's generation
+// sequence number (starting at 1). Transformed operations relayed by the
+// notifier are *new* operations generated at site 0 (paper §3.1, §5) and get
+// their own refs.
+type OpRef struct {
+	Site int
+	Seq  uint64
+}
+
+// String renders the ref as "O(site=1,seq=2)".
+func (r OpRef) String() string { return fmt.Sprintf("O(site=%d,seq=%d)", r.Site, r.Seq) }
+
+// Oracle accumulates generation/execution events and answers happens-before
+// queries per Definition 1.
+type Oracle struct {
+	preds    [][]int32       // direct predecessor lists per event
+	lastAt   map[int]int32   // last event recorded at each site (program order)
+	genEvent map[OpRef]int32 // generation event of each op
+	ops      []OpRef         // insertion-ordered op refs
+
+	// origin records derivations: a transformed operation relayed by the
+	// notifier is a new operation, but for causality purposes it *is* its
+	// original at the originating site (the paper's §5 treats O2' and O3
+	// as "generated at the same site 2"). HappenedBefore(a, b) therefore
+	// also holds when origin(a) → b.
+	origin map[OpRef]OpRef
+
+	closure []bitset // reach[e] = set of events reachable *from* ancestors into e (computed lazily)
+	sealed  bool
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{
+		lastAt:   make(map[int]int32),
+		genEvent: make(map[OpRef]int32),
+		origin:   make(map[OpRef]OpRef),
+	}
+}
+
+func (o *Oracle) addEvent(site int, extraPred int32) int32 {
+	if o.sealed {
+		panic("causal: oracle already sealed")
+	}
+	id := int32(len(o.preds))
+	var preds []int32
+	if last, ok := o.lastAt[site]; ok {
+		preds = append(preds, last)
+	}
+	if extraPred >= 0 {
+		preds = append(preds, extraPred)
+	}
+	o.preds = append(o.preds, preds)
+	o.lastAt[site] = id
+	return id
+}
+
+// Generate records the generation (and immediate local execution) of op at
+// its origin site. Each op must be generated exactly once.
+func (o *Oracle) Generate(site int, id OpRef) {
+	if _, dup := o.genEvent[id]; dup {
+		panic(fmt.Sprintf("causal: duplicate generation of %v", id))
+	}
+	ev := o.addEvent(site, -1)
+	o.genEvent[id] = ev
+	o.ops = append(o.ops, id)
+}
+
+// GenerateDerived records the generation of a *derived* operation: the
+// transformed form the notifier produces from a previously generated
+// original. The derived op is a new operation at its own site (condition (2)
+// applies to it like any other), but it additionally inherits the original's
+// causal successorship at the originating site: origin(id) → b implies
+// id → b. This is exactly how the paper's §5 justifies "O2' ∦ O3 because
+// they were generated at the same site 2" even though O2' never travels back
+// to site 2.
+func (o *Oracle) GenerateDerived(site int, id, orig OpRef) {
+	if _, ok := o.genEvent[orig]; !ok {
+		panic(fmt.Sprintf("causal: derivation from unknown op %v", orig))
+	}
+	if _, ok := o.origin[orig]; ok {
+		panic(fmt.Sprintf("causal: derivation chains are not allowed (%v is itself derived)", orig))
+	}
+	o.Generate(site, id)
+	o.origin[id] = orig
+}
+
+// Execute records the execution of a previously generated op at a remote
+// site.
+func (o *Oracle) Execute(site int, id OpRef) {
+	gen, ok := o.genEvent[id]
+	if !ok {
+		panic(fmt.Sprintf("causal: execution of unknown op %v", id))
+	}
+	o.addEvent(site, gen)
+}
+
+// Ops returns all generated operations in generation-recording order.
+func (o *Oracle) Ops() []OpRef { return o.ops }
+
+// Seal freezes the log and computes the transitive closure. Queries before
+// Seal are an error; events after Seal panic.
+func (o *Oracle) Seal() {
+	if o.sealed {
+		return
+	}
+	o.sealed = true
+	n := len(o.preds)
+	o.closure = make([]bitset, n)
+	words := (n + 63) / 64
+	// Events are numbered in a valid topological order (all predecessors
+	// are earlier), so one forward pass suffices.
+	for e := 0; e < n; e++ {
+		bs := newBitset(words)
+		for _, p := range o.preds[e] {
+			bs.set(int(p))
+			bs.or(o.closure[p])
+		}
+		o.closure[e] = bs
+	}
+}
+
+// HappenedBefore reports a → b per Definition 1. It panics if the oracle is
+// not sealed or an op is unknown.
+func (o *Oracle) HappenedBefore(a, b OpRef) bool {
+	if !o.sealed {
+		panic("causal: query before Seal")
+	}
+	ga, ok := o.genEvent[a]
+	if !ok {
+		panic(fmt.Sprintf("causal: unknown op %v", a))
+	}
+	gb, ok := o.genEvent[b]
+	if !ok {
+		panic(fmt.Sprintf("causal: unknown op %v", b))
+	}
+	if o.closure[gb].has(int(ga)) {
+		return true
+	}
+	// Derived operations inherit their original's successors at the
+	// originating site (one hop only; originals are never derived).
+	if orig, ok := o.origin[a]; ok {
+		if og := o.genEvent[orig]; o.closure[gb].has(int(og)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Concurrent reports a ∥ b: neither happened before the other (Definition 2).
+func (o *Oracle) Concurrent(a, b OpRef) bool {
+	if a == b {
+		return false
+	}
+	return !o.HappenedBefore(a, b) && !o.HappenedBefore(b, a)
+}
+
+// bitset is a fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}

@@ -1,0 +1,258 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// refs for a tiny fixed scenario.
+var (
+	oA = OpRef{Site: 1, Seq: 1}
+	oB = OpRef{Site: 1, Seq: 2}
+	oC = OpRef{Site: 2, Seq: 1}
+)
+
+func TestSameSiteOrdering(t *testing.T) {
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Generate(1, oB)
+	o.Seal()
+	if !o.HappenedBefore(oA, oB) {
+		t.Fatal("same-site generation order must imply →")
+	}
+	if o.HappenedBefore(oB, oA) {
+		t.Fatal("→ must be antisymmetric")
+	}
+	if o.Concurrent(oA, oB) {
+		t.Fatal("ordered ops are not concurrent")
+	}
+}
+
+func TestExecutionBeforeGeneration(t *testing.T) {
+	// O_a generated at 1, executed at 2, then O_c generated at 2:
+	// Definition 1 condition (2) gives O_a → O_c.
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Execute(2, oA)
+	o.Generate(2, oC)
+	o.Seal()
+	if !o.HappenedBefore(oA, oC) {
+		t.Fatal("execution-before-generation must imply →")
+	}
+}
+
+func TestConcurrentWhenNoPath(t *testing.T) {
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Generate(2, oC) // generated without having executed oA
+	o.Execute(2, oA)  // arrives later
+	o.Execute(1, oC)
+	o.Seal()
+	if !o.Concurrent(oA, oC) {
+		t.Fatal("independently generated ops must be concurrent")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	// oA@1 -> exec@2 -> oC@2 -> exec@3 -> oD@3; then oA → oD by (3).
+	oD := OpRef{Site: 3, Seq: 1}
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Execute(2, oA)
+	o.Generate(2, oC)
+	o.Execute(3, oC)
+	o.Generate(3, oD)
+	o.Seal()
+	if !o.HappenedBefore(oA, oD) {
+		t.Fatal("transitivity failed")
+	}
+}
+
+// TestPaperFigure2Relations reproduces the causality analysis of Fig. 2
+// (§2.4): O1→O3, O2→O3, O2→O4, and O1∥O2, O1∥O4, O3∥O4.
+func TestPaperFigure2Relations(t *testing.T) {
+	o1 := OpRef{Site: 1, Seq: 1}
+	o2 := OpRef{Site: 2, Seq: 1}
+	o3 := OpRef{Site: 2, Seq: 2}
+	o4 := OpRef{Site: 3, Seq: 1}
+
+	o := NewOracle()
+	// Site 2 generates O2; site 1 generates O1 independently.
+	o.Generate(2, o2)
+	o.Generate(1, o1)
+	// Site 0 executes O2 then O1 (its arrival order in the figure).
+	o.Execute(0, o2)
+	o.Execute(0, o1)
+	// Site 3 receives/executes O2 then generates O4 (so O2 → O4),
+	// without having seen O1 (so O1 ∥ O4).
+	o.Execute(3, o2)
+	o.Generate(3, o4)
+	// Site 2 executes O1 then generates O3 (so O1 → O3 and O2 → O3 by
+	// local order), without having seen O4 (so O3 ∥ O4).
+	o.Execute(2, o1)
+	o.Generate(2, o3)
+	// Remaining deliveries.
+	o.Execute(0, o4)
+	o.Execute(0, o3)
+	o.Execute(1, o2)
+	o.Execute(1, o4)
+	o.Execute(1, o3)
+	o.Execute(2, o4)
+	o.Execute(3, o1)
+	o.Execute(3, o3)
+	o.Seal()
+
+	mustBefore := [][2]OpRef{{o1, o3}, {o2, o3}, {o2, o4}}
+	for _, p := range mustBefore {
+		if !o.HappenedBefore(p[0], p[1]) {
+			t.Fatalf("%v → %v expected (paper §2.4)", p[0], p[1])
+		}
+	}
+	mustConc := [][2]OpRef{{o1, o2}, {o1, o4}, {o3, o4}}
+	for _, p := range mustConc {
+		if !o.Concurrent(p[0], p[1]) {
+			t.Fatalf("%v ∥ %v expected (paper §2.4)", p[0], p[1])
+		}
+	}
+}
+
+func TestSelfIsNotConcurrent(t *testing.T) {
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Seal()
+	if o.Concurrent(oA, oA) {
+		t.Fatal("an op is not concurrent with itself")
+	}
+	if o.HappenedBefore(oA, oA) {
+		t.Fatal("→ is irreflexive")
+	}
+}
+
+func TestDuplicateGenerationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Generate(1, oA)
+}
+
+func TestExecuteUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOracle().Execute(1, oA)
+}
+
+func TestQueryBeforeSealPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Generate(1, oB)
+	o.HappenedBefore(oA, oB)
+}
+
+func TestEventAfterSealPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Seal()
+	o.Generate(1, oB)
+}
+
+func TestSealIsIdempotent(t *testing.T) {
+	o := NewOracle()
+	o.Generate(1, oA)
+	o.Seal()
+	o.Seal()
+	if o.HappenedBefore(oA, oA) {
+		t.Fatal("unexpected self-precedence")
+	}
+}
+
+// TestOracleAgreesWithVectorClocks runs a random fully-distributed
+// computation where every op is broadcast, maintaining classic full vector
+// clocks alongside the oracle; Definition-1 verdicts must match the vector
+// clock characterization for every op pair.
+func TestOracleAgreesWithVectorClocks(t *testing.T) {
+	const n = 4
+	r := rand.New(rand.NewSource(77))
+	oracle := NewOracle()
+	procs := make([]*vclock.Process, n)
+	seqs := make([]uint64, n)
+	for i := range procs {
+		procs[i] = vclock.NewProcess(i, n)
+	}
+	type opInfo struct {
+		ref OpRef
+		ts  vclock.VC
+	}
+	var ops []opInfo
+	type msg struct {
+		to  int
+		ref OpRef
+		ts  vclock.VC
+	}
+	// Per-link FIFO queues, like the TCP links in the paper.
+	queues := make(map[[2]int][]msg)
+	var busy [][2]int
+	for step := 0; step < 400; step++ {
+		if len(busy) > 0 && r.Intn(2) == 0 {
+			ki := r.Intn(len(busy))
+			key := busy[ki]
+			q := queues[key]
+			m := q[0]
+			queues[key] = q[1:]
+			if len(queues[key]) == 0 {
+				busy = append(busy[:ki], busy[ki+1:]...)
+			}
+			procs[m.to].Recv(m.ts)
+			oracle.Execute(m.to, m.ref)
+			continue
+		}
+		from := r.Intn(n)
+		seqs[from]++
+		ref := OpRef{Site: from, Seq: seqs[from]}
+		ts := procs[from].Send()
+		oracle.Generate(from, ref)
+		ops = append(ops, opInfo{ref: ref, ts: ts})
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			key := [2]int{from, to}
+			if len(queues[key]) == 0 {
+				busy = append(busy, key)
+			}
+			queues[key] = append(queues[key], msg{to: to, ref: ref, ts: ts})
+		}
+	}
+	oracle.Seal()
+	for i := 0; i < len(ops); i++ {
+		for j := 0; j < len(ops); j++ {
+			if i == j {
+				continue
+			}
+			a, b := ops[i], ops[j]
+			wantBefore := vclock.Compare(a.ts, b.ts) == vclock.Before
+			if got := oracle.HappenedBefore(a.ref, b.ref); got != wantBefore {
+				t.Fatalf("%v vs %v: oracle %v, vector clocks %v (ts %v / %v)",
+					a.ref, b.ref, got, wantBefore, a.ts, b.ts)
+			}
+		}
+	}
+}

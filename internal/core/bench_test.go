@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGenerateLocal is the latency-critical path of paper §2
+// requirement 1: a local edit must be as fast as a single-user editor.
+func BenchmarkGenerateLocal(b *testing.B) {
+	c := NewClient(1, "", WithClientCompaction(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Insert(c.DocLen(), "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerReceive measures the notifier's per-op cost across session
+// sizes: formula (7) checks + transformation + per-destination compression.
+func BenchmarkServerReceive(b *testing.B) {
+	for _, n := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			srv := NewServer("", WithServerCompaction(16))
+			clients := make([]*Client, n)
+			for site := 1; site <= n; site++ {
+				snap, err := srv.Join(site)
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[site-1] = NewClient(site, snap.Text, WithClientCompaction(16))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := clients[i%n]
+				m, err := c.Insert(c.DocLen(), "x")
+				if err != nil {
+					b.Fatal(err)
+				}
+				bcast, _, err := srv.Receive(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Keep clients in sync so the session stays live.
+				for _, bm := range bcast {
+					if _, err := clients[bm.To-1].Integrate(bm); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrencyCheckClient: formula (5), the O(1) client-side check.
+func BenchmarkConcurrencyCheckClient(b *testing.B) {
+	ta := Timestamp{T1: 100, T2: 50}
+	tb := Timestamp{T1: 99, T2: 51}
+	x := false
+	for i := 0; i < b.N; i++ {
+		x = ConcurrentClient(ta, tb, false) != x
+	}
+	_ = x
+}
+
+// BenchmarkCompress: formulas (1)–(2), per-destination timestamp
+// compression at the notifier.
+func BenchmarkCompress(b *testing.B) {
+	for _, n := range []int{8, 512} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			sv := NewServerSV(n)
+			for i := 1; i <= n; i++ {
+				sv.Inc(i)
+			}
+			for i := 0; i < b.N; i++ {
+				_ = sv.Compress(1+i%n, 0)
+			}
+		})
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/causal"
+	"repro/internal/doc"
+	"repro/internal/op"
+	"repro/internal/trace"
+)
+
+// Client engine errors.
+var (
+	// ErrStaleOp indicates a locally generated operation whose base length
+	// does not match the current document (the caller built it against an
+	// outdated snapshot).
+	ErrStaleOp = errors.New("core: operation does not fit current document")
+	// ErrBadMessage indicates a structurally inconsistent incoming message.
+	ErrBadMessage = errors.New("core: malformed message")
+)
+
+// Client is the engine of a collaborating site i ≠ 0 (paper Fig. 1: a
+// REDUCE applet). It maintains the replicated document, the 2-element state
+// vector, the history buffer, and — in ModeTransform — the bridge of
+// unacknowledged local operations used to bring arriving notifier operations
+// into local context.
+//
+// The engine is deliberately synchronous and single-goroutine: transports
+// own the concurrency (one goroutine per connection) and feed the engine
+// from a single loop, mirroring the event-loop structure of the original
+// applets.
+type Client struct {
+	site int
+	mode Mode
+	sv   ClientSV
+	buf  doc.Buffer
+	hb   ClientHB
+
+	// pending holds local operations the notifier has not yet incorporated
+	// (TS.T2 acknowledgements prune it), each rebased so the list forms a
+	// path from the notifier-known state to the local state. This is the
+	// context bridge described in DESIGN.md §4.
+	pending []pendingLocal
+
+	// compactEvery triggers history-buffer garbage collection after this
+	// many integrations; 0 disables automatic compaction.
+	compactEvery int
+	sinceCompact int
+
+	// undo, when non-nil, tracks inverses of local operations (see
+	// undo.go). Mutually exclusive with compaction.
+	undo *undoStack
+
+	// metrics, when non-nil, receives engine counters (trace package
+	// names).
+	metrics *trace.Metrics
+}
+
+type pendingLocal struct {
+	seq uint64 // this op's SV_i[2] value
+	op  *op.Op
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientBuffer substitutes the document implementation (default: rope).
+func WithClientBuffer(b doc.Buffer) ClientOption {
+	return func(c *Client) { c.buf = b }
+}
+
+// WithClientMode sets the operating mode (default: ModeTransform).
+func WithClientMode(m Mode) ClientOption {
+	return func(c *Client) { c.mode = m }
+}
+
+// WithClientCompaction enables automatic history compaction every n
+// integrations (default 64; 0 disables).
+func WithClientCompaction(n int) ClientOption {
+	return func(c *Client) { c.compactEvery = n }
+}
+
+// WithClientResume continues the local operation counter from localOps —
+// required when rejoining under a site id that generated operations before
+// (pass Snapshot.LocalOps).
+func WithClientResume(localOps uint64) ClientOption {
+	return func(c *Client) { c.sv.Local = localOps }
+}
+
+// WithClientMetrics attaches a metrics sink counting generated/integrated
+// operations, concurrency checks, and transformations.
+func WithClientMetrics(m *trace.Metrics) ClientOption {
+	return func(c *Client) { c.metrics = m }
+}
+
+// count increments a counter when a sink is attached.
+func (c *Client) count(name string, delta int64) {
+	if c.metrics != nil {
+		c.metrics.Inc(name, delta)
+	}
+}
+
+// NewClient returns the engine for site (which must be >= 1), initialized
+// with the snapshot text.
+func NewClient(site int, initial string, opts ...ClientOption) *Client {
+	if site < 1 {
+		panic(fmt.Sprintf("core: client site must be >= 1, got %d", site))
+	}
+	c := &Client{site: site, compactEvery: 64}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.buf == nil {
+		c.buf = doc.NewRope(initial)
+	} else if c.buf.Len() > 0 || initial != "" {
+		// A caller-provided buffer must start out equal to the snapshot.
+		if c.buf.String() != initial {
+			panic("core: provided buffer disagrees with snapshot")
+		}
+	}
+	return c
+}
+
+// Site returns the site identifier.
+func (c *Client) Site() int { return c.site }
+
+// Mode returns the operating mode.
+func (c *Client) Mode() Mode { return c.mode }
+
+// SV returns the current 2-element state vector.
+func (c *Client) SV() ClientSV { return c.sv }
+
+// Text returns the current document contents.
+func (c *Client) Text() string { return c.buf.String() }
+
+// DocLen returns the current document length in runes.
+func (c *Client) DocLen() int { return c.buf.Len() }
+
+// History exposes the history buffer (read-mostly; used by tests and the
+// validation harness).
+func (c *Client) History() *ClientHB { return &c.hb }
+
+// PendingCount returns the number of local operations not yet acknowledged
+// by the notifier.
+func (c *Client) PendingCount() int { return len(c.pending) }
+
+// Generate executes a local operation immediately (paper §2: local response
+// must be as quick as a single-user editor — no communication in this path)
+// and returns the timestamped message to propagate to the notifier.
+func (c *Client) Generate(o *op.Op) (ClientMsg, error) {
+	if o.BaseLen() != c.buf.Len() {
+		return ClientMsg{}, fmt.Errorf("%w: op base %d, document %d",
+			ErrStaleOp, o.BaseLen(), c.buf.Len())
+	}
+	var before []rune
+	if c.undo != nil {
+		before = snapshotRunes(c.buf)
+	}
+	if err := doc.Apply(c.buf, o); err != nil {
+		return ClientMsg{}, fmt.Errorf("core: local apply: %w", err)
+	}
+	c.sv.Local++ // §3.2 rule 3
+	ts := c.sv.Stamp()
+	ref := causal.OpRef{Site: c.site, Seq: c.sv.Local}
+	c.hb.Add(ClientEntry{Op: o, TS: ts, Origin: OriginLocal, Ref: ref})
+	if c.undo != nil {
+		// Recorded after hb.Add so the rebase walk starts at the entry
+		// *after* the operation itself.
+		if err := c.pushUndo(o, before); err != nil {
+			return ClientMsg{}, fmt.Errorf("core: undo tracking: %w", err)
+		}
+	}
+	if c.mode == ModeTransform {
+		c.pending = append(c.pending, pendingLocal{seq: c.sv.Local, op: o.Clone()})
+	}
+	c.count(trace.COpsGenerated, 1)
+	return ClientMsg{From: c.site, Op: o, TS: ts, Ref: ref}, nil
+}
+
+// Insert is a convenience wrapper generating Insert[text, pos].
+func (c *Client) Insert(pos int, text string) (ClientMsg, error) {
+	o, err := op.NewInsert(c.buf.Len(), pos, text)
+	if err != nil {
+		return ClientMsg{}, err
+	}
+	return c.Generate(o)
+}
+
+// Delete is a convenience wrapper generating Delete[count, pos].
+func (c *Client) Delete(pos, count int) (ClientMsg, error) {
+	o, err := op.NewDelete(c.buf.Len(), pos, count)
+	if err != nil {
+		return ClientMsg{}, err
+	}
+	return c.Generate(o)
+}
+
+// Integrate processes an operation propagated from the notifier: it runs the
+// compressed-clock concurrency check (formula 5) against the history buffer,
+// brings the operation into local context, executes it, updates the state
+// vector (§3.2 rule 2), and buffers the executed form with its original
+// propagation timestamp (§3.3).
+func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
+	if m.To != c.site {
+		return IntegrationResult{}, fmt.Errorf("%w: message for site %d delivered to %d",
+			ErrBadMessage, m.To, c.site)
+	}
+	if m.TS.T1 != c.sv.FromServer+1 {
+		return IntegrationResult{}, fmt.Errorf("%w: server op T1=%d but %d already received (FIFO violated?)",
+			ErrBadMessage, m.TS.T1, c.sv.FromServer)
+	}
+
+	// Concurrency detection — the paper's formula (5), one O(1) comparison
+	// per buffered operation.
+	res := IntegrationResult{}
+	for _, e := range c.hb.Entries() {
+		conc := ConcurrentClient(m.TS, e.TS, e.Origin == OriginServer)
+		res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
+		if conc {
+			res.ConcurrentCount++
+		}
+	}
+
+	exec := m.Op
+	switch c.mode {
+	case ModeTransform:
+		// Acknowledgement: T2 is how many of our operations the notifier
+		// had incorporated when it generated this one; those are no longer
+		// pending.
+		acked := m.TS.T2
+		i := 0
+		for i < len(c.pending) && c.pending[i].seq <= acked {
+			i++
+		}
+		c.pending = c.pending[i:]
+
+		// The remaining pending operations are exactly the buffered
+		// operations formula (5) just found concurrent (cross-checked by
+		// TestConcurrentSetEqualsPendingSet). Transform the arrival across
+		// them — notifier operations take tie-break priority everywhere.
+		var err error
+		for j := range c.pending {
+			exec, c.pending[j].op, err = op.Transform(exec, c.pending[j].op)
+			if err != nil {
+				return IntegrationResult{}, fmt.Errorf("core: client transform: %w", err)
+			}
+		}
+		c.count(trace.CTransforms, int64(len(c.pending)))
+		if err := doc.Apply(c.buf, exec); err != nil {
+			return IntegrationResult{}, fmt.Errorf("core: client apply: %w", err)
+		}
+	case ModeRelay:
+		// Ablation: execute the original form, clamped. Documents are
+		// expected to diverge; that is the point of E8.
+		applyLoose(c.buf, exec)
+	}
+
+	c.sv.FromServer++ // §3.2 rule 2
+	c.hb.Add(ClientEntry{Op: exec, TS: m.TS, Origin: OriginServer, Ref: m.Ref})
+	res.Executed = exec
+	c.count(trace.COpsIntegrated, 1)
+	c.count(trace.CConcurrencyChecks, int64(len(res.Checks)))
+	c.count(trace.CConcurrentPairs, int64(res.ConcurrentCount))
+
+	if c.compactEvery > 0 && c.undo == nil {
+		c.sinceCompact++
+		if c.sinceCompact >= c.compactEvery {
+			c.sinceCompact = 0
+			c.hb.Compact(m.TS.T2)
+		}
+	}
+	return res, nil
+}
+
+// Compact forces history-buffer garbage collection using the latest
+// acknowledgement; returns the number of entries removed.
+func (c *Client) Compact() int {
+	// The newest server entry's T2 is the freshest acknowledgement seen.
+	var acked uint64
+	for _, e := range c.hb.Entries() {
+		if e.Origin == OriginServer && e.TS.T2 > acked {
+			acked = e.TS.T2
+		}
+	}
+	return c.hb.Compact(acked)
+}

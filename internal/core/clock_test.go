@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestClientSVStamp(t *testing.T) {
+	sv := ClientSV{FromServer: 3, Local: 2}
+	if sv.Stamp() != (Timestamp{T1: 3, T2: 2}) {
+		t.Fatalf("stamp: %v", sv.Stamp())
+	}
+	if sv.String() != "[3,2]" {
+		t.Fatalf("string: %q", sv.String())
+	}
+}
+
+func TestServerSVBasics(t *testing.T) {
+	sv := NewServerSV(3)
+	sv.Inc(2)
+	sv.Inc(2)
+	sv.Inc(3)
+	if sv.Of(2) != 2 || sv.Of(3) != 1 || sv.Of(1) != 0 {
+		t.Fatalf("counts: %v %v %v", sv.Of(1), sv.Of(2), sv.Of(3))
+	}
+	if sv.Sum() != 3 {
+		t.Fatalf("sum %d", sv.Sum())
+	}
+	if sv.SumExcept(2) != 1 || sv.SumExcept(1) != 3 {
+		t.Fatal("sumExcept wrong")
+	}
+	if sv.Of(99) != 0 || sv.SumExcept(99) != 3 {
+		t.Fatal("out-of-range site must read as zero")
+	}
+}
+
+func TestServerSVGrow(t *testing.T) {
+	sv := NewServerSV(0)
+	sv.Inc(5)
+	if sv.Len() != 6 || sv.Of(5) != 1 {
+		t.Fatalf("grow: len %d of5 %d", sv.Len(), sv.Of(5))
+	}
+}
+
+// TestCompressMatchesPaperSection5 replays each compression the paper's §5
+// walkthrough performs at site 0, asserting the exact printed timestamps.
+func TestCompressMatchesPaperSection5(t *testing.T) {
+	sv := NewServerSV(3)
+
+	// After executing O2 (from site 2): SV_0 = [0,1,0].
+	sv.Inc(2)
+	if got := sv.Compress(1, 0); got != (Timestamp{1, 0}) {
+		t.Fatalf("O2' to site 1: %v, paper says [1,0]", got)
+	}
+	if got := sv.Compress(3, 0); got != (Timestamp{1, 0}) {
+		t.Fatalf("O2' to site 3: %v, paper says [1,0]", got)
+	}
+
+	// After executing O1 (from site 1): SV_0 = [1,1,0].
+	sv.Inc(1)
+	if got := sv.Compress(2, 0); got != (Timestamp{1, 1}) {
+		t.Fatalf("O1' to site 2: %v, paper says [1,1]", got)
+	}
+	if got := sv.Compress(3, 0); got != (Timestamp{2, 0}) {
+		t.Fatalf("O1' to site 3: %v, paper says [2,0]", got)
+	}
+
+	// After executing O4 (from site 3): SV_0 = [1,1,1].
+	sv.Inc(3)
+	if got := sv.Compress(1, 0); got != (Timestamp{2, 1}) {
+		t.Fatalf("O4' to site 1: %v, paper says [2,1]", got)
+	}
+	if got := sv.Compress(2, 0); got != (Timestamp{2, 1}) {
+		t.Fatalf("O4' to site 2: %v, paper says [2,1]", got)
+	}
+
+	// After executing O3 (from site 2): SV_0 = [1,2,1].
+	sv.Inc(2)
+	if got := sv.Compress(1, 0); got != (Timestamp{3, 1}) {
+		t.Fatalf("O3' to site 1: %v, paper says [3,1]", got)
+	}
+	if got := sv.Compress(3, 0); got != (Timestamp{3, 1}) {
+		t.Fatalf("O3' to site 3: %v, paper says [3,1]", got)
+	}
+}
+
+// TestFormula5MatchesPaperVerdicts asserts every client-side concurrency
+// verdict enumerated in §5.
+func TestFormula5MatchesPaperVerdicts(t *testing.T) {
+	cases := []struct {
+		name       string
+		ta         Timestamp // arriving op
+		tb         Timestamp // buffered op
+		fromServer bool
+		want       bool
+	}{
+		{"O2' vs O1 at site 1", Timestamp{1, 0}, Timestamp{0, 1}, false, true},
+		{"O1' vs O2 at site 2", Timestamp{1, 1}, Timestamp{0, 1}, false, false},
+		{"O1' vs O2' at site 3", Timestamp{2, 0}, Timestamp{1, 0}, true, false},
+		{"O1' vs O4 at site 3", Timestamp{2, 0}, Timestamp{1, 1}, false, true},
+		{"O4' vs O1 at site 1", Timestamp{2, 1}, Timestamp{0, 1}, false, false},
+		{"O4' vs O2' at site 1", Timestamp{2, 1}, Timestamp{1, 0}, true, false},
+		{"O4' vs O2 at site 2", Timestamp{2, 1}, Timestamp{0, 1}, false, false},
+		{"O4' vs O1' at site 2", Timestamp{2, 1}, Timestamp{1, 1}, true, false},
+		{"O4' vs O3 at site 2", Timestamp{2, 1}, Timestamp{1, 2}, false, true},
+		{"O3' vs O1 at site 1", Timestamp{3, 1}, Timestamp{0, 1}, false, false},
+		{"O3' vs O2' at site 1", Timestamp{3, 1}, Timestamp{1, 0}, true, false},
+		{"O3' vs O4' at site 1", Timestamp{3, 1}, Timestamp{2, 1}, true, false},
+		{"O3' vs O2' at site 3", Timestamp{3, 1}, Timestamp{1, 0}, true, false},
+		{"O3' vs O4 at site 3", Timestamp{3, 1}, Timestamp{1, 1}, false, false},
+		{"O3' vs O1' at site 3", Timestamp{3, 1}, Timestamp{2, 0}, true, false},
+	}
+	for _, c := range cases {
+		if got := ConcurrentClient(c.ta, c.tb, c.fromServer); got != c.want {
+			t.Errorf("%s: formula (5) = %v, paper says %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFormula7MatchesPaperVerdicts asserts every notifier-side concurrency
+// verdict enumerated in §5.
+func TestFormula7MatchesPaperVerdicts(t *testing.T) {
+	// Full buffered timestamps from the walkthrough (index 0 unused).
+	tsO2p := vclock.VC{0, 0, 1, 0}
+	tsO1p := vclock.VC{0, 1, 1, 0}
+	tsO4p := vclock.VC{0, 1, 1, 1}
+	cases := []struct {
+		name string
+		ta   Timestamp
+		x    int
+		tb   vclock.VC
+		y    int
+		want bool
+	}{
+		{"O1 vs O2'", Timestamp{0, 1}, 1, tsO2p, 2, true},
+		{"O4 vs O2'", Timestamp{1, 1}, 3, tsO2p, 2, false},
+		{"O4 vs O1'", Timestamp{1, 1}, 3, tsO1p, 1, true},
+		{"O3 vs O2' (same site)", Timestamp{1, 2}, 2, tsO2p, 2, false},
+		{"O3 vs O1'", Timestamp{1, 2}, 2, tsO1p, 1, false},
+		{"O3 vs O4'", Timestamp{1, 2}, 2, tsO4p, 3, true},
+	}
+	for _, c := range cases {
+		if got := ConcurrentServer(c.ta, c.x, c.tb, c.y, 0); got != c.want {
+			t.Errorf("%s: formula (7) = %v, paper says %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestGeneralFormulasAgreeWithSimplified: on inputs satisfying the FIFO
+// preconditions the paper uses to simplify (T_Oa[1] > T_Ob[1] at clients;
+// T_Oa[2] > T_Ob[x] and no same-site concurrency at the server), formulas
+// (4)/(6) must agree with (5)/(7).
+func TestGeneralFormulasAgreeWithSimplified(t *testing.T) {
+	for t1a := uint64(0); t1a < 6; t1a++ {
+		for t2a := uint64(0); t2a < 6; t2a++ {
+			for t1b := uint64(0); t1b < 6; t1b++ {
+				for t2b := uint64(0); t2b < 6; t2b++ {
+					ta := Timestamp{t1a, t2a}
+					tb := Timestamp{t1b, t2b}
+					for _, fromServer := range []bool{false, true} {
+						if !(ta.T1 > tb.T1) {
+							continue // FIFO precondition for dropping condition 1
+						}
+						g := ConcurrentClientGeneral(ta, tb, fromServer)
+						s := ConcurrentClient(ta, tb, fromServer)
+						if g != s {
+							t.Fatalf("formulas (4)/(5) disagree: ta=%v tb=%v srv=%v: %v vs %v",
+								ta, tb, fromServer, g, s)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Server side: enumerate small full vectors.
+	for v1 := uint64(0); v1 < 3; v1++ {
+		for v2 := uint64(0); v2 < 3; v2++ {
+			for v3 := uint64(0); v3 < 3; v3++ {
+				tb := vclock.VC{0, v1, v2, v3}
+				for x := 1; x <= 3; x++ {
+					for y := 1; y <= 3; y++ {
+						for t1a := uint64(0); t1a < 5; t1a++ {
+							for t2a := uint64(0); t2a < 5; t2a++ {
+								ta := Timestamp{t1a, t2a}
+								if !(ta.T2 > tb[x]) {
+									continue // FIFO precondition
+								}
+								if x == y {
+									continue // FIFO rules out same-site concurrency
+								}
+								g := ConcurrentServerGeneral(ta, x, tb, y, 0)
+								s := ConcurrentServer(ta, x, tb, y, 0)
+								if g != s {
+									t.Fatalf("formulas (6)/(7) disagree: ta=%v x=%d tb=%v y=%d: %v vs %v",
+										ta, x, tb, y, g, s)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompressWithJoinBaseline(t *testing.T) {
+	sv := NewServerSV(2)
+	sv.Inc(1)
+	sv.Inc(2)
+	// Site 3 joins now: everything so far is in its snapshot.
+	baseline := sv.Sum() // 2
+	sv.Grow(3)
+	sv.Inc(1)
+	got := sv.Compress(3, baseline)
+	if got != (Timestamp{1, 0}) {
+		t.Fatalf("late joiner timestamp: %v, want [1,0] (one op since join)", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeTransform.String() != "transform" || ModeRelay.String() != "relay" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginLocal.String() != "local" || OriginServer.String() != "server" {
+		t.Fatal("origin names")
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if (Timestamp{3, 1}).String() != "[3,1]" {
+		t.Fatalf("timestamp string %q", Timestamp{3, 1}.String())
+	}
+}

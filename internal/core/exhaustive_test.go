@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/op"
+)
+
+// Exhaustive interleaving tests: for small scripted scenarios, enumerate
+// EVERY delivery schedule the star topology permits (generations in
+// per-site program order; each up-delivery after its generation; each
+// down-delivery after its up-delivery; FIFO per link) and replay each one
+// through fresh engines. Convergence and oracle-agreement must hold on all
+// of them — not just on the schedules random tests happen to sample.
+
+// script describes the ops each site generates, as functions of the current
+// local document.
+type scriptOp struct {
+	site  int
+	build func(docLen int) (*op.Op, error)
+}
+
+// event is one atomic step of a schedule.
+type event struct {
+	kind int // 0 = generate, 1 = deliver-to-server, 2 = deliver-to-client
+	site int // generating site (kind 0, 1) or destination (kind 2)
+	op   int // script index (kind 0, 1); for kind 2: broadcast sequence toward site
+}
+
+// enumerate generates all valid schedules and calls run on each, stopping
+// early on failure. It returns the number of schedules explored.
+func enumerate(t *testing.T, script []scriptOp, nClients int, run func(order []event)) int {
+	t.Helper()
+
+	// Pre-compute the event set. Down-deliveries: each script op, once
+	// executed at the server, is broadcast to every client except its
+	// origin. The broadcast order toward one client equals the server
+	// execution order, which depends on the schedule — so down-events are
+	// modeled per (destination) as "next broadcast", created dynamically.
+	perSiteOps := map[int][]int{}
+	for i, so := range script {
+		perSiteOps[so.site] = append(perSiteOps[so.site], i)
+	}
+
+	type state struct {
+		generated    map[int]int   // per site: how many of its script ops generated
+		upQueue      map[int][]int // per site: generated-but-undelivered script indexes (FIFO)
+		serverSeen   int           // ops executed at server
+		serverOrder  []int         // script indexes in server execution order
+		downDeliv    map[int]int   // per client: broadcasts integrated
+		totalActions int
+	}
+
+	var order []event
+	count := 0
+
+	var dfs func(st *state)
+	dfs = func(st *state) {
+		if t.Failed() {
+			return
+		}
+		progressed := false
+
+		// Choice 1: some site generates its next scripted op.
+		for site, ops := range perSiteOps {
+			g := st.generated[site]
+			if g >= len(ops) {
+				continue
+			}
+			progressed = true
+			st.generated[site]++
+			st.upQueue[site] = append(st.upQueue[site], ops[g])
+			order = append(order, event{kind: 0, site: site, op: ops[g]})
+			dfs(st)
+			order = order[:len(order)-1]
+			st.upQueue[site] = st.upQueue[site][:len(st.upQueue[site])-1]
+			st.generated[site]--
+		}
+
+		// Choice 2: the server receives the head of some up-queue.
+		for site := 1; site <= nClients; site++ {
+			q := st.upQueue[site]
+			if len(q) == 0 {
+				continue
+			}
+			progressed = true
+			idx := q[0]
+			st.upQueue[site] = q[1:]
+			st.serverOrder = append(st.serverOrder, idx)
+			st.serverSeen++
+			order = append(order, event{kind: 1, site: site, op: idx})
+			dfs(st)
+			order = order[:len(order)-1]
+			st.serverSeen--
+			st.serverOrder = st.serverOrder[:len(st.serverOrder)-1]
+			st.upQueue[site] = append([]int{idx}, st.upQueue[site]...)
+		}
+
+		// Choice 3: some client integrates its next broadcast. The k-th
+		// broadcast toward client c is the k-th server-executed op not
+		// originating at c.
+		for site := 1; site <= nClients; site++ {
+			k := st.downDeliv[site]
+			// Find the (k+1)-th server op not from this site.
+			seen := 0
+			found := false
+			for _, idx := range st.serverOrder {
+				if script[idx].site == site {
+					continue
+				}
+				if seen == k {
+					found = true
+					break
+				}
+				seen++
+			}
+			if !found {
+				continue
+			}
+			progressed = true
+			st.downDeliv[site]++
+			order = append(order, event{kind: 2, site: site, op: k})
+			dfs(st)
+			order = order[:len(order)-1]
+			st.downDeliv[site]--
+		}
+
+		if !progressed {
+			count++
+			run(append([]event(nil), order...))
+		}
+	}
+
+	dfs(&state{
+		generated: map[int]int{},
+		upQueue:   map[int][]int{},
+		downDeliv: map[int]int{},
+	})
+	return count
+}
+
+// replay executes one schedule on fresh engines and validates convergence
+// plus every concurrency verdict against the oracle.
+func replaySchedule(t *testing.T, script []scriptOp, nClients int, initial string, order []event) {
+	t.Helper()
+	srv := NewServer(initial, WithServerCompaction(0))
+	clients := map[int]*Client{}
+	for site := 1; site <= nClients; site++ {
+		snap, err := srv.Join(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[site] = NewClient(site, snap.Text, WithClientCompaction(0))
+	}
+	oracle := causal.NewOracle()
+	var checks []Check
+	msgs := map[int]ClientMsg{}         // script index -> generated msg
+	broadcasts := map[int][]ServerMsg{} // destination -> FIFO broadcasts
+
+	for _, ev := range order {
+		switch ev.kind {
+		case 0:
+			c := clients[ev.site]
+			o, err := script[ev.op].build(c.DocLen())
+			if err != nil {
+				t.Fatalf("script op %d: %v", ev.op, err)
+			}
+			m, err := c.Generate(o)
+			if err != nil {
+				t.Fatalf("generate %d: %v", ev.op, err)
+			}
+			msgs[ev.op] = m
+			oracle.Generate(ev.site, m.Ref)
+		case 1:
+			m := msgs[ev.op]
+			bcast, ir, err := srv.Receive(m)
+			if err != nil {
+				t.Fatalf("server receive %d: %v", ev.op, err)
+			}
+			checks = append(checks, ir.Checks...)
+			oracle.Execute(0, m.Ref)
+			newRef := causal.OpRef{Site: 0, Seq: uint64(srv.History().Len())}
+			if len(bcast) > 0 {
+				newRef = bcast[0].Ref
+			}
+			oracle.GenerateDerived(0, newRef, m.Ref)
+			for _, bm := range bcast {
+				broadcasts[bm.To] = append(broadcasts[bm.To], bm)
+			}
+		case 2:
+			q := broadcasts[ev.site]
+			if ev.op >= len(q) {
+				t.Fatalf("schedule bug: delivery %d of %d to site %d", ev.op, len(q), ev.site)
+			}
+			bm := q[ev.op]
+			ir, err := clients[ev.site].Integrate(bm)
+			if err != nil {
+				t.Fatalf("integrate at %d: %v", ev.site, err)
+			}
+			checks = append(checks, ir.Checks...)
+			oracle.Execute(ev.site, bm.Ref)
+		}
+	}
+
+	want := srv.Text()
+	for site, c := range clients {
+		if c.Text() != want {
+			t.Fatalf("schedule %v: site %d %q vs server %q", order, site, c.Text(), want)
+		}
+	}
+	oracle.Seal()
+	for _, ch := range checks {
+		if ch.Concurrent != oracle.Concurrent(ch.Arriving, ch.Buffered) {
+			t.Fatalf("schedule %v: verdict %v vs oracle for %v / %v",
+				order, ch.Concurrent, ch.Arriving, ch.Buffered)
+		}
+	}
+}
+
+func TestExhaustiveTwoClients(t *testing.T) {
+	const initial = "ABCDE"
+	script := []scriptOp{
+		{site: 1, build: func(n int) (*op.Op, error) { return op.NewInsert(n, min(1, n), "12") }},
+		{site: 1, build: func(n int) (*op.Op, error) { return op.NewDelete(n, 0, min(1, n)) }},
+		{site: 2, build: func(n int) (*op.Op, error) { return op.NewDelete(n, min(2, n-1), min(3, n-min(2, n-1))) }},
+	}
+	count := enumerate(t, script, 2, func(order []event) {
+		replaySchedule(t, script, 2, initial, order)
+	})
+	if count < 100 {
+		t.Fatalf("suspiciously few schedules: %d", count)
+	}
+	t.Logf("explored %d schedules", count)
+}
+
+func TestExhaustiveThreeClients(t *testing.T) {
+	const initial = "base"
+	script := []scriptOp{
+		{site: 1, build: func(n int) (*op.Op, error) { return op.NewInsert(n, 0, "<a>") }},
+		{site: 2, build: func(n int) (*op.Op, error) { return op.NewInsert(n, n, "<b>") }},
+		{site: 3, build: func(n int) (*op.Op, error) { return op.NewInsert(n, n/2, "<c>") }},
+	}
+	count := enumerate(t, script, 3, func(order []event) {
+		replaySchedule(t, script, 3, initial, order)
+	})
+	if count < 1000 {
+		t.Fatalf("suspiciously few schedules: %d", count)
+	}
+	t.Logf("explored %d schedules", count)
+}
+
+func TestExhaustiveInsertDeleteConflict(t *testing.T) {
+	// Two sites editing overlapping regions: one deletes a range into
+	// which the other concurrently inserts — the delete-splitting case —
+	// under every possible schedule.
+	const initial = "abcdef"
+	script := []scriptOp{
+		{site: 1, build: func(n int) (*op.Op, error) { return op.NewInsert(n, min(3, n), "XY") }},
+		{site: 2, build: func(n int) (*op.Op, error) {
+			if n < 2 {
+				return op.New().Retain(n), nil
+			}
+			return op.NewDelete(n, 1, min(4, n-1))
+		}},
+	}
+	count := enumerate(t, script, 2, func(order []event) {
+		replaySchedule(t, script, 2, initial, order)
+	})
+	t.Logf("explored %d schedules", count)
+}

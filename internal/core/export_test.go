@@ -1,0 +1,30 @@
+package core
+
+import "repro/internal/causal"
+
+// CheckInvariants exposes the engine's internal consistency checks to tests.
+func (s *Server) CheckInvariants() error { return s.checkInvariants() }
+
+// PendingSeqs exposes the bridge contents for the concurrent-set ≡
+// pending-set cross-validation.
+func (c *Client) PendingSeqs() []uint64 {
+	out := make([]uint64, len(c.pending))
+	for i, p := range c.pending {
+		out[i] = p.seq
+	}
+	return out
+}
+
+// BridgeRefs exposes the refs of the unacknowledged broadcasts toward site,
+// for the concurrent-set ≡ bridge-set cross-validation.
+func (s *Server) BridgeRefs(site int) []causal.OpRef {
+	st, ok := s.clients[site]
+	if !ok {
+		return nil
+	}
+	out := make([]causal.OpRef, len(st.bridge))
+	for i, b := range st.bridge {
+		out[i] = b.ref
+	}
+	return out
+}

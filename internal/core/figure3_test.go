@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/vclock"
+)
+
+// TestFigure3Walkthrough replays the paper's §5 scenario (Fig. 3) end to end
+// on real engines, asserting every compressed timestamp, every concurrency
+// verdict, the history-buffer evolution at site 0, and final convergence.
+//
+// Concrete operations (the figure is abstract; §2.2 supplies O1 and O2):
+//
+//	document  "ABCDE"
+//	O1 @site1 Insert["12", 1]
+//	O2 @site2 Delete[3, 2]
+//	O4 @site3 Insert["x", 2]   (generated after executing O2', doc "AB")
+//	O3 @site2 Insert["!", 4]   (generated after executing O1', doc "A12B")
+//
+// Arrival order at site 0: O2, O1, O4, O3 — exactly Fig. 2/3.
+func TestFigure3Walkthrough(t *testing.T) {
+	srv := NewServer("ABCDE", WithServerCompaction(0))
+	clients := map[int]*Client{}
+	for site := 1; site <= 3; site++ {
+		snap, err := srv.Join(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[site] = NewClient(site, snap.Text, WithClientCompaction(0))
+	}
+	c1, c2, c3 := clients[1], clients[2], clients[3]
+
+	refO := func(site int, seq uint64) causal.OpRef { return causal.OpRef{Site: site, Seq: seq} }
+	// Transformed operations are new site-0 operations, numbered by server
+	// execution order: O2'=1, O1'=2, O4'=3, O3'=4.
+	refO2p, refO1p, refO4p, refO3p := refO(0, 1), refO(0, 2), refO(0, 3), refO(0, 4)
+
+	wantTS := func(name string, got, want Timestamp) {
+		t.Helper()
+		if got != want {
+			t.Fatalf("%s: timestamp %v, paper says %v", name, got, want)
+		}
+	}
+	wantVerdicts := func(name string, res IntegrationResult, want map[causal.OpRef]bool) {
+		t.Helper()
+		if len(res.Checks) != len(want) {
+			t.Fatalf("%s: %d checks, want %d", name, len(res.Checks), len(want))
+		}
+		for _, ch := range res.Checks {
+			w, ok := want[ch.Buffered]
+			if !ok {
+				t.Fatalf("%s: unexpected check against %v", name, ch.Buffered)
+			}
+			if ch.Concurrent != w {
+				t.Fatalf("%s: verdict vs %v = %v, paper says %v", name, ch.Buffered, ch.Concurrent, w)
+			}
+		}
+	}
+	findMsg := func(msgs []ServerMsg, to int) ServerMsg {
+		t.Helper()
+		for _, m := range msgs {
+			if m.To == to {
+				return m
+			}
+		}
+		t.Fatalf("no broadcast to site %d", to)
+		return ServerMsg{}
+	}
+
+	// --- O1 and O2 generated concurrently --------------------------------
+	m1, err := c1.Insert(1, "12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTS("O1 at site 1", m1.TS, Timestamp{0, 1})
+	if c1.Text() != "A12BCDE" {
+		t.Fatalf("site 1 after O1: %q", c1.Text())
+	}
+
+	m2, err := c2.Delete(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTS("O2 at site 2", m2.TS, Timestamp{0, 1})
+	if c2.Text() != "AB" {
+		t.Fatalf("site 2 after O2: %q", c2.Text())
+	}
+
+	// --- Handling O2 at site 0 -------------------------------------------
+	bcastO2, resO2, err := srv.Receive(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O2 at site 0 (empty HB)", resO2, map[causal.OpRef]bool{})
+	wantTS("O2' to site 1", findMsg(bcastO2, 1).TS, Timestamp{1, 0})
+	wantTS("O2' to site 3", findMsg(bcastO2, 3).TS, Timestamp{1, 0})
+	if srv.Text() != "AB" {
+		t.Fatalf("site 0 after O2: %q", srv.Text())
+	}
+	if hb := srv.History().Entries(); len(hb) != 1 ||
+		vclock.Compare(hb[0].TS, vclock.VC{0, 0, 1, 0}) != vclock.Equal {
+		t.Fatalf("HB_0 after O2': %+v, paper says [O2'] with [0,1,0]", hb)
+	}
+
+	// O2' at site 3 (empty HB): executed as-is.
+	res, err := c3.Integrate(findMsg(bcastO2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O2' at site 3", res, map[causal.OpRef]bool{})
+	if c3.Text() != "AB" {
+		t.Fatalf("site 3 after O2': %q", c3.Text())
+	}
+
+	// Site 3 generates O4 (after O2', so O2 → O4 as in §2.4).
+	m4, err := c3.Insert(2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTS("O4 at site 3", m4.TS, Timestamp{1, 1})
+
+	// O2' at site 1: concurrent with buffered O1 (paper: O2' ∥ O1 because
+	// T_O1[2]=1 > T_O2'[2]=0); transformed before execution.
+	res, err = c1.Integrate(findMsg(bcastO2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O2' at site 1", res, map[causal.OpRef]bool{refO(1, 1): true})
+	if c1.Text() != "A12B" {
+		t.Fatalf("site 1 after transformed O2': %q (the §2.3 intention-preserved result)", c1.Text())
+	}
+
+	// --- Handling O1 at site 0 -------------------------------------------
+	bcastO1, resO1, err := srv.Receive(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O1 at site 0", resO1, map[causal.OpRef]bool{refO2p: true})
+	wantTS("O1' to site 2", findMsg(bcastO1, 2).TS, Timestamp{1, 1})
+	wantTS("O1' to site 3", findMsg(bcastO1, 3).TS, Timestamp{2, 0})
+	if srv.Text() != "A12B" {
+		t.Fatalf("site 0 after O1': %q", srv.Text())
+	}
+	if hb := srv.History().Entries(); len(hb) != 2 ||
+		vclock.Compare(hb[1].TS, vclock.VC{0, 1, 1, 0}) != vclock.Equal {
+		t.Fatalf("HB_0 after O1': %+v, paper says [...,O1'] with [1,1,0]", hb)
+	}
+
+	// O1' at site 2: not concurrent with O2 (same origin chain).
+	res, err = c2.Integrate(findMsg(bcastO1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O1' at site 2", res, map[causal.OpRef]bool{refO(2, 1): false})
+	if c2.Text() != "A12B" {
+		t.Fatalf("site 2 after O1': %q", c2.Text())
+	}
+
+	// Site 2 generates O3 (after O1 and O2, matching §2.4's O1→O3, O2→O3).
+	m3, err := c2.Insert(4, "!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTS("O3 at site 2", m3.TS, Timestamp{1, 2})
+
+	// --- Handling O4 at site 0 -------------------------------------------
+	bcastO4, resO4, err := srv.Receive(m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O4 at site 0", resO4, map[causal.OpRef]bool{refO2p: false, refO1p: true})
+	wantTS("O4' to site 1", findMsg(bcastO4, 1).TS, Timestamp{2, 1})
+	wantTS("O4' to site 2", findMsg(bcastO4, 2).TS, Timestamp{2, 1})
+	if srv.Text() != "A12Bx" {
+		t.Fatalf("site 0 after O4': %q", srv.Text())
+	}
+	if hb := srv.History().Entries(); len(hb) != 3 ||
+		vclock.Compare(hb[2].TS, vclock.VC{0, 1, 1, 1}) != vclock.Equal {
+		t.Fatalf("HB_0 after O4': %+v, paper says [...,O4'] with [1,1,1]", hb)
+	}
+
+	// O4' at site 1: concurrent with nothing.
+	res, err = c1.Integrate(findMsg(bcastO4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O4' at site 1", res, map[causal.OpRef]bool{refO(1, 1): false, refO2p: false})
+	if c1.Text() != "A12Bx" {
+		t.Fatalf("site 1 after O4': %q", c1.Text())
+	}
+
+	// O4' at site 2: concurrent with O3 only.
+	res, err = c2.Integrate(findMsg(bcastO4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O4' at site 2", res, map[causal.OpRef]bool{
+		refO(2, 1): false, refO1p: false, refO(2, 2): true,
+	})
+
+	// --- Handling O3 at site 0 -------------------------------------------
+	bcastO3, resO3, err := srv.Receive(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O3 at site 0", resO3, map[causal.OpRef]bool{
+		refO2p: false, refO1p: false, refO4p: true,
+	})
+	wantTS("O3' to site 1", findMsg(bcastO3, 1).TS, Timestamp{3, 1})
+	wantTS("O3' to site 3", findMsg(bcastO3, 3).TS, Timestamp{3, 1})
+	if hb := srv.History().Entries(); len(hb) != 4 ||
+		vclock.Compare(hb[3].TS, vclock.VC{0, 1, 2, 1}) != vclock.Equal {
+		t.Fatalf("HB_0 after O3': %+v, paper says [...,O3'] with [1,2,1]", hb)
+	}
+
+	// O1' reaches site 3 late (Fig. 3): concurrent with local O4 only.
+	res, err = c3.Integrate(findMsg(bcastO1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O1' at site 3", res, map[causal.OpRef]bool{refO2p: false, refO(3, 1): true})
+	if c3.Text() != "A12Bx" {
+		t.Fatalf("site 3 after O1': %q", c3.Text())
+	}
+
+	// O3' at site 1 and site 3: concurrent with nothing.
+	res, err = c1.Integrate(findMsg(bcastO3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O3' at site 1", res, map[causal.OpRef]bool{
+		refO(1, 1): false, refO2p: false, refO4p: false,
+	})
+	res, err = c3.Integrate(findMsg(bcastO3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts("O3' at site 3", res, map[causal.OpRef]bool{
+		refO2p: false, refO(3, 1): false, refO1p: false,
+	})
+	_ = refO3p
+
+	// --- Convergence and intention preservation --------------------------
+	want := "A12Bx!"
+	for site, c := range clients {
+		if c.Text() != want {
+			t.Fatalf("site %d final %q, want %q", site, c.Text(), want)
+		}
+	}
+	// Sites 1 and 3 have had their local ops acknowledged by later
+	// broadcasts; site 2's O3 stays pending because no message follows O4'
+	// toward site 2 in Fig. 3.
+	for site, wantPending := range map[int]int{1: 0, 2: 1, 3: 0} {
+		if got := clients[site].PendingCount(); got != wantPending {
+			t.Fatalf("site %d pending %d, want %d", site, got, wantPending)
+		}
+	}
+	if srv.Text() != want {
+		t.Fatalf("site 0 final %q, want %q", srv.Text(), want)
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final state vectors (Fig. 3 right edge): SV_0 = [1,2,1]; clients have
+	// received 3 server ops each and generated 1, 2, 1 locally.
+	if got := srv.SV().Full(); vclock.Compare(got, vclock.VC{0, 1, 2, 1}) != vclock.Equal {
+		t.Fatalf("final SV_0 = %v", got)
+	}
+	for site, wantSV := range map[int]ClientSV{
+		1: {FromServer: 3, Local: 1},
+		2: {FromServer: 2, Local: 2}, // O2', O3' are its own ops; it only receives O1', O4'
+		3: {FromServer: 3, Local: 1},
+	} {
+		if got := clients[site].SV(); got != wantSV {
+			t.Fatalf("site %d final SV %v, want %v", site, got, wantSV)
+		}
+	}
+}

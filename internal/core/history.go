@@ -1,0 +1,189 @@
+package core
+
+import (
+	"repro/internal/causal"
+	"repro/internal/op"
+	"repro/internal/vclock"
+)
+
+// Origin classifies a client history-buffer entry for the y selector of
+// formulas (4)–(5).
+type Origin uint8
+
+// Client history entry origins.
+const (
+	// OriginLocal: the entry was generated at this site (y = 2).
+	OriginLocal Origin = iota
+	// OriginServer: the entry was propagated from site 0 (y = 1).
+	OriginServer
+)
+
+// String names the origin.
+func (o Origin) String() string {
+	if o == OriginLocal {
+		return "local"
+	}
+	return "server"
+}
+
+// ClientEntry is one executed operation saved in a client's history buffer
+// (paper §2.3, §3.3): the executed form, its original 2-element propagation
+// timestamp, and its origin.
+type ClientEntry struct {
+	Op     *op.Op
+	TS     Timestamp
+	Origin Origin
+	// Ref is the operation's causal identity, used by the validation
+	// harness to compare clock verdicts against the ground-truth oracle.
+	Ref causal.OpRef
+}
+
+// ClientHB is the history buffer of a client site.
+type ClientHB struct {
+	entries []ClientEntry
+	dropped int
+}
+
+// Add appends an executed operation.
+func (h *ClientHB) Add(e ClientEntry) { h.entries = append(h.entries, e) }
+
+// Len returns the number of buffered operations.
+func (h *ClientHB) Len() int { return len(h.entries) }
+
+// Dropped returns how many entries garbage collection has removed.
+func (h *ClientHB) Dropped() int { return h.dropped }
+
+// Entries returns the live entries, oldest first. The slice is owned by the
+// buffer.
+func (h *ClientHB) Entries() []ClientEntry { return h.entries }
+
+// ConcurrentWith runs the simplified client check (formula 5) of a newly
+// arrived operation's timestamp against every buffered entry and returns the
+// concurrent ones, oldest first.
+func (h *ClientHB) ConcurrentWith(ta Timestamp) []ClientEntry {
+	var out []ClientEntry
+	for _, e := range h.entries {
+		if ConcurrentClient(ta, e.TS, e.Origin == OriginServer) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Compact garbage-collects entries that can never again be concurrent with a
+// future arrival. T2 of server messages (operations of ours the server has
+// incorporated) is monotone, so:
+//
+//   - server-origin entries are causally before every future arrival (the
+//     notifier serializes) and can go immediately;
+//   - local entries with TS.T2 <= ackedLocal are covered by the server's
+//     knowledge and can go.
+//
+// It returns the number of entries removed.
+func (h *ClientHB) Compact(ackedLocal uint64) int {
+	kept := h.entries[:0]
+	for _, e := range h.entries {
+		if e.Origin == OriginLocal && e.TS.T2 > ackedLocal {
+			kept = append(kept, e)
+		}
+	}
+	n := len(h.entries) - len(kept)
+	h.entries = kept
+	h.dropped += n
+	return n
+}
+
+// ServerEntry is one executed operation saved in the notifier's history
+// buffer, timestamped with the full state vector (paper §3.3) and tagged
+// with the site that originally generated it (the y of formulas 6–7).
+type ServerEntry struct {
+	Op     *op.Op
+	TS     vclock.VC // full SV_0 value at buffering time
+	Origin int       // original generator site y
+	Ref    causal.OpRef
+
+	// sum caches Σ TS so the per-check Σ_{j≠x} TS[j] of formula (7) is a
+	// single subtraction instead of an O(N) scan. Set by Add.
+	sum uint64
+}
+
+// ServerHB is the notifier's history buffer.
+type ServerHB struct {
+	entries []ServerEntry
+	dropped int
+}
+
+// Add appends an executed operation.
+func (h *ServerHB) Add(e ServerEntry) {
+	e.sum = e.TS.Sum()
+	h.entries = append(h.entries, e)
+}
+
+// Len returns the number of buffered operations.
+func (h *ServerHB) Len() int { return len(h.entries) }
+
+// Dropped returns how many entries garbage collection has removed.
+func (h *ServerHB) Dropped() int { return h.dropped }
+
+// Entries returns the live entries, oldest first. The slice is owned by the
+// buffer.
+func (h *ServerHB) Entries() []ServerEntry { return h.entries }
+
+// ConcurrentWith runs the simplified server check (formula 7) of an
+// operation newly arrived from site x (timestamp ta, join baseline
+// baselineX) against every buffered entry and returns the concurrent ones,
+// oldest first.
+func (h *ServerHB) ConcurrentWith(ta Timestamp, x int, baselineX uint64) []ServerEntry {
+	var out []ServerEntry
+	for i := range h.entries {
+		if h.concurrentAt(i, ta, x, baselineX) {
+			out = append(out, h.entries[i])
+		}
+	}
+	return out
+}
+
+// concurrentAt is formula (7) against entry i using the cached sum.
+func (h *ServerHB) concurrentAt(i int, ta Timestamp, x int, baselineX uint64) bool {
+	e := &h.entries[i]
+	var tbx uint64
+	if x < len(e.TS) {
+		tbx = e.TS[x]
+	}
+	return ConcurrentServerSum(ta, x, e.sum, tbx, e.Origin, baselineX)
+}
+
+// Compact garbage-collects entries no future arrival can be concurrent
+// with. An entry from origin y is needed while some *other* site x has
+// acknowledged fewer broadcasts than the entry's broadcast index toward x
+// (Σ_{j≠x} TS[j] − baseline_x). acked maps live site → highest T1 it has
+// sent; baselines maps site → its join baseline. It returns the number of
+// entries removed. Only a prefix is collected — the HB stays a suffix of the
+// execution order.
+func (h *ServerHB) Compact(acked map[int]uint64, baselines map[int]uint64) int {
+	cut := 0
+	for _, e := range h.entries {
+		needed := false
+		for x, a := range acked {
+			if x == e.Origin {
+				continue
+			}
+			// Entries already folded into x's join snapshot (broadcast
+			// index not past the baseline) were never sent to x at all.
+			if se := sumExceptVC(e.TS, x); se > baselines[x] && se-baselines[x] > a {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			break
+		}
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	h.entries = append(h.entries[:0], h.entries[cut:]...)
+	h.dropped += cut
+	return cut
+}

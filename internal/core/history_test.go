@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/vclock"
+)
+
+func TestClientHBConcurrentWith(t *testing.T) {
+	var hb ClientHB
+	hb.Add(ClientEntry{TS: Timestamp{0, 1}, Origin: OriginLocal, Ref: causal.OpRef{Site: 1, Seq: 1}})
+	hb.Add(ClientEntry{TS: Timestamp{1, 0}, Origin: OriginServer, Ref: causal.OpRef{Site: 0, Seq: 1}})
+	hb.Add(ClientEntry{TS: Timestamp{1, 2}, Origin: OriginLocal, Ref: causal.OpRef{Site: 1, Seq: 2}})
+
+	// Arrival with T2=1: only the local entry with T2=2 is concurrent.
+	conc := hb.ConcurrentWith(Timestamp{2, 1})
+	if len(conc) != 1 || conc[0].Ref != (causal.OpRef{Site: 1, Seq: 2}) {
+		t.Fatalf("concurrent set: %+v", conc)
+	}
+}
+
+func TestClientHBCompact(t *testing.T) {
+	var hb ClientHB
+	hb.Add(ClientEntry{TS: Timestamp{0, 1}, Origin: OriginLocal})
+	hb.Add(ClientEntry{TS: Timestamp{1, 0}, Origin: OriginServer})
+	hb.Add(ClientEntry{TS: Timestamp{1, 2}, Origin: OriginLocal})
+	n := hb.Compact(1) // local seq 1 acked; server entries always go
+	if n != 2 || hb.Len() != 1 || hb.Dropped() != 2 {
+		t.Fatalf("compact: removed %d, len %d, dropped %d", n, hb.Len(), hb.Dropped())
+	}
+	if hb.Entries()[0].TS != (Timestamp{1, 2}) {
+		t.Fatalf("survivor: %+v", hb.Entries()[0])
+	}
+}
+
+func TestServerHBConcurrentWith(t *testing.T) {
+	var hb ServerHB
+	hb.Add(ServerEntry{TS: vclock.VC{0, 0, 1, 0}, Origin: 2, Ref: causal.OpRef{Site: 0, Seq: 1}})
+	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 1, 0}, Origin: 1, Ref: causal.OpRef{Site: 0, Seq: 2}})
+
+	// §5: O4 from site 3 with [1,1] is concurrent with O1' only.
+	conc := hb.ConcurrentWith(Timestamp{1, 1}, 3, 0)
+	if len(conc) != 1 || conc[0].Ref != (causal.OpRef{Site: 0, Seq: 2}) {
+		t.Fatalf("concurrent set: %+v", conc)
+	}
+}
+
+func TestServerHBCompactPrefixOnly(t *testing.T) {
+	var hb ServerHB
+	// Three entries; site 2 has acked only the first (broadcast index 1).
+	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 0}, Origin: 1})
+	hb.Add(ServerEntry{TS: vclock.VC{0, 2, 0}, Origin: 1})
+	hb.Add(ServerEntry{TS: vclock.VC{0, 3, 0}, Origin: 1})
+	acked := map[int]uint64{1: 0, 2: 1}
+	baselines := map[int]uint64{1: 0, 2: 0}
+	n := hb.Compact(acked, baselines)
+	if n != 1 || hb.Len() != 2 {
+		t.Fatalf("compact: removed %d, len %d", n, hb.Len())
+	}
+	// Nothing more to collect on a second call.
+	if n := hb.Compact(acked, baselines); n != 0 {
+		t.Fatalf("second compact removed %d", n)
+	}
+}
+
+func TestServerHBCompactSkipsOriginSite(t *testing.T) {
+	var hb ServerHB
+	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 0}, Origin: 1})
+	// Site 1 is the origin: its own ack is irrelevant; only site 2 matters,
+	// and site 2 has seen broadcast 1.
+	n := hb.Compact(map[int]uint64{1: 0, 2: 1}, map[int]uint64{1: 0, 2: 0})
+	if n != 1 {
+		t.Fatalf("entry acked by all non-origin sites must be collectable, removed %d", n)
+	}
+}
+
+func TestServerHBCompactBaselineUnderflowGuard(t *testing.T) {
+	var hb ServerHB
+	// Entry from before site 2's join (broadcast sum 1 < baseline 5):
+	// site 2 got it via its snapshot, so it never blocks collection.
+	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 0}, Origin: 1})
+	n := hb.Compact(map[int]uint64{2: 0}, map[int]uint64{2: 5})
+	if n != 1 {
+		t.Fatalf("pre-join entry must be collectable, removed %d", n)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/doc"
+	"repro/internal/op"
+)
+
+// applyLoose executes an operation positionally against a document it may
+// not fit, clamping each primitive edit into range. This models what a
+// consistency-unaware site does with an untransformed remote operation
+// (paper §2.2: executing O2 in its original form at site 1 yields "A1DE")
+// and is used only by ModeRelay.
+func applyLoose(b doc.Buffer, o *op.Op) {
+	for _, p := range op.Positionals(o) {
+		n := b.Len()
+		pos := p.Pos
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > n {
+			pos = n
+		}
+		if p.Insert {
+			// Insert clamped to document bounds.
+			_ = b.Insert(pos, p.Text)
+			continue
+		}
+		count := p.Count
+		if pos+count > n {
+			count = n - pos
+		}
+		if count > 0 {
+			_ = b.Delete(pos, count)
+		}
+	}
+}

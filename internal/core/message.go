@@ -1,0 +1,87 @@
+package core
+
+import (
+	"repro/internal/causal"
+	"repro/internal/op"
+)
+
+// Mode selects whether the notifier transforms operations before relaying
+// them. ModeTransform is the paper's system; ModeRelay is the §6 ablation
+// ("if the notifier propagates operations as-is ... the causality
+// relationships among these operations would still remain N-dimensional"),
+// kept only to demonstrate experimentally that the compression then breaks.
+type Mode uint8
+
+// Notifier operating modes.
+const (
+	// ModeTransform: operations are transformed at site 0 before
+	// propagation (the paper's scheme).
+	ModeTransform Mode = iota
+	// ModeRelay: operations are propagated in their original forms
+	// (ablation E8; unsound by design).
+	ModeRelay
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeTransform {
+		return "transform"
+	}
+	return "relay"
+}
+
+// ClientMsg carries one locally generated operation from a client to the
+// notifier. Its timestamp is the client's 2-element state vector at
+// generation time (§3.3).
+type ClientMsg struct {
+	From int
+	Op   *op.Op
+	TS   Timestamp
+	// Ref is the operation's causal identity (From, per-site sequence).
+	Ref causal.OpRef
+}
+
+// ServerMsg carries one operation from the notifier to a client. In
+// ModeTransform the operation is the transformed form executed at site 0 — a
+// new operation causally generated there — and Ref names that site-0
+// operation; OrigRef records which client operation it was derived from. In
+// ModeRelay the operation and Ref are the original ones.
+type ServerMsg struct {
+	To int
+	Op *op.Op
+	// TS is the per-destination compressed timestamp (formulas 1–2).
+	TS      Timestamp
+	Ref     causal.OpRef
+	OrigRef causal.OpRef
+}
+
+// Snapshot initializes a joining client: the current document plus the
+// identifiers the engines need to continue the clocks from here. LocalOps
+// matters on rejoin: SV_0 is monotone, so a site that generated operations,
+// left, and rejoined under the same id must continue its local counter where
+// the notifier's count stands.
+type Snapshot struct {
+	Site     int
+	Text     string
+	LocalOps uint64
+}
+
+// Check records one concurrency decision made while integrating an arriving
+// operation: the buffered operation consulted and the verdict. The
+// validation harness replays these against the ground-truth oracle.
+type Check struct {
+	Arriving   causal.OpRef
+	Buffered   causal.OpRef
+	Concurrent bool
+}
+
+// IntegrationResult reports what an engine did with an arriving operation.
+type IntegrationResult struct {
+	// Executed is the form actually applied to the local document.
+	Executed *op.Op
+	// Checks are the concurrency decisions taken, one per history entry.
+	Checks []Check
+	// ConcurrentCount is the number of buffered operations found
+	// concurrent with the arrival.
+	ConcurrentCount int
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/op"
+)
+
+// Presence (telepointers): sharing each user's cursor/selection, a classic
+// groupware awareness feature (GROVE's group windows). Presence reports ride
+// the same FIFO links as operations, which makes the coordinate mapping
+// *exact* with the same machinery that integrates operations:
+//
+//   - a client reports its selection in local coordinates, stamped with its
+//     current 2-element state vector (no increment — presence is not an
+//     operation and never enters SV or HB);
+//   - the notifier walks the positions through the sender's unacknowledged
+//     bridge operations, producing server-context coordinates (FIFO
+//     guarantees every operation the sender had applied has arrived first);
+//   - each receiving client walks the positions through its own pending
+//     operations (FIFO guarantees it has integrated exactly the broadcasts
+//     sent before the presence report).
+//
+// Between reports, receivers keep remote selections current by transforming
+// them through every operation they execute.
+
+// PresenceMsg is a client → notifier presence report.
+type PresenceMsg struct {
+	From   int
+	TS     Timestamp // current state vector, NOT incremented
+	Anchor int
+	Head   int
+	Active bool // false clears the sender's presence
+}
+
+// PresenceOut is a notifier → client presence relay in server-context
+// coordinates.
+type PresenceOut struct {
+	To     int
+	From   int
+	Anchor int
+	Head   int
+	Active bool
+}
+
+// Presence builds a presence report for the client's current selection in
+// local coordinates.
+func (c *Client) Presence(anchor, head int, active bool) PresenceMsg {
+	n := c.buf.Len()
+	return PresenceMsg{
+		From:   c.site,
+		TS:     c.sv.Stamp(),
+		Anchor: clampIndex(anchor, n),
+		Head:   clampIndex(head, n),
+		Active: active,
+	}
+}
+
+// MapIncomingSelection maps a relayed selection (server-context
+// coordinates, received in FIFO order) into local coordinates by walking it
+// through the pending local operations.
+func (c *Client) MapIncomingSelection(anchor, head int) (int, int) {
+	sel := op.Selection{Anchor: anchor, Head: head}
+	for _, p := range c.pending {
+		sel = op.TransformSelection(p.op, sel, false)
+	}
+	n := c.buf.Len()
+	return clampIndex(sel.Anchor, n), clampIndex(sel.Head, n)
+}
+
+// RelayPresence validates and re-coordinates a presence report, returning
+// one relay per other joined site. Like operations, the report's T1
+// acknowledges broadcasts (FIFO makes that sound), pruning the sender's
+// bridge.
+func (s *Server) RelayPresence(m PresenceMsg) ([]PresenceOut, error) {
+	st, ok := s.clients[m.From]
+	if !ok || !st.joined {
+		return nil, fmt.Errorf("%w: presence from unknown site %d", ErrBadMessage, m.From)
+	}
+	if m.TS.T2 != s.sv.Of(m.From) {
+		return nil, fmt.Errorf("%w: site %d presence T2=%d but SV_0[%d]=%d (FIFO violated?)",
+			ErrBadMessage, m.From, m.TS.T2, m.From, s.sv.Of(m.From))
+	}
+	if m.TS.T1 > st.sent {
+		return nil, fmt.Errorf("%w: site %d presence acknowledges %d broadcasts, only %d sent",
+			ErrBadMessage, m.From, m.TS.T1, st.sent)
+	}
+	// Prune by the acknowledgement, then walk into server context.
+	i := 0
+	for i < len(st.bridge) && st.bridge[i].seq <= m.TS.T1 {
+		i++
+	}
+	st.bridge = st.bridge[i:]
+	if m.TS.T1 > st.acked {
+		st.acked = m.TS.T1
+	}
+	sel := op.Selection{Anchor: m.Anchor, Head: m.Head}
+	for _, b := range st.bridge {
+		sel = op.TransformSelection(b.op, sel, false)
+	}
+
+	dests := make([]int, 0, len(s.clients))
+	for dest := range s.clients {
+		dests = append(dests, dest)
+	}
+	sort.Ints(dests)
+	var out []PresenceOut
+	for _, dest := range dests {
+		dstState := s.clients[dest]
+		if dest == m.From || !dstState.joined {
+			continue
+		}
+		out = append(out, PresenceOut{
+			To: dest, From: m.From, Anchor: sel.Anchor, Head: sel.Head, Active: m.Active,
+		})
+	}
+	return out, nil
+}
+
+func clampIndex(x, n int) int {
+	if x < 0 {
+		return 0
+	}
+	if x > n {
+		return n
+	}
+	return x
+}

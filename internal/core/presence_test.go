@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// presencePair builds a quiesced two-client session over "hello brave world".
+func presencePair(t *testing.T) (*Server, *Client, *Client) {
+	t.Helper()
+	srv := NewServer("hello brave world", WithServerCompaction(0))
+	snap1, err := srv.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := srv.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, NewClient(1, snap1.Text, WithClientCompaction(0)),
+		NewClient(2, snap2.Text, WithClientCompaction(0))
+}
+
+// selText extracts the text a selection covers.
+func selText(t *testing.T, doc string, a, h int) string {
+	t.Helper()
+	rs := []rune(doc)
+	if a > h {
+		a, h = h, a
+	}
+	if a < 0 || h > len(rs) {
+		t.Fatalf("selection [%d,%d) out of range of %q", a, h, doc)
+	}
+	return string(rs[a:h])
+}
+
+func TestPresenceQuiescedExact(t *testing.T) {
+	srv, c1, c2 := presencePair(t)
+	// c1 selects "brave" (runes 6..11).
+	pm := c1.Presence(6, 11, true)
+	if pm.TS != (Timestamp{0, 0}) {
+		t.Fatalf("presence TS %v (must not increment)", pm.TS)
+	}
+	outs, err := srv.RelayPresence(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].To != 2 {
+		t.Fatalf("relays: %+v", outs)
+	}
+	a, h := c2.MapIncomingSelection(outs[0].Anchor, outs[0].Head)
+	if got := selText(t, c2.Text(), a, h); got != "brave" {
+		t.Fatalf("mapped selection covers %q", got)
+	}
+}
+
+// TestPresenceFIFOOrder is the hard case: the sender has an unacknowledged
+// local edit, the server has an unrelayed operation in the sender's bridge,
+// and the receiver has a pending local edit of its own — all messages
+// delivered in link (FIFO) order. The mapped selection must still cover the
+// same word.
+func TestPresenceFIFOOrder(t *testing.T) {
+	srv, c1, c2 := presencePair(t)
+
+	// c2's edit reaches the server; broadcast to c1 is still in flight.
+	m2, err := c2.Insert(0, "(c2) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast, _, err := srv.Receive(ClientMsg{From: m2.From, Op: m2.Op, TS: m2.TS, Ref: m2.Ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	toC1 := bcast[0]
+
+	// c1 edits locally, selects "brave", and both messages travel the
+	// up-link in order: the operation, then the presence report.
+	if _, err := c1.Insert(0, ">> "); err != nil {
+		t.Fatal(err)
+	}
+	m1 := lastLocalMsg(t, c1)
+	pm := c1.Presence(9, 14, true) // "brave" in ">> hello brave world"
+	if got := selText(t, c1.Text(), 9, 14); got != "brave" {
+		t.Fatalf("setup: %q", got)
+	}
+
+	// c2 has its own pending edit.
+	if _, err := c2.Insert(c2.DocLen(), " [tail]"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server: op first (FIFO), then presence.
+	b1, _, err := srv.Receive(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := srv.RelayPresence(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// c2: its down-link delivers c1's transformed op, then the presence.
+	for _, bm := range b1 {
+		if bm.To == 2 {
+			if _, err := c2.Integrate(bm); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var rel *PresenceOut
+	for i := range outs {
+		if outs[i].To == 2 {
+			rel = &outs[i]
+		}
+	}
+	if rel == nil {
+		t.Fatalf("no relay to c2: %+v", outs)
+	}
+	a, h := c2.MapIncomingSelection(rel.Anchor, rel.Head)
+	if got := selText(t, c2.Text(), a, h); got != "brave" {
+		t.Fatalf("mapped selection covers %q in %q", got, c2.Text())
+	}
+
+	// And c1 still converges normally afterwards.
+	if _, err := c1.Integrate(toC1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lastLocalMsg rebuilds the ClientMsg for the client's newest local op from
+// its history buffer (test convenience).
+func lastLocalMsg(t *testing.T, c *Client) ClientMsg {
+	t.Helper()
+	entries := c.History().Entries()
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Origin == OriginLocal {
+			return ClientMsg{From: c.Site(), Op: entries[i].Op, TS: entries[i].TS, Ref: entries[i].Ref}
+		}
+	}
+	t.Fatal("no local op in history")
+	return ClientMsg{}
+}
+
+func TestPresenceErrors(t *testing.T) {
+	srv, c1, _ := presencePair(t)
+	// Unknown site.
+	if _, err := srv.RelayPresence(PresenceMsg{From: 9}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("unknown site: %v", err)
+	}
+	// FIFO violation: presence claiming ops the server has not seen.
+	pm := c1.Presence(0, 0, true)
+	pm.TS.T2 = 5
+	if _, err := srv.RelayPresence(pm); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("T2 overrun: %v", err)
+	}
+	pm = c1.Presence(0, 0, true)
+	pm.TS.T1 = 5
+	if _, err := srv.RelayPresence(pm); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("T1 overrun: %v", err)
+	}
+}
+
+func TestPresenceClampsOutOfRange(t *testing.T) {
+	_, c1, _ := presencePair(t)
+	pm := c1.Presence(-5, 10000, true)
+	if pm.Anchor != 0 || pm.Head != c1.DocLen() {
+		t.Fatalf("clamping: %+v", pm)
+	}
+	a, h := c1.MapIncomingSelection(-3, 10000)
+	if a != 0 || h != c1.DocLen() {
+		t.Fatalf("incoming clamp: %d %d", a, h)
+	}
+}
+
+func TestPresenceInactiveRelays(t *testing.T) {
+	srv, c1, _ := presencePair(t)
+	outs, err := srv.RelayPresence(c1.Presence(0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Active {
+		t.Fatalf("inactive relay: %+v", outs)
+	}
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/causal"
+	"repro/internal/doc"
+	"repro/internal/op"
+	"repro/internal/trace"
+)
+
+// Server is the engine of the notifier (site 0, the center of the star in
+// paper Fig. 1). It maintains a full copy of the shared document, the full
+// N-element state vector SV_0, the history buffer with full-vector
+// timestamps, and one outgoing bridge per client for context-correct
+// transformation.
+//
+// For every operation received from site x it:
+//
+//  1. detects concurrent buffered operations with formula (7);
+//  2. transforms the operation into its own context and executes it — the
+//     transformed operation is a *new* operation generated at site 0;
+//  3. re-timestamps it per destination with formulas (1)–(2) and returns
+//     the broadcast messages (everyone but x).
+//
+// Like Client, the engine is synchronous; transports serialize calls.
+type Server struct {
+	mode Mode
+	sv   *ServerSV
+	buf  doc.Buffer
+	hb   ServerHB
+
+	serverSeq uint64 // operations executed at site 0 (its generation counter)
+
+	clients map[int]*clientState
+
+	compactEvery int
+	sinceCompact int
+
+	// metrics, when non-nil, receives engine counters.
+	metrics *trace.Metrics
+}
+
+// clientState is the per-client bookkeeping at the notifier.
+type clientState struct {
+	joined bool
+	// baseline is Σ SV_0 at join time: operations already folded into the
+	// joiner's snapshot (zero for founding members).
+	baseline uint64
+	// sent counts broadcasts to this client; equals SumExcept(site) −
+	// baseline at all times (asserted in tests).
+	sent uint64
+	// acked is the highest T1 received from this client.
+	acked uint64
+	// bridge holds broadcasts sent but not yet acknowledged, rebased so an
+	// incoming client operation can be walked into server context.
+	bridge []bridgeOp
+}
+
+type bridgeOp struct {
+	seq uint64 // broadcast index toward this client (1-based)
+	op  *op.Op
+	ref causal.OpRef
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerBuffer substitutes the document implementation (default: rope).
+func WithServerBuffer(b doc.Buffer) ServerOption {
+	return func(s *Server) { s.buf = b }
+}
+
+// WithServerMode sets the operating mode (default: ModeTransform).
+func WithServerMode(m Mode) ServerOption {
+	return func(s *Server) { s.mode = m }
+}
+
+// WithServerCompaction enables automatic history compaction every n
+// received operations (default 64; 0 disables).
+func WithServerCompaction(n int) ServerOption {
+	return func(s *Server) { s.compactEvery = n }
+}
+
+// WithServerMetrics attaches a metrics sink counting received operations,
+// concurrency checks, and transformations.
+func WithServerMetrics(m *trace.Metrics) ServerOption {
+	return func(s *Server) { s.metrics = m }
+}
+
+// count increments a counter when a sink is attached.
+func (s *Server) count(name string, delta int64) {
+	if s.metrics != nil {
+		s.metrics.Inc(name, delta)
+	}
+}
+
+// NewServer returns a notifier initialized with the given document.
+func NewServer(initial string, opts ...ServerOption) *Server {
+	s := &Server{
+		sv:           NewServerSV(0),
+		clients:      make(map[int]*clientState),
+		compactEvery: 64,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.buf == nil {
+		s.buf = doc.NewRope(initial)
+	}
+	return s
+}
+
+// Mode returns the operating mode.
+func (s *Server) Mode() Mode { return s.mode }
+
+// Text returns the notifier's copy of the document.
+func (s *Server) Text() string { return s.buf.String() }
+
+// SV returns a copy-backed view of the full state vector.
+func (s *Server) SV() *ServerSV { return s.sv }
+
+// History exposes the notifier's history buffer.
+func (s *Server) History() *ServerHB { return &s.hb }
+
+// Sites returns the ids of all joined sites, in no particular order.
+func (s *Server) Sites() []int {
+	out := make([]int, 0, len(s.clients))
+	for id, st := range s.clients {
+		if st.joined {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SentTo returns the number of broadcasts sent to site since it joined.
+func (s *Server) SentTo(site int) uint64 {
+	if st, ok := s.clients[site]; ok && st.joined {
+		return st.sent
+	}
+	return 0
+}
+
+// BridgeLen returns the number of unacknowledged broadcasts toward site
+// (used by GC and memory tests).
+func (s *Server) BridgeLen(site int) int {
+	if st, ok := s.clients[site]; ok {
+		return len(st.bridge)
+	}
+	return 0
+}
+
+// Join registers site and returns the snapshot it must initialize from. A
+// founding member joining before any operation flows has baseline zero; a
+// late joiner's snapshot carries the current document, and its compressed
+// clock starts fresh relative to that snapshot.
+func (s *Server) Join(site int) (Snapshot, error) {
+	if site < 1 {
+		return Snapshot{}, fmt.Errorf("%w: site ids start at 1", ErrBadMessage)
+	}
+	if st, ok := s.clients[site]; ok && st.joined {
+		return Snapshot{}, fmt.Errorf("%w: site %d already joined", ErrBadMessage, site)
+	}
+	if st, ok := s.clients[site]; ok && !st.joined {
+		// Rejoining after a leave: the site id keeps its operation counts
+		// (SV_0 is monotone) but restarts from a fresh snapshot. The
+		// baseline excludes the site's own counter — T1 counts broadcasts
+		// toward it, which its own operations never contribute to.
+		st.joined = true
+		st.baseline = s.sv.SumExcept(site)
+		st.sent = 0
+		st.acked = 0
+		st.bridge = nil
+		return Snapshot{Site: site, Text: s.buf.String(), LocalOps: s.sv.Of(site)}, nil
+	}
+	s.sv.Grow(site)
+	s.clients[site] = &clientState{joined: true, baseline: s.sv.SumExcept(site)}
+	return Snapshot{Site: site, Text: s.buf.String(), LocalOps: s.sv.Of(site)}, nil
+}
+
+// Leave deregisters a site. Its counters remain in SV_0 — the compression
+// sums must keep counting its past operations.
+func (s *Server) Leave(site int) error {
+	st, ok := s.clients[site]
+	if !ok || !st.joined {
+		return fmt.Errorf("%w: site %d not joined", ErrBadMessage, site)
+	}
+	st.joined = false
+	st.bridge = nil
+	return nil
+}
+
+// Precheck validates an incoming operation against the engine's state
+// without applying it: the site must be joined and the timestamps must
+// respect the FIFO discipline. A message that passes Precheck will be
+// accepted by Receive (absent engine bugs) — persistence layers use this to
+// write-ahead-log only acceptable operations.
+func (s *Server) Precheck(m ClientMsg) error {
+	st, ok := s.clients[m.From]
+	if !ok || !st.joined {
+		return fmt.Errorf("%w: operation from unknown site %d", ErrBadMessage, m.From)
+	}
+	if m.Op == nil {
+		return fmt.Errorf("%w: nil op from site %d", ErrBadMessage, m.From)
+	}
+	if m.TS.T2 != s.sv.Of(m.From)+1 {
+		return fmt.Errorf("%w: site %d op T2=%d but SV_0[%d]=%d (FIFO violated?)",
+			ErrBadMessage, m.From, m.TS.T2, m.From, s.sv.Of(m.From))
+	}
+	if m.TS.T1 > st.sent {
+		return fmt.Errorf("%w: site %d acknowledges %d broadcasts, only %d sent",
+			ErrBadMessage, m.From, m.TS.T1, st.sent)
+	}
+	return nil
+}
+
+// Receive processes one operation from a client and returns the broadcast
+// messages for every other joined client, plus the integration report.
+func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
+	if err := s.Precheck(m); err != nil {
+		return nil, IntegrationResult{}, err
+	}
+	st := s.clients[m.From]
+
+	// Formula (7) against every buffered operation (O(1) per entry via the
+	// cached Σ TS).
+	res := IntegrationResult{}
+	for i, e := range s.hb.Entries() {
+		conc := s.hb.concurrentAt(i, m.TS, m.From, st.baseline)
+		res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
+		if conc {
+			res.ConcurrentCount++
+		}
+	}
+
+	exec := m.Op
+	if s.mode == ModeTransform {
+		// Prune the bridge with the client's acknowledgement, then walk
+		// the operation into server context.
+		i := 0
+		for i < len(st.bridge) && st.bridge[i].seq <= m.TS.T1 {
+			i++
+		}
+		st.bridge = st.bridge[i:]
+		var err error
+		for j := range st.bridge {
+			st.bridge[j].op, exec, err = op.Transform(st.bridge[j].op, exec)
+			if err != nil {
+				return nil, IntegrationResult{}, fmt.Errorf("core: server transform: %w", err)
+			}
+		}
+		s.count(trace.CTransforms, int64(len(st.bridge)))
+		if err := doc.Apply(s.buf, exec); err != nil {
+			return nil, IntegrationResult{}, fmt.Errorf("core: server apply: %w", err)
+		}
+	} else {
+		applyLoose(s.buf, exec)
+	}
+	if m.TS.T1 > st.acked {
+		st.acked = m.TS.T1
+	}
+
+	// Execution complete: count the operation (§3.2) and buffer the
+	// executed form with the full state vector (§3.3).
+	s.sv.Inc(m.From)
+	s.serverSeq++
+	ref := causal.OpRef{Site: 0, Seq: s.serverSeq}
+	if s.mode == ModeRelay {
+		// Without transformation the relayed operation keeps its original
+		// causal identity — nothing new is generated at site 0.
+		ref = m.Ref
+	}
+	s.hb.Add(ServerEntry{Op: exec, TS: s.sv.Full(), Origin: m.From, Ref: ref})
+	res.Executed = exec
+	s.count(trace.COpsIntegrated, 1)
+	s.count(trace.CConcurrencyChecks, int64(len(res.Checks)))
+	s.count(trace.CConcurrentPairs, int64(res.ConcurrentCount))
+
+	// Broadcast to everyone except the originator, each with its own
+	// compressed timestamp (formulas 1–2) — the operation itself is
+	// identical for all destinations, only the two integers differ (§3.3).
+	// Destinations are sorted so simulations are deterministic.
+	dests := make([]int, 0, len(s.clients))
+	for dest := range s.clients {
+		dests = append(dests, dest)
+	}
+	sort.Ints(dests)
+	var out []ServerMsg
+	for _, dest := range dests {
+		dstState := s.clients[dest]
+		if dest == m.From || !dstState.joined {
+			continue
+		}
+		dstState.sent++
+		// Safe to share exec across bridges and the broadcast: engine code
+		// never mutates a built operation (Transform returns fresh ops).
+		dstState.bridge = append(dstState.bridge, bridgeOp{seq: dstState.sent, op: exec, ref: ref})
+		out = append(out, ServerMsg{
+			To:      dest,
+			Op:      exec,
+			TS:      s.sv.Compress(dest, dstState.baseline),
+			Ref:     ref,
+			OrigRef: m.Ref,
+		})
+	}
+
+	if s.compactEvery > 0 {
+		s.sinceCompact++
+		if s.sinceCompact >= s.compactEvery {
+			s.sinceCompact = 0
+			s.Compact()
+		}
+	}
+	return out, res, nil
+}
+
+// Compact garbage-collects the history buffer using the latest
+// acknowledgements from all joined sites; returns entries removed.
+func (s *Server) Compact() int {
+	acked := make(map[int]uint64, len(s.clients))
+	baselines := make(map[int]uint64, len(s.clients))
+	for id, st := range s.clients {
+		if !st.joined {
+			continue
+		}
+		acked[id] = st.acked
+		baselines[id] = st.baseline
+	}
+	return s.hb.Compact(acked, baselines)
+}
+
+// checkInvariants verifies internal bookkeeping identities; test-only (via
+// export_test.go) but kept on the engine so integration tests can call it
+// after every step.
+func (s *Server) checkInvariants() error {
+	for id, st := range s.clients {
+		if !st.joined {
+			continue
+		}
+		want := s.sv.SumExcept(id) - st.baseline
+		if st.sent != want {
+			return fmt.Errorf("core: site %d: sent=%d but SumExcept-baseline=%d", id, st.sent, want)
+		}
+		if uint64(len(st.bridge)) > st.sent {
+			return fmt.Errorf("core: site %d: bridge %d > sent %d", id, len(st.bridge), st.sent)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func undoPair(t *testing.T) (*Server, *Client, *Client) {
+	t.Helper()
+	srv := NewServer("base text", WithServerCompaction(0))
+	snap1, err := srv.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := srv.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewClient(1, snap1.Text, WithClientUndo())
+	c2 := NewClient(2, snap2.Text, WithClientUndo())
+	return srv, c1, c2
+}
+
+// pumpMsg routes one client message through the server to the other client.
+func pumpMsg(t *testing.T, srv *Server, m ClientMsg, others ...*Client) {
+	t.Helper()
+	bcast, _, err := srv.Receive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bm := range bcast {
+		for _, c := range others {
+			if c.Site() == bm.To {
+				if _, err := c.Integrate(bm); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestUndoSimple(t *testing.T) {
+	_, c1, _ := undoPair(t)
+	if _, err := c1.Insert(0, ">> "); err != nil {
+		t.Fatal(err)
+	}
+	if c1.UndoDepth() != 1 {
+		t.Fatalf("depth %d", c1.UndoDepth())
+	}
+	if _, err := c1.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Text() != "base text" {
+		t.Fatalf("after undo: %q", c1.Text())
+	}
+}
+
+func TestUndoIsRedoable(t *testing.T) {
+	_, c1, _ := undoPair(t)
+	if _, err := c1.Insert(9, "!"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Undo(); err != nil { // undo the undo = redo
+		t.Fatal(err)
+	}
+	if c1.Text() != "base text!" {
+		t.Fatalf("after redo: %q", c1.Text())
+	}
+}
+
+func TestUndoNothing(t *testing.T) {
+	_, c1, _ := undoPair(t)
+	if _, err := c1.Undo(); !errors.Is(err, ErrNothingToUndo) {
+		t.Fatalf("want ErrNothingToUndo, got %v", err)
+	}
+	plain := NewClient(9, "")
+	if _, err := plain.Undo(); !errors.Is(err, ErrNothingToUndo) {
+		t.Fatalf("undo without tracking: %v", err)
+	}
+}
+
+// TestUndoAfterRemoteEdits: the undo must remove exactly the original
+// operation's effect even when remote operations landed after it.
+func TestUndoAfterRemoteEdits(t *testing.T) {
+	srv, c1, c2 := undoPair(t)
+
+	m1, err := c1.Insert(0, "XXX ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpMsg(t, srv, m1, c2)
+
+	// c2 edits around (before and after) the region c1 inserted.
+	m2, err := c2.Insert(0, "(head) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpMsg(t, srv, m2, c1)
+	m3, err := c2.Insert(c2.DocLen(), " (tail)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpMsg(t, srv, m3, c1)
+
+	if c1.Text() != "(head) XXX base text (tail)" {
+		t.Fatalf("setup: %q", c1.Text())
+	}
+
+	mu, err := c1.Undo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpMsg(t, srv, mu, c2)
+
+	want := "(head) base text (tail)"
+	if c1.Text() != want || c2.Text() != want || srv.Text() != want {
+		t.Fatalf("after undo: %q / %q / %q", c1.Text(), c2.Text(), srv.Text())
+	}
+}
+
+// TestUndoWithConcurrentRemote: undo generated while a concurrent remote op
+// is still in flight; everyone must converge and only the undone text
+// disappears.
+func TestUndoWithConcurrentRemote(t *testing.T) {
+	srv, c1, c2 := undoPair(t)
+
+	m1, err := c1.Insert(0, "AAA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := c1.Undo() // undo before even reaching the server
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c2.Insert(9, " BBB") // concurrent with both
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pumpMsg(t, srv, m1, c2)
+	pumpMsg(t, srv, m2, c1)
+	pumpMsg(t, srv, mu, c2)
+
+	want := "base text BBB"
+	if c1.Text() != want || c2.Text() != want || srv.Text() != want {
+		t.Fatalf("convergence after in-flight undo: %q / %q / %q",
+			c1.Text(), c2.Text(), srv.Text())
+	}
+}
+
+func TestUndoDeleteRestoresText(t *testing.T) {
+	srv, c1, c2 := undoPair(t)
+	m1, err := c1.Delete(0, 5) // "text"... deletes "base "
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpMsg(t, srv, m1, c2)
+	if c1.Text() != "text" {
+		t.Fatalf("after delete: %q", c1.Text())
+	}
+	mu, err := c1.Undo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pumpMsg(t, srv, mu, c2)
+	if c1.Text() != "base text" || c2.Text() != "base text" {
+		t.Fatalf("undo of delete: %q / %q", c1.Text(), c2.Text())
+	}
+}
+
+func TestUndoEnablingDisablesCompaction(t *testing.T) {
+	c := NewClient(1, "", WithClientCompaction(4), WithClientUndo())
+	if c.compactEvery != 0 {
+		t.Fatal("undo must disable compaction")
+	}
+}

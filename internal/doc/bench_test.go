@@ -1,0 +1,84 @@
+package doc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// benchEdits applies mixed random edits to b. The document size is held in
+// a steady-state band so per-op cost does not depend on b.N (a growing
+// working set would make the benchmark framework's adaptive iteration count
+// meaningless).
+func benchEdits(bench *testing.B, buf Buffer, clustered bool) {
+	r := rand.New(rand.NewSource(7))
+	base := buf.Len()
+	lo, hi := base-base/10, base+base/10
+	cursor := base / 2
+	bench.ResetTimer()
+	for i := 0; i < bench.N; i++ {
+		n := buf.Len()
+		pos := 0
+		if clustered {
+			pos = cursor + r.Intn(5) - 2
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > n {
+				pos = n
+			}
+		} else if n > 0 {
+			pos = r.Intn(n + 1)
+		}
+		insert := n == 0 || r.Intn(2) == 0
+		if n <= lo {
+			insert = true
+		} else if n >= hi {
+			insert = false
+		}
+		if insert {
+			if err := buf.Insert(pos, "ab"); err != nil {
+				bench.Fatal(err)
+			}
+			cursor = pos + 2
+		} else {
+			if pos >= n-1 {
+				pos = n - 2
+			}
+			if err := buf.Delete(pos, 2); err != nil {
+				bench.Fatal(err)
+			}
+			cursor = pos
+		}
+	}
+}
+
+func seedText() string { return strings.Repeat("the quick brown fox ", 5000) } // 100k runes
+
+func BenchmarkRopeRandomEdits(b *testing.B)      { benchEdits(b, NewRope(seedText()), false) }
+func BenchmarkGapRandomEdits(b *testing.B)       { benchEdits(b, NewGapBuffer(seedText()), false) }
+func BenchmarkSimpleRandomEdits(b *testing.B)    { benchEdits(b, NewSimple(seedText()), false) }
+func BenchmarkRopeClusteredEdits(b *testing.B)   { benchEdits(b, NewRope(seedText()), true) }
+func BenchmarkGapClusteredEdits(b *testing.B)    { benchEdits(b, NewGapBuffer(seedText()), true) }
+func BenchmarkSimpleClusteredEdits(b *testing.B) { benchEdits(b, NewSimple(seedText()), true) }
+
+func BenchmarkRopeSlice(b *testing.B) {
+	rope := NewRope(seedText())
+	n := rope.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rope.Slice(n/3, n/3+100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRopeString(b *testing.B) {
+	rope := NewRope(seedText())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(rope.String()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

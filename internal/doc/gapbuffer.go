@@ -1,0 +1,102 @@
+package doc
+
+import "fmt"
+
+// GapBuffer is a Buffer backed by a gap buffer: a contiguous rune array with
+// a movable hole at the edit point. Edits clustered around one position — the
+// dominant pattern for a human typist (paper §2: high responsiveness for
+// local operations) — cost amortized O(1); moving the gap costs O(distance).
+type GapBuffer struct {
+	buf      []rune
+	gapStart int
+	gapEnd   int // gap occupies buf[gapStart:gapEnd]
+}
+
+// NewGapBuffer returns a GapBuffer initialized with s.
+func NewGapBuffer(s string) *GapBuffer {
+	rs := []rune(s)
+	const initialGap = 64
+	buf := make([]rune, len(rs)+initialGap)
+	copy(buf, rs)
+	return &GapBuffer{buf: buf, gapStart: len(rs), gapEnd: len(buf)}
+}
+
+// Len implements Buffer.
+func (g *GapBuffer) Len() int { return len(g.buf) - (g.gapEnd - g.gapStart) }
+
+func (g *GapBuffer) gapLen() int { return g.gapEnd - g.gapStart }
+
+// moveGap relocates the gap so it starts at rune index pos.
+func (g *GapBuffer) moveGap(pos int) {
+	switch {
+	case pos < g.gapStart:
+		n := g.gapStart - pos
+		copy(g.buf[g.gapEnd-n:g.gapEnd], g.buf[pos:g.gapStart])
+		g.gapStart = pos
+		g.gapEnd -= n
+	case pos > g.gapStart:
+		n := pos - g.gapStart
+		copy(g.buf[g.gapStart:], g.buf[g.gapEnd:g.gapEnd+n])
+		g.gapStart += n
+		g.gapEnd += n
+	}
+}
+
+// grow enlarges the gap to at least need free runes.
+func (g *GapBuffer) grow(need int) {
+	if g.gapLen() >= need {
+		return
+	}
+	newCap := len(g.buf)*2 + need
+	nb := make([]rune, newCap)
+	copy(nb, g.buf[:g.gapStart])
+	tail := g.buf[g.gapEnd:]
+	copy(nb[newCap-len(tail):], tail)
+	g.gapEnd = newCap - len(tail)
+	g.buf = nb
+}
+
+// Insert implements Buffer.
+func (g *GapBuffer) Insert(pos int, s string) error {
+	if pos < 0 || pos > g.Len() {
+		return fmt.Errorf("gapbuffer insert at %d of %d: %w", pos, g.Len(), ErrRange)
+	}
+	rs := []rune(s)
+	g.grow(len(rs))
+	g.moveGap(pos)
+	copy(g.buf[g.gapStart:], rs)
+	g.gapStart += len(rs)
+	return nil
+}
+
+// Delete implements Buffer.
+func (g *GapBuffer) Delete(pos, n int) error {
+	if pos < 0 || n < 0 || pos+n > g.Len() {
+		return fmt.Errorf("gapbuffer delete [%d,%d) of %d: %w", pos, pos+n, g.Len(), ErrRange)
+	}
+	g.moveGap(pos)
+	g.gapEnd += n
+	return nil
+}
+
+// Slice implements Buffer.
+func (g *GapBuffer) Slice(i, j int) (string, error) {
+	if i < 0 || j < i || j > g.Len() {
+		return "", fmt.Errorf("gapbuffer slice [%d,%d) of %d: %w", i, j, g.Len(), ErrRange)
+	}
+	out := make([]rune, 0, j-i)
+	for p := i; p < j; p++ {
+		idx := p
+		if idx >= g.gapStart {
+			idx += g.gapLen()
+		}
+		out = append(out, g.buf[idx])
+	}
+	return string(out), nil
+}
+
+// String implements Buffer.
+func (g *GapBuffer) String() string {
+	s, _ := g.Slice(0, g.Len())
+	return s
+}

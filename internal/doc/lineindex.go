@@ -1,0 +1,114 @@
+package doc
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+)
+
+// LineIndex maps rune offsets to (line, column) positions and back, and is
+// maintained *incrementally* through operations — an editor front-end keeps
+// one alongside its replica so it never rescans the document after an edit.
+// Lines and columns are 0-based; a line ends at a '\n' (which belongs to the
+// line it terminates).
+type LineIndex struct {
+	// starts holds the rune offset of each line's first rune; starts[0] is
+	// always 0 (even for an empty document, which has one empty line).
+	starts []int
+	length int
+}
+
+// NewLineIndex builds the index for text.
+func NewLineIndex(text string) *LineIndex {
+	ix := &LineIndex{starts: []int{0}}
+	for _, r := range text {
+		ix.length++
+		if r == '\n' {
+			ix.starts = append(ix.starts, ix.length)
+		}
+	}
+	return ix
+}
+
+// Len returns the indexed document length in runes.
+func (ix *LineIndex) Len() int { return ix.length }
+
+// Lines returns the number of lines (at least 1).
+func (ix *LineIndex) Lines() int { return len(ix.starts) }
+
+// LineCol converts a rune offset (0..Len) to a (line, column) pair.
+func (ix *LineIndex) LineCol(offset int) (line, col int, err error) {
+	if offset < 0 || offset > ix.length {
+		return 0, 0, fmt.Errorf("lineindex: offset %d of %d: %w", offset, ix.length, ErrRange)
+	}
+	// Binary search the greatest start <= offset.
+	lo, hi := 0, len(ix.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if ix.starts[mid] <= offset {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, offset - ix.starts[lo], nil
+}
+
+// Offset converts a (line, column) pair to a rune offset. The column may
+// address the position just past the line's last rune.
+func (ix *LineIndex) Offset(line, col int) (int, error) {
+	if line < 0 || line >= len(ix.starts) || col < 0 {
+		return 0, fmt.Errorf("lineindex: line %d col %d: %w", line, col, ErrRange)
+	}
+	end := ix.length
+	if line+1 < len(ix.starts) {
+		end = ix.starts[line+1] - 1 // before the terminating '\n'
+	}
+	off := ix.starts[line] + col
+	if off > end {
+		return 0, fmt.Errorf("lineindex: line %d col %d past line end %d: %w",
+			line, col, end-ix.starts[line], ErrRange)
+	}
+	return off, nil
+}
+
+// Apply updates the index through an operation (the same op applied to the
+// document), in O(lines + op components).
+func (ix *LineIndex) Apply(o *op.Op) error {
+	if o.BaseLen() != ix.length {
+		return fmt.Errorf("lineindex: op base %d, index %d: %w", o.BaseLen(), ix.length, op.ErrLengthMismatch)
+	}
+	newStarts := []int{0}
+	oldPos := 0 // position in the old document
+	newPos := 0 // position in the new document
+	si := 1     // next old start to consider (starts[0] is implicit)
+
+	for _, c := range o.Comps() {
+		switch c.Kind {
+		case op.KRetain:
+			// Old starts inside (oldPos, oldPos+N] survive, shifted.
+			for si < len(ix.starts) && ix.starts[si] <= oldPos+c.N {
+				newStarts = append(newStarts, ix.starts[si]+newPos-oldPos)
+				si++
+			}
+			oldPos += c.N
+			newPos += c.N
+		case op.KInsert:
+			for _, r := range c.S {
+				newPos++
+				if r == '\n' {
+					newStarts = append(newStarts, newPos)
+				}
+			}
+		case op.KDelete:
+			// Old starts inside the deleted range vanish.
+			for si < len(ix.starts) && ix.starts[si] <= oldPos+c.N {
+				si++
+			}
+			oldPos += c.N
+		}
+	}
+	ix.starts = newStarts
+	ix.length = o.TargetLen()
+	return nil
+}

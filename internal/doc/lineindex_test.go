@@ -1,0 +1,166 @@
+package doc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/op"
+)
+
+func TestLineIndexBasics(t *testing.T) {
+	ix := NewLineIndex("ab\ncd\n\nxyz")
+	if ix.Lines() != 4 || ix.Len() != 10 {
+		t.Fatalf("lines %d len %d", ix.Lines(), ix.Len())
+	}
+	cases := []struct{ off, line, col int }{
+		{0, 0, 0}, {2, 0, 2}, {3, 1, 0}, {5, 1, 2}, {6, 2, 0}, {7, 3, 0}, {10, 3, 3},
+	}
+	for _, c := range cases {
+		line, col, err := ix.LineCol(c.off)
+		if err != nil || line != c.line || col != c.col {
+			t.Fatalf("LineCol(%d) = (%d,%d,%v), want (%d,%d)", c.off, line, col, err, c.line, c.col)
+		}
+		back, err := ix.Offset(c.line, c.col)
+		if err != nil || back != c.off {
+			t.Fatalf("Offset(%d,%d) = %d,%v want %d", c.line, c.col, back, err, c.off)
+		}
+	}
+}
+
+func TestLineIndexEmpty(t *testing.T) {
+	ix := NewLineIndex("")
+	if ix.Lines() != 1 || ix.Len() != 0 {
+		t.Fatalf("empty: %d lines, %d len", ix.Lines(), ix.Len())
+	}
+	if l, c, err := ix.LineCol(0); err != nil || l != 0 || c != 0 {
+		t.Fatalf("LineCol(0): %d %d %v", l, c, err)
+	}
+}
+
+func TestLineIndexErrors(t *testing.T) {
+	ix := NewLineIndex("ab\ncd")
+	if _, _, err := ix.LineCol(6); !errors.Is(err, ErrRange) {
+		t.Fatalf("offset past end: %v", err)
+	}
+	if _, err := ix.Offset(5, 0); !errors.Is(err, ErrRange) {
+		t.Fatalf("bad line: %v", err)
+	}
+	if _, err := ix.Offset(0, 3); !errors.Is(err, ErrRange) {
+		t.Fatalf("col past line end (into the newline): %v", err)
+	}
+	if _, err := ix.Offset(1, 2); err != nil {
+		t.Fatalf("col at end of last line must be fine: %v", err)
+	}
+	bad := op.New().Retain(99)
+	if err := ix.Apply(bad); !errors.Is(err, op.ErrLengthMismatch) {
+		t.Fatalf("length mismatch: %v", err)
+	}
+}
+
+func TestLineIndexApplyCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		text  string
+		build func(n int) *op.Op
+	}{
+		{"insert-newline-mid", "ab\ncd", func(n int) *op.Op {
+			return op.New().Retain(1).Insert("X\nY").Retain(n - 1)
+		}},
+		{"delete-newline", "ab\ncd", func(n int) *op.Op {
+			return op.New().Retain(2).Delete(1).Retain(n - 3)
+		}},
+		{"delete-across-lines", "ab\ncd\nef", func(n int) *op.Op {
+			return op.New().Retain(1).Delete(5).Retain(n - 6)
+		}},
+		{"append-newline", "ab", func(n int) *op.Op {
+			return op.New().Retain(n).Insert("\n")
+		}},
+		{"prepend-newline", "ab", func(n int) *op.Op {
+			return op.New().Insert("\n").Retain(n)
+		}},
+		{"delete-all", "a\nb\nc", func(n int) *op.Op {
+			return op.New().Delete(n)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := NewLineIndex(tc.text)
+			o := tc.build(len([]rune(tc.text)))
+			if err := ix.Apply(o); err != nil {
+				t.Fatal(err)
+			}
+			after, err := o.ApplyString(tc.text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := NewLineIndex(after)
+			if ix.Lines() != want.Lines() || ix.Len() != want.Len() {
+				t.Fatalf("incremental (%d lines, %d len) vs rebuilt (%d, %d) for %q",
+					ix.Lines(), ix.Len(), want.Lines(), want.Len(), after)
+			}
+			for off := 0; off <= want.Len(); off++ {
+				l1, c1, _ := ix.LineCol(off)
+				l2, c2, _ := want.LineCol(off)
+				if l1 != l2 || c1 != c2 {
+					t.Fatalf("offset %d: (%d,%d) vs (%d,%d) in %q", off, l1, c1, l2, c2, after)
+				}
+			}
+		})
+	}
+}
+
+// TestLineIndexDifferentialRandom: long random edit sequences; the
+// incrementally maintained index must always equal a from-scratch rebuild.
+func TestLineIndexDifferentialRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	alphabet := []rune("ab\n\ncd\n")
+	text := "seed\ntext\n"
+	ix := NewLineIndex(text)
+	for i := 0; i < 1500; i++ {
+		n := len([]rune(text))
+		o := op.New()
+		pos := 0
+		for pos < n {
+			step := 1 + r.Intn(4)
+			if step > n-pos {
+				step = n - pos
+			}
+			switch r.Intn(3) {
+			case 0:
+				o.Retain(step)
+				pos += step
+			case 1:
+				rs := make([]rune, 1+r.Intn(3))
+				for k := range rs {
+					rs[k] = alphabet[r.Intn(len(alphabet))]
+				}
+				o.Insert(string(rs))
+			default:
+				o.Delete(step)
+				pos += step
+			}
+		}
+		if err := ix.Apply(o); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		text, err = o.ApplyString(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NewLineIndex(text)
+		if ix.Lines() != want.Lines() {
+			t.Fatalf("iter %d: %d lines vs %d for %q", i, ix.Lines(), want.Lines(), text)
+		}
+		if i%50 == 0 {
+			for off := 0; off <= want.Len(); off++ {
+				l1, c1, _ := ix.LineCol(off)
+				l2, c2, _ := want.LineCol(off)
+				if l1 != l2 || c1 != c2 {
+					t.Fatalf("iter %d offset %d: (%d,%d) vs (%d,%d)", i, off, l1, c1, l2, c2)
+				}
+			}
+		}
+	}
+}

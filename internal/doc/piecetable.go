@@ -1,0 +1,189 @@
+package doc
+
+import "fmt"
+
+// PieceTable is a Buffer backed by a piece table: the classic editor
+// structure (Oberon, early MS Word) keeping the original text immutable and
+// collecting insertions in an append-only buffer, with the document
+// described by a list of (source, offset, length) pieces. Edits never move
+// text, only split and splice pieces, so memory churn is minimal and any
+// historical state remains cheap to reconstruct.
+//
+// This implementation keeps the piece list as a slice; edits cost O(pieces)
+// for the splice. For the editing patterns of a collaborative session
+// (bounded piece counts between snapshots) this is perfectly adequate and
+// pleasantly simple; the Rope is the choice for very long-lived documents.
+type PieceTable struct {
+	original []rune
+	added    []rune
+	pieces   []piece
+	length   int
+}
+
+// piece references a run of runes in one of the two buffers.
+type piece struct {
+	fromAdded bool
+	off       int
+	n         int
+}
+
+// NewPieceTable returns a PieceTable initialized with s.
+func NewPieceTable(s string) *PieceTable {
+	pt := &PieceTable{original: []rune(s)}
+	if len(pt.original) > 0 {
+		pt.pieces = []piece{{off: 0, n: len(pt.original)}}
+		pt.length = len(pt.original)
+	}
+	return pt
+}
+
+// Len implements Buffer.
+func (pt *PieceTable) Len() int { return pt.length }
+
+// Pieces reports the current piece count (for tests and diagnostics).
+func (pt *PieceTable) Pieces() int { return len(pt.pieces) }
+
+// locate finds the piece containing rune offset pos, returning its index
+// and the offset within it. pos == length returns (len(pieces), 0).
+func (pt *PieceTable) locate(pos int) (int, int) {
+	for i := range pt.pieces {
+		if pos < pt.pieces[i].n {
+			return i, pos
+		}
+		pos -= pt.pieces[i].n
+	}
+	return len(pt.pieces), 0
+}
+
+// Insert implements Buffer.
+func (pt *PieceTable) Insert(pos int, s string) error {
+	if pos < 0 || pos > pt.length {
+		return fmt.Errorf("piecetable insert at %d of %d: %w", pos, pt.length, ErrRange)
+	}
+	rs := []rune(s)
+	if len(rs) == 0 {
+		return nil
+	}
+	newPiece := piece{fromAdded: true, off: len(pt.added), n: len(rs)}
+	pt.added = append(pt.added, rs...)
+
+	i, within := pt.locate(pos)
+	switch {
+	case within == 0:
+		// Fast path: append to the preceding piece when it ends exactly at
+		// the tail of the added buffer (sequential typing).
+		if i > 0 {
+			prev := &pt.pieces[i-1]
+			if prev.fromAdded && prev.off+prev.n == newPiece.off {
+				prev.n += newPiece.n
+				pt.length += newPiece.n
+				return nil
+			}
+		}
+		pt.pieces = append(pt.pieces, piece{})
+		copy(pt.pieces[i+1:], pt.pieces[i:])
+		pt.pieces[i] = newPiece
+	default:
+		// Split pieces[i] around the insertion point.
+		left := pt.pieces[i]
+		right := left
+		leftN := within
+		left.n = leftN
+		right.off += leftN
+		right.n -= leftN
+		pt.pieces = append(pt.pieces, piece{}, piece{})
+		copy(pt.pieces[i+3:], pt.pieces[i+1:])
+		pt.pieces[i] = left
+		pt.pieces[i+1] = newPiece
+		pt.pieces[i+2] = right
+	}
+	pt.length += newPiece.n
+	return nil
+}
+
+// Delete implements Buffer.
+func (pt *PieceTable) Delete(pos, n int) error {
+	if pos < 0 || n < 0 || pos+n > pt.length {
+		return fmt.Errorf("piecetable delete [%d,%d) of %d: %w", pos, pos+n, pt.length, ErrRange)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := pt.pieces[:0:0]
+	remainingSkip := pos
+	remainingDel := n
+	for _, p := range pt.pieces {
+		if remainingSkip >= p.n {
+			out = append(out, p)
+			remainingSkip -= p.n
+			continue
+		}
+		// Keep the prefix before the deletion.
+		if remainingSkip > 0 {
+			out = append(out, piece{fromAdded: p.fromAdded, off: p.off, n: remainingSkip})
+			p.off += remainingSkip
+			p.n -= remainingSkip
+			remainingSkip = 0
+		}
+		// Swallow deleted runes.
+		if remainingDel > 0 {
+			take := min(remainingDel, p.n)
+			p.off += take
+			p.n -= take
+			remainingDel -= take
+		}
+		if p.n > 0 {
+			out = append(out, p)
+		}
+	}
+	pt.pieces = out
+	pt.length -= n
+	return nil
+}
+
+// Slice implements Buffer.
+func (pt *PieceTable) Slice(i, j int) (string, error) {
+	if i < 0 || j < i || j > pt.length {
+		return "", fmt.Errorf("piecetable slice [%d,%d) of %d: %w", i, j, pt.length, ErrRange)
+	}
+	out := make([]rune, 0, j-i)
+	pos := 0
+	for _, p := range pt.pieces {
+		if pos >= j {
+			break
+		}
+		end := pos + p.n
+		if end <= i {
+			pos = end
+			continue
+		}
+		lo := max(i, pos) - pos
+		hi := min(j, end) - pos
+		src := pt.original
+		if p.fromAdded {
+			src = pt.added
+		}
+		out = append(out, src[p.off+lo:p.off+hi]...)
+		pos = end
+	}
+	return string(out), nil
+}
+
+// String implements Buffer.
+func (pt *PieceTable) String() string {
+	s, _ := pt.Slice(0, pt.length)
+	return s
+}
+
+// Compact rebuilds the table into a single original piece — the periodic
+// snapshot real piece-table editors take once the piece list grows long,
+// trading one O(n) pass for O(1) pieces.
+func (pt *PieceTable) Compact() {
+	flat := []rune(pt.String())
+	pt.original = flat
+	pt.added = nil
+	pt.pieces = nil
+	if len(flat) > 0 {
+		pt.pieces = []piece{{off: 0, n: len(flat)}}
+	}
+}

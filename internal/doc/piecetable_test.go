@@ -1,0 +1,233 @@
+package doc
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPieceTableBasics(t *testing.T) {
+	pt := NewPieceTable("ABCDE")
+	if pt.Len() != 5 || pt.String() != "ABCDE" {
+		t.Fatalf("init: %d %q", pt.Len(), pt.String())
+	}
+	if err := pt.Insert(1, "12"); err != nil {
+		t.Fatal(err)
+	}
+	if pt.String() != "A12BCDE" {
+		t.Fatalf("insert: %q", pt.String())
+	}
+	if err := pt.Delete(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if pt.String() != "A12B" {
+		t.Fatalf("delete: %q", pt.String())
+	}
+}
+
+func TestPieceTableEmpty(t *testing.T) {
+	pt := NewPieceTable("")
+	if pt.Len() != 0 || pt.Pieces() != 0 {
+		t.Fatalf("empty: %d %d", pt.Len(), pt.Pieces())
+	}
+	if err := pt.Insert(0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if pt.String() != "x" {
+		t.Fatalf("%q", pt.String())
+	}
+}
+
+func TestPieceTableSequentialTypingCoalesces(t *testing.T) {
+	pt := NewPieceTable("")
+	for i := 0; i < 100; i++ {
+		if err := pt.Insert(pt.Len(), "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sequential appends into the added buffer must coalesce into one
+	// piece, not one hundred.
+	if pt.Pieces() != 1 {
+		t.Fatalf("sequential typing produced %d pieces", pt.Pieces())
+	}
+	if pt.Len() != 100 {
+		t.Fatalf("len %d", pt.Len())
+	}
+}
+
+func TestPieceTableRangeErrors(t *testing.T) {
+	pt := NewPieceTable("abc")
+	if err := pt.Insert(4, "x"); !errors.Is(err, ErrRange) {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := pt.Delete(1, 5); !errors.Is(err, ErrRange) {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := pt.Slice(2, 1); !errors.Is(err, ErrRange) {
+		t.Fatalf("slice: %v", err)
+	}
+}
+
+func TestPieceTableSlice(t *testing.T) {
+	pt := NewPieceTable("hello world")
+	if err := pt.Insert(5, " brave"); err != nil {
+		t.Fatal(err)
+	}
+	// "hello brave world": slice across piece boundaries.
+	got, err := pt.Slice(3, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "lo brave wo" {
+		t.Fatalf("slice: %q", got)
+	}
+}
+
+func TestPieceTableMultibyte(t *testing.T) {
+	pt := NewPieceTable("日本")
+	if err := pt.Insert(1, "のに"); err != nil {
+		t.Fatal(err)
+	}
+	if pt.String() != "日のに本" || pt.Len() != 4 {
+		t.Fatalf("%q %d", pt.String(), pt.Len())
+	}
+}
+
+// TestPieceTableDifferential drives it against the reference buffer.
+func TestPieceTableDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	ref := NewSimple("seed")
+	pt := NewPieceTable("seed")
+	for i := 0; i < 4000; i++ {
+		n := ref.Len()
+		if n == 0 || r.Intn(3) != 0 {
+			pos := 0
+			if n > 0 {
+				pos = r.Intn(n + 1)
+			}
+			s := strings.Repeat(string(rune('a'+r.Intn(26))), 1+r.Intn(3))
+			if err := ref.Insert(pos, s); err != nil {
+				t.Fatal(err)
+			}
+			if err := pt.Insert(pos, s); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			pos := r.Intn(n)
+			del := 1 + r.Intn(min(4, n-pos))
+			if err := ref.Delete(pos, del); err != nil {
+				t.Fatal(err)
+			}
+			if err := pt.Delete(pos, del); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%131 == 0 && ref.String() != pt.String() {
+			t.Fatalf("iter %d: diverged:\nref %q\npt  %q", i, ref.String(), pt.String())
+		}
+	}
+	if ref.String() != pt.String() {
+		t.Fatal("final divergence")
+	}
+}
+
+// TestPieceTableQuick reuses the package's edit-script generator.
+func TestPieceTableQuick(t *testing.T) {
+	f := func(s editScript) bool {
+		ref := NewSimple(s.Initial)
+		pt := NewPieceTable(s.Initial)
+		if err := applyScript(ref, s); err != nil {
+			return false
+		}
+		if err := applyScript(pt, s); err != nil {
+			return false
+		}
+		return ref.String() == pt.String() && ref.Len() == pt.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPieceTableWorksAsEngineBuffer plugs it into doc.Apply.
+func TestPieceTableWorksAsEngineBuffer(t *testing.T) {
+	for name, b := range map[string]Buffer{"pt": NewPieceTable("ABCDE")} {
+		if err := b.Insert(1, "12"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Delete(4, 3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.String() != "A12B" {
+			t.Fatalf("%s: %q", name, b.String())
+		}
+	}
+}
+
+// pieceTableWithSnapshots wraps a PieceTable, compacting every snapEvery
+// edits like a real piece-table editor, so benchmark cost reaches steady
+// state instead of growing with the piece count.
+type pieceTableWithSnapshots struct {
+	*PieceTable
+	edits     int
+	snapEvery int
+}
+
+func (p *pieceTableWithSnapshots) tick() {
+	p.edits++
+	if p.edits%p.snapEvery == 0 {
+		p.Compact()
+	}
+}
+
+func (p *pieceTableWithSnapshots) Insert(pos int, s string) error {
+	p.tick()
+	return p.PieceTable.Insert(pos, s)
+}
+
+func (p *pieceTableWithSnapshots) Delete(pos, n int) error {
+	p.tick()
+	return p.PieceTable.Delete(pos, n)
+}
+
+func BenchmarkPieceTableRandomEdits(b *testing.B) {
+	benchEdits(b, &pieceTableWithSnapshots{PieceTable: NewPieceTable(seedText()), snapEvery: 2048}, false)
+}
+
+func BenchmarkPieceTableClusteredEdits(b *testing.B) {
+	benchEdits(b, &pieceTableWithSnapshots{PieceTable: NewPieceTable(seedText()), snapEvery: 2048}, true)
+}
+
+func TestPieceTableCompact(t *testing.T) {
+	pt := NewPieceTable("hello world")
+	if err := pt.Insert(5, " brave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Delete(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	want := pt.String()
+	pieces := pt.Pieces()
+	pt.Compact()
+	if pt.String() != want || pt.Len() != len([]rune(want)) {
+		t.Fatalf("compact changed content: %q vs %q", pt.String(), want)
+	}
+	if pt.Pieces() != 1 || pieces <= 1 {
+		t.Fatalf("compact: %d pieces (was %d)", pt.Pieces(), pieces)
+	}
+	// Still editable afterwards.
+	if err := pt.Insert(0, "!"); err != nil {
+		t.Fatal(err)
+	}
+	if pt.String() != "!"+want {
+		t.Fatalf("post-compact edit: %q", pt.String())
+	}
+	// Compacting an empty table is fine.
+	empty := NewPieceTable("")
+	empty.Compact()
+	if empty.Len() != 0 || empty.Pieces() != 0 {
+		t.Fatal("empty compact")
+	}
+}

@@ -1,0 +1,250 @@
+package doc
+
+import "fmt"
+
+// maxLeaf bounds leaf size: adjacent leaves are merged on concat while their
+// combined size stays under it, keeping the tree shallow for big documents
+// without wasting memory on tiny ones.
+const maxLeaf = 512
+
+// ropeNode is a node of an immutable-ish rope. Leaves hold runes; internal
+// nodes cache the total subtree length and height for balancing.
+type ropeNode struct {
+	left, right *ropeNode // both nil for a leaf
+	length      int       // total runes in this subtree
+	height      int       // 1 for leaves
+	runes       []rune    // leaf payload (nil for internal nodes)
+}
+
+func leaf(rs []rune) *ropeNode {
+	return &ropeNode{length: len(rs), height: 1, runes: rs}
+}
+
+func (n *ropeNode) isLeaf() bool { return n.left == nil }
+
+// concat joins two subtrees, merging small leaves and rebalancing when the
+// height invariant degrades.
+func concat(a, b *ropeNode) *ropeNode {
+	switch {
+	case a == nil || a.length == 0:
+		return b
+	case b == nil || b.length == 0:
+		return a
+	}
+	if a.isLeaf() && b.isLeaf() && a.length+b.length <= maxLeaf {
+		merged := make([]rune, 0, a.length+b.length)
+		merged = append(merged, a.runes...)
+		merged = append(merged, b.runes...)
+		return leaf(merged)
+	}
+	// Descend toward the nearer edge when one side is a small leaf, so
+	// repeated edge insertions (typing at the start or end of a large
+	// document) coalesce into the edge leaf instead of stacking one level
+	// of height per edit and forcing constant O(n) rebuilds.
+	if a.isLeaf() && !b.isLeaf() && a.length <= maxLeaf/2 {
+		return node(concat(a, b.left), b.right)
+	}
+	if b.isLeaf() && !a.isLeaf() && b.length <= maxLeaf/2 {
+		return node(a.left, concat(a.right, b))
+	}
+	return node(a, b)
+}
+
+// node builds an internal node over two non-empty subtrees, rebuilding when
+// the height invariant degrades.
+func node(a, b *ropeNode) *ropeNode {
+	n := &ropeNode{
+		left:   a,
+		right:  b,
+		length: a.length + b.length,
+		height: max(a.height, b.height) + 1,
+	}
+	if n.unbalanced() {
+		return rebuild(n)
+	}
+	return n
+}
+
+// unbalanced reports whether the subtree is pathologically deep for its size.
+func (n *ropeNode) unbalanced() bool {
+	// A perfectly balanced tree over k leaves has height ~log2(k)+1; allow
+	// generous slack before paying for a rebuild.
+	limit := 2
+	for size := 1; size < n.length; size <<= 1 {
+		limit++
+	}
+	return n.height > limit+8
+}
+
+// rebuild flattens the subtree into leaves and reassembles a balanced tree.
+func rebuild(n *ropeNode) *ropeNode {
+	var leaves []*ropeNode
+	n.collectLeaves(&leaves)
+	return buildBalanced(leaves)
+}
+
+func (n *ropeNode) collectLeaves(out *[]*ropeNode) {
+	if n == nil {
+		return
+	}
+	if n.isLeaf() {
+		if n.length > 0 {
+			*out = append(*out, n)
+		}
+		return
+	}
+	n.left.collectLeaves(out)
+	n.right.collectLeaves(out)
+}
+
+func buildBalanced(leaves []*ropeNode) *ropeNode {
+	switch len(leaves) {
+	case 0:
+		return leaf(nil)
+	case 1:
+		return leaves[0]
+	}
+	mid := len(leaves) / 2
+	a := buildBalanced(leaves[:mid])
+	b := buildBalanced(leaves[mid:])
+	return &ropeNode{
+		left:   a,
+		right:  b,
+		length: a.length + b.length,
+		height: max(a.height, b.height) + 1,
+	}
+}
+
+// split divides the subtree into [0,i) and [i,length).
+func split(n *ropeNode, i int) (*ropeNode, *ropeNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.isLeaf() {
+		switch {
+		case i <= 0:
+			return nil, n
+		case i >= n.length:
+			return n, nil
+		}
+		// Copy both halves so the original leaf stays immutable.
+		l := append([]rune(nil), n.runes[:i]...)
+		r := append([]rune(nil), n.runes[i:]...)
+		return leaf(l), leaf(r)
+	}
+	if i < n.left.length {
+		ll, lr := split(n.left, i)
+		return ll, concat(lr, n.right)
+	}
+	rl, rr := split(n.right, i-n.left.length)
+	return concat(n.left, rl), rr
+}
+
+// Rope is a Buffer backed by a balanced rope: O(log n) insert/delete and
+// O(j-i + log n) slicing. Suitable for the large shared documents a
+// long-running collaborative session accumulates.
+type Rope struct {
+	root *ropeNode
+}
+
+// NewRope returns a Rope initialized with s.
+func NewRope(s string) *Rope {
+	rs := []rune(s)
+	if len(rs) <= maxLeaf {
+		return &Rope{root: leaf(rs)}
+	}
+	var leaves []*ropeNode
+	for len(rs) > 0 {
+		n := min(maxLeaf, len(rs))
+		leaves = append(leaves, leaf(append([]rune(nil), rs[:n]...)))
+		rs = rs[n:]
+	}
+	return &Rope{root: buildBalanced(leaves)}
+}
+
+// Len implements Buffer.
+func (r *Rope) Len() int {
+	if r.root == nil {
+		return 0
+	}
+	return r.root.length
+}
+
+// Insert implements Buffer.
+func (r *Rope) Insert(pos int, s string) error {
+	if pos < 0 || pos > r.Len() {
+		return fmt.Errorf("rope insert at %d of %d: %w", pos, r.Len(), ErrRange)
+	}
+	if s == "" {
+		return nil
+	}
+	rs := []rune(s)
+	var mid *ropeNode
+	if len(rs) <= maxLeaf {
+		mid = leaf(rs)
+	} else {
+		mid = NewRope(s).root
+	}
+	l, rt := split(r.root, pos)
+	r.root = concat(concat(l, mid), rt)
+	return nil
+}
+
+// Delete implements Buffer.
+func (r *Rope) Delete(pos, n int) error {
+	if pos < 0 || n < 0 || pos+n > r.Len() {
+		return fmt.Errorf("rope delete [%d,%d) of %d: %w", pos, pos+n, r.Len(), ErrRange)
+	}
+	if n == 0 {
+		return nil
+	}
+	l, rest := split(r.root, pos)
+	_, rt := split(rest, n)
+	r.root = concat(l, rt)
+	if r.root == nil {
+		r.root = leaf(nil)
+	}
+	return nil
+}
+
+// Slice implements Buffer.
+func (r *Rope) Slice(i, j int) (string, error) {
+	if i < 0 || j < i || j > r.Len() {
+		return "", fmt.Errorf("rope slice [%d,%d) of %d: %w", i, j, r.Len(), ErrRange)
+	}
+	out := make([]rune, 0, j-i)
+	r.root.appendRange(&out, i, j)
+	return string(out), nil
+}
+
+func (n *ropeNode) appendRange(out *[]rune, i, j int) {
+	if n == nil || i >= j || i >= n.length {
+		return
+	}
+	if n.isLeaf() {
+		lo, hi := max(i, 0), min(j, n.length)
+		*out = append(*out, n.runes[lo:hi]...)
+		return
+	}
+	ll := n.left.length
+	if i < ll {
+		n.left.appendRange(out, i, min(j, ll))
+	}
+	if j > ll {
+		n.right.appendRange(out, max(i-ll, 0), j-ll)
+	}
+}
+
+// String implements Buffer.
+func (r *Rope) String() string {
+	s, _ := r.Slice(0, r.Len())
+	return s
+}
+
+// Depth reports the current tree height; exported for balance tests.
+func (r *Rope) Depth() int {
+	if r.root == nil {
+		return 0
+	}
+	return r.root.height
+}

@@ -1,0 +1,152 @@
+package journal
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// journaledFig2 journals the paper's O1/O2 concurrent pair plus a causally
+// dependent O3.
+func journaledFig2(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer("ABCDE", core.WithServerCompaction(0))
+	clients := map[int]*core.Client{}
+	for site := 1; site <= 2; site++ {
+		snap, err := srv.Join(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(Record{Kind: KJoin, Site: site}); err != nil {
+			t.Fatal(err)
+		}
+		clients[site] = core.NewClient(site, snap.Text, core.WithClientCompaction(0))
+	}
+	record := func(m core.ClientMsg) {
+		if err := w.Append(Record{Kind: KClientOp, Op: wire.ClientOp{
+			From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op}}); err != nil {
+			t.Fatal(err)
+		}
+		bcast, _, err := srv.Receive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bm := range bcast {
+			if _, err := clients[bm.To].Integrate(bm); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// O1 and O2 concurrent (both generated before seeing anything).
+	m1, _ := clients[1].Insert(1, "12")
+	m2, _ := clients[2].Delete(2, 3)
+	record(m1)
+	record(m2)
+	// O3 at site 2 after both executed there: causally after both.
+	m3, _ := clients[2].Insert(0, "*")
+	record(m3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeCausalStructure(t *testing.T) {
+	path := journaledFig2(t)
+	a, err := Analyze(path, "ABCDE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != 3 || a.Sites != 2 {
+		t.Fatalf("ops %d sites %d", a.Ops, a.Sites)
+	}
+	if a.PerSite[1] != 1 || a.PerSite[2] != 2 {
+		t.Fatalf("per-site: %v", a.PerSite)
+	}
+	// Exactly one concurrent pair (O1∥O2); O1→O3 and O2→O3.
+	if a.ConcurrentPairs != 1 || a.OrderedPairs != 2 {
+		t.Fatalf("pairs: %d concurrent, %d ordered", a.ConcurrentPairs, a.OrderedPairs)
+	}
+	if math.Abs(a.ConcurrencyDegree-1.0/3.0) > 1e-9 {
+		t.Fatalf("degree %f", a.ConcurrencyDegree)
+	}
+	// Chain O1(or O2) → O3 has depth 2.
+	if a.MaxDepth != 2 {
+		t.Fatalf("max depth %d", a.MaxDepth)
+	}
+	if a.FinalDoc != "*A12B" {
+		t.Fatalf("final doc %q", a.FinalDoc)
+	}
+	if a.Records != 5 {
+		t.Fatalf("records %d", a.Records)
+	}
+}
+
+func TestAnalyzeSequentialSessionHasNoConcurrency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seq.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := core.NewServer("", core.WithServerCompaction(0))
+	snap, _ := srv.Join(1)
+	_ = snap
+	if err := w.Append(Record{Kind: KJoin, Site: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewClient(1, "", core.WithClientCompaction(0))
+	for i := 0; i < 5; i++ {
+		m, err := c.Insert(c.DocLen(), "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(Record{Kind: KClientOp, Op: wire.ClientOp{
+			From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := srv.Receive(core.ClientMsg{From: m.From, Op: m.Op, TS: m.TS, Ref: m.Ref}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConcurrentPairs != 0 || a.MaxDepth != 5 {
+		t.Fatalf("sequential session: %d concurrent, depth %d", a.ConcurrentPairs, a.MaxDepth)
+	}
+	if a.FinalDoc != "xxxxx" {
+		t.Fatalf("doc %q", a.FinalDoc)
+	}
+}
+
+func TestAnalyzeFromLiveSessionJournal(t *testing.T) {
+	path, live, _ := runJournaledSession(t, false)
+	a, err := Analyze(path, "journaled doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != 10 || a.Sites != 3 {
+		t.Fatalf("ops %d sites %d", a.Ops, a.Sites)
+	}
+	if a.FinalDoc != live.Text() {
+		t.Fatalf("final doc %q vs live %q", a.FinalDoc, live.Text())
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	if _, err := Analyze(filepath.Join(t.TempDir(), "nope"), ""); err == nil {
+		t.Fatal("missing journal must error")
+	}
+}

@@ -1,0 +1,301 @@
+// Package journal gives the notifier crash-consistent persistence: an
+// append-only log of everything that changes its state (joins, leaves,
+// client operations), from which an identical server can be rebuilt by
+// deterministic replay.
+//
+// The engine (internal/core) is fully deterministic in its input sequence,
+// so replaying the journal reproduces SV_0, the history buffer, every
+// per-client bridge, and the document byte-for-byte — reconnecting clients
+// can resume their sessions as if the notifier had never restarted.
+//
+// Record format (all little-endian varints, like the wire protocol):
+//
+//	record := length(uvarint) crc32(4 bytes) body
+//	body   := type(1 byte) payload        (reuses the wire codec)
+//
+// A truncated or corrupt tail — the normal result of a crash mid-write — is
+// detected by the CRC and cleanly ignored; everything before it replays.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// ErrCorrupt indicates a record that fails its checksum mid-file (a
+// truncated *tail* is not an error; see Reader.Next).
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+// Record is one journaled state transition.
+type Record struct {
+	// Exactly one of the fields below is meaningful, selected by Kind.
+	Kind RecordKind
+	// Site applies to Join and Leave.
+	Site int
+	// Op applies to ClientOp.
+	Op wire.ClientOp
+}
+
+// RecordKind tags a journal record.
+type RecordKind uint8
+
+// Record kinds.
+const (
+	// KJoin records admission of a site.
+	KJoin RecordKind = 1
+	// KLeave records departure of a site.
+	KLeave RecordKind = 2
+	// KClientOp records one executed client operation.
+	KClientOp RecordKind = 3
+)
+
+// Writer appends records to a journal file.
+type Writer struct {
+	f   *os.File
+	w   *bufio.Writer
+	buf []byte
+	// Sync forces an fsync after every record (durability over
+	// throughput); off by default.
+	Sync bool
+}
+
+// Create opens (or truncates) a journal for writing.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append durably (if Sync) appends one record.
+func (w *Writer) Append(r Record) error {
+	body, err := encodeRecord(r)
+	if err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(body)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	w.buf = append(w.buf, crc[:]...)
+	w.buf = append(w.buf, body...)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	// Records reach the OS after every append, so a process crash loses
+	// nothing; Sync additionally forces them to stable storage.
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	if w.Sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		_ = w.f.Close()
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	return w.f.Close()
+}
+
+func encodeRecord(r Record) ([]byte, error) {
+	switch r.Kind {
+	case KJoin, KLeave:
+		b := []byte{byte(r.Kind)}
+		return binary.AppendUvarint(b, uint64(r.Site)), nil
+	case KClientOp:
+		b := []byte{byte(r.Kind)}
+		return wire.Append(b, r.Op)
+	default:
+		return nil, fmt.Errorf("journal: unknown record kind %d", r.Kind)
+	}
+}
+
+func decodeRecord(body []byte) (Record, error) {
+	if len(body) == 0 {
+		return Record{}, fmt.Errorf("journal: empty record: %w", ErrCorrupt)
+	}
+	switch RecordKind(body[0]) {
+	case KJoin, KLeave:
+		site, n := binary.Uvarint(body[1:])
+		if n <= 0 || 1+n != len(body) {
+			return Record{}, fmt.Errorf("journal: bad site record: %w", ErrCorrupt)
+		}
+		return Record{Kind: RecordKind(body[0]), Site: int(site)}, nil
+	case KClientOp:
+		m, err := wire.Decode(body[1:])
+		if err != nil {
+			return Record{}, fmt.Errorf("journal: %v: %w", err, ErrCorrupt)
+		}
+		op, ok := m.(wire.ClientOp)
+		if !ok {
+			return Record{}, fmt.Errorf("journal: unexpected %T: %w", m, ErrCorrupt)
+		}
+		return Record{Kind: KClientOp, Op: op}, nil
+	default:
+		return Record{}, fmt.Errorf("journal: unknown record kind %d: %w", body[0], ErrCorrupt)
+	}
+}
+
+// Reader iterates a journal file.
+type Reader struct {
+	f *os.File
+	r *bufio.Reader
+	// offset is the file position just past the last successfully decoded
+	// record — the clean prefix length used by crash recovery.
+	offset int64
+}
+
+// Open opens a journal for reading.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Reader{f: f, r: bufio.NewReader(f)}, nil
+}
+
+// Offset returns the byte offset just past the last good record.
+func (r *Reader) Offset() int64 { return r.offset }
+
+// Next returns the next record. It returns io.EOF at a clean end *and* at a
+// truncated tail (the crash case); a checksum failure with further bytes
+// after it returns ErrCorrupt.
+func (r *Reader) Next() (Record, error) {
+	size, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, io.EOF // clean end or truncated length
+	}
+	if size > wire.MaxFrame {
+		return Record{}, fmt.Errorf("journal: %d byte record: %w", size, ErrCorrupt)
+	}
+	header := make([]byte, 4+size)
+	if _, err := io.ReadFull(r.r, header); err != nil {
+		return Record{}, io.EOF // truncated tail: treat as crash point
+	}
+	want := binary.LittleEndian.Uint32(header[:4])
+	body := header[4:]
+	if crc32.ChecksumIEEE(body) != want {
+		// Distinguish a torn final record (EOF follows) from corruption in
+		// the middle of the file.
+		if _, err := r.r.Peek(1); err != nil {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("journal: checksum mismatch: %w", ErrCorrupt)
+	}
+	rec, err := decodeRecord(body)
+	if err == nil {
+		r.offset += int64(uvarintLen(size)) + 4 + int64(size)
+	}
+	return rec, err
+}
+
+func uvarintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Close closes the file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Replay rebuilds a notifier engine from a journal: it creates a server with
+// the given initial document and options, replays every record, and returns
+// the reconstructed server plus the number of records applied.
+func Replay(path, initial string, opts ...core.ServerOption) (*core.Server, int, error) {
+	srv, applied, _, err := replay(path, initial, opts...)
+	return srv, applied, err
+}
+
+func replay(path, initial string, opts ...core.ServerOption) (*core.Server, int, int64, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer r.Close()
+	srv := core.NewServer(initial, opts...)
+	applied := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return srv, applied, r.Offset(), nil
+		}
+		if err != nil {
+			return nil, applied, r.Offset(), err
+		}
+		switch rec.Kind {
+		case KJoin:
+			if _, err := srv.Join(rec.Site); err != nil {
+				return nil, applied, r.Offset(), fmt.Errorf("journal: replay join %d: %w", rec.Site, err)
+			}
+		case KLeave:
+			if err := srv.Leave(rec.Site); err != nil {
+				return nil, applied, r.Offset(), fmt.Errorf("journal: replay leave %d: %w", rec.Site, err)
+			}
+		case KClientOp:
+			m := core.ClientMsg{From: rec.Op.From, Op: rec.Op.Op, TS: rec.Op.TS, Ref: rec.Op.Ref}
+			if _, _, err := srv.Receive(m); err != nil {
+				return nil, applied, r.Offset(), fmt.Errorf("journal: replay op from %d: %w", rec.Op.From, err)
+			}
+		}
+		applied++
+	}
+}
+
+// Recover restores a notifier from path, or creates a fresh one (and a
+// fresh journal) if the file does not exist. Any torn tail left by a crash
+// is truncated away, the journal is reopened for appending, and every site
+// the journal shows as joined is marked departed (its connection died with
+// the crashed process) with KLeave records appended — rejoining clients get
+// fresh snapshots with resumed counters. It returns the server, the
+// append-mode writer, and the number of records replayed.
+func Recover(path, initial string, opts ...core.ServerOption) (*core.Server, *Writer, int, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		w, err := Create(path)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return core.NewServer(initial, opts...), w, 0, nil
+	}
+	srv, applied, cleanLen, err := replay(path, initial, opts...)
+	if err != nil {
+		return nil, nil, applied, err
+	}
+	if err := os.Truncate(path, cleanLen); err != nil {
+		return nil, nil, applied, fmt.Errorf("journal: truncate torn tail: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, applied, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f, w: bufio.NewWriter(f)}
+	for _, site := range srv.Sites() {
+		if err := srv.Leave(site); err != nil {
+			_ = w.Close()
+			return nil, nil, applied, err
+		}
+		if err := w.Append(Record{Kind: KLeave, Site: site}); err != nil {
+			_ = w.Close()
+			return nil, nil, applied, err
+		}
+	}
+	return srv, w, applied, nil
+}

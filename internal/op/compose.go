@@ -1,0 +1,130 @@
+package op
+
+import "fmt"
+
+// iter walks the components of an operation, allowing partial consumption of
+// retain/delete counts and insert text.
+type iter struct {
+	comps []Comp
+	idx   int
+	// off is the number of runes of comps[idx] already consumed.
+	off int
+}
+
+func (it *iter) done() bool { return it.idx >= len(it.comps) }
+
+// peek returns the current component with its consumed prefix removed.
+func (it *iter) peek() Comp {
+	c := it.comps[it.idx]
+	if it.off == 0 {
+		return c
+	}
+	switch c.Kind {
+	case KInsert:
+		s := skipRunes(c.S, it.off)
+		return Comp{Kind: KInsert, N: c.N - it.off, S: s}
+	default:
+		return Comp{Kind: c.Kind, N: c.N - it.off}
+	}
+}
+
+// advance consumes n runes of the current component, moving to the next
+// component when it is exhausted.
+func (it *iter) advance(n int) {
+	c := it.comps[it.idx]
+	it.off += n
+	if it.off >= c.N {
+		it.idx++
+		it.off = 0
+	}
+}
+
+// skipRunes returns s with its first n runes removed.
+func skipRunes(s string, n int) string {
+	for i := range s {
+		if n == 0 {
+			return s[i:]
+		}
+		n--
+	}
+	return ""
+}
+
+// takeRunes returns the first n runes of s.
+func takeRunes(s string, n int) string {
+	for i := range s {
+		if n == 0 {
+			return s[:i]
+		}
+		n--
+	}
+	return s
+}
+
+// Compose combines two consecutive operations into one, such that for every
+// document d of the right length:
+//
+//	apply(apply(d, a), b) == apply(d, Compose(a, b))
+//
+// It fails with ErrLengthMismatch unless a.TargetLen() == b.BaseLen().
+func Compose(a, b *Op) (*Op, error) {
+	if a.tgtLen != b.baseLen {
+		return nil, fmt.Errorf("op: compose: a targets %d runes, b expects %d: %w",
+			a.tgtLen, b.baseLen, ErrLengthMismatch)
+	}
+	out := New()
+	ia := &iter{comps: a.comps}
+	ib := &iter{comps: b.comps}
+	for !ia.done() || !ib.done() {
+		// Deletions in a act on text b never sees; they pass through.
+		if !ia.done() {
+			if ca := ia.peek(); ca.Kind == KDelete {
+				out.Delete(ca.N)
+				ia.advance(ca.N)
+				continue
+			}
+		}
+		// Insertions in b are independent of a's output; pass through.
+		if !ib.done() {
+			if cb := ib.peek(); cb.Kind == KInsert {
+				out.Insert(cb.S)
+				ib.advance(cb.N)
+				continue
+			}
+		}
+		if ia.done() || ib.done() {
+			return nil, fmt.Errorf("op: compose: ragged operations: %w", ErrInvalidOp)
+		}
+		ca, cb := ia.peek(), ib.peek()
+		n := min(ca.N, cb.N)
+		switch {
+		case ca.Kind == KRetain && cb.Kind == KRetain:
+			out.Retain(n)
+		case ca.Kind == KRetain && cb.Kind == KDelete:
+			out.Delete(n)
+		case ca.Kind == KInsert && cb.Kind == KRetain:
+			out.Insert(takeRunes(ca.S, n))
+		case ca.Kind == KInsert && cb.Kind == KDelete:
+			// b deletes text a inserted: both vanish.
+		default:
+			return nil, fmt.Errorf("op: compose: unexpected %v/%v: %w", ca.Kind, cb.Kind, ErrInvalidOp)
+		}
+		ia.advance(n)
+		ib.advance(n)
+	}
+	return out, nil
+}
+
+// ComposeAll folds Compose over a sequence of consecutive operations. A nil
+// or empty sequence composes to a noop on a document of length baseLen.
+func ComposeAll(baseLen int, ops []*Op) (*Op, error) {
+	acc := New().Retain(baseLen)
+	for i, o := range ops {
+		next, err := Compose(acc, o)
+		if err != nil {
+			return nil, fmt.Errorf("op: compose-all at %d: %w", i, err)
+		}
+		acc = next
+	}
+	return acc, nil
+}

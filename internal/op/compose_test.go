@@ -1,0 +1,158 @@
+package op
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestComposeBasics(t *testing.T) {
+	// "ABCDE" --O1(insert "12"@1)--> "A12BCDE" --O2'(delete 3@4)--> "A12B"
+	o1, _ := NewInsert(5, 1, "12")
+	o2p, _ := NewDelete(7, 4, 3)
+	comp, err := Compose(o1, o2p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := comp.ApplyString("ABCDE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "A12B" {
+		t.Fatalf("composed apply: got %q want A12B", got)
+	}
+	if comp.BaseLen() != 5 || comp.TargetLen() != 4 {
+		t.Fatalf("composed lengths: %d -> %d", comp.BaseLen(), comp.TargetLen())
+	}
+}
+
+func TestComposeCancellingOps(t *testing.T) {
+	// Inserting then deleting the same text composes to a noop.
+	ins, _ := NewInsert(3, 1, "zz")
+	del, _ := NewDelete(5, 1, 2)
+	comp, err := Compose(ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.IsNoop() {
+		t.Fatalf("insert+delete of same range must compose to noop, got %v", comp)
+	}
+}
+
+func TestComposeLengthMismatch(t *testing.T) {
+	a := New().Retain(3) // targets 3
+	b := New().Retain(5) // expects 5
+	if _, err := Compose(a, b); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+// TestComposeEquivalence: apply(d, compose(a,b)) == apply(apply(d,a), b) on
+// random inputs.
+func TestComposeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		doc := randDoc(r, r.Intn(30))
+		a := randOp(r, len(doc))
+		mid := mustApply(t, a, doc)
+		b := randOp(r, len(mid))
+		ab, err := Compose(a, b)
+		if err != nil {
+			t.Fatalf("iter %d: compose: %v", i, err)
+		}
+		if err := ab.Validate(); err != nil {
+			t.Fatalf("iter %d: composed op invalid: %v", i, err)
+		}
+		want := mustApply(t, b, mid)
+		got := mustApply(t, ab, doc)
+		if string(got) != string(want) {
+			t.Fatalf("iter %d: compose mismatch: got %q want %q", i, string(got), string(want))
+		}
+	}
+}
+
+// TestComposeAssociativity: compose(compose(a,b),c) ≡ compose(a,compose(b,c))
+// extensionally.
+func TestComposeAssociativity(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		doc := randDoc(r, r.Intn(20))
+		a := randOp(r, len(doc))
+		s1 := mustApply(t, a, doc)
+		b := randOp(r, len(s1))
+		s2 := mustApply(t, b, s1)
+		c := randOp(r, len(s2))
+
+		ab, err := Compose(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc1, err := Compose(ab, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := Compose(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abc2, err := Compose(a, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1 := mustApply(t, abc1, doc)
+		g2 := mustApply(t, abc2, doc)
+		if string(g1) != string(g2) {
+			t.Fatalf("iter %d: associativity violated: %q vs %q", i, string(g1), string(g2))
+		}
+	}
+}
+
+func TestComposeAll(t *testing.T) {
+	doc := []rune("hello")
+	ops := []*Op{}
+	cur := doc
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		o := randOp(r, len(cur))
+		ops = append(ops, o)
+		cur = mustApply(t, o, cur)
+	}
+	all, err := ComposeAll(len(doc), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustApply(t, all, doc)
+	if string(got) != string(cur) {
+		t.Fatalf("ComposeAll: got %q want %q", string(got), string(cur))
+	}
+
+	// Empty sequence: identity.
+	id, err := ComposeAll(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.IsNoop() || id.BaseLen() != 4 {
+		t.Fatalf("empty ComposeAll must be noop on 4, got %v", id)
+	}
+}
+
+func TestComposeWithNoopIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		n := r.Intn(20)
+		a := randOp(r, n)
+		pre := New().Retain(n)
+		post := New().Retain(a.TargetLen())
+		left, err := Compose(pre, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := Compose(a, post)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !left.Equal(a) || !right.Equal(a) {
+			t.Fatalf("noop composition must be identity: %v / %v vs %v", left, right, a)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package op
+
+import (
+	"fmt"
+	"unicode/utf8"
+)
+
+// The paper expresses operations in positional form — Insert[str, pos] and
+// Delete[count, pos] (§2.2). These constructors convert positional edits
+// into traversal operations against a document of the given rune length.
+
+// NewInsert builds the operation Insert[text, pos] on a document of docLen
+// runes: insert text so that its first rune lands at index pos.
+func NewInsert(docLen, pos int, text string) (*Op, error) {
+	if pos < 0 || pos > docLen {
+		return nil, fmt.Errorf("op: insert at %d in %d-rune document: %w",
+			pos, docLen, ErrInvalidOp)
+	}
+	return New().Retain(pos).Insert(text).Retain(docLen - pos), nil
+}
+
+// NewDelete builds the operation Delete[count, pos] on a document of docLen
+// runes: remove count runes starting at index pos.
+func NewDelete(docLen, pos, count int) (*Op, error) {
+	if pos < 0 || count < 0 || pos+count > docLen {
+		return nil, fmt.Errorf("op: delete [%d,%d) in %d-rune document: %w",
+			pos, pos+count, docLen, ErrInvalidOp)
+	}
+	return New().Retain(pos).Delete(count).Retain(docLen - pos - count), nil
+}
+
+// NewReplace builds a combined delete-then-insert at pos, a common editor
+// action (overtype / paste over selection).
+func NewReplace(docLen, pos, count int, text string) (*Op, error) {
+	if pos < 0 || count < 0 || pos+count > docLen {
+		return nil, fmt.Errorf("op: replace [%d,%d) in %d-rune document: %w",
+			pos, pos+count, docLen, ErrInvalidOp)
+	}
+	return New().Retain(pos).Insert(text).Delete(count).Retain(docLen - pos - count), nil
+}
+
+// Positional is the positional rendering of a simple operation, mirroring the
+// paper's Insert[str, pos] / Delete[count, pos] notation. Compound operations
+// (those touching several disjoint regions) render as multiple entries.
+type Positional struct {
+	Insert bool   // true: insert Text at Pos; false: delete Count at Pos
+	Pos    int    // rune index in the base document of this primitive
+	Count  int    // delete length (runes)
+	Text   string // inserted text
+}
+
+// Positionals decomposes an operation into primitive positional edits, each
+// expressed against the ORIGINAL base document (deletes) or against the
+// document as built so far (inserts), in left-to-right order. It is used for
+// human-readable replay output matching the paper's notation.
+func Positionals(o *Op) []Positional {
+	var out []Positional
+	base := 0  // index into base document
+	shift := 0 // net length change applied so far
+	for _, c := range o.comps {
+		switch c.Kind {
+		case KRetain:
+			base += c.N
+		case KInsert:
+			out = append(out, Positional{Insert: true, Pos: base + shift, Text: c.S})
+			shift += c.N
+		case KDelete:
+			out = append(out, Positional{Pos: base + shift, Count: c.N})
+			base += c.N
+			shift -= c.N
+		}
+	}
+	return out
+}
+
+// Format renders a positional edit in the paper's notation.
+func (p Positional) Format() string {
+	if p.Insert {
+		return fmt.Sprintf("Insert[%q, %d]", p.Text, p.Pos)
+	}
+	return fmt.Sprintf("Delete[%d, %d]", p.Count, p.Pos)
+}
+
+// RuneLen is a convenience wrapper over utf8.RuneCountInString, exported so
+// callers building positional ops do not have to import unicode/utf8.
+func RuneLen(s string) int { return utf8.RuneCountInString(s) }

@@ -1,0 +1,121 @@
+package op
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewInsertBounds(t *testing.T) {
+	if _, err := NewInsert(5, -1, "x"); !errors.Is(err, ErrInvalidOp) {
+		t.Fatalf("negative pos must fail, got %v", err)
+	}
+	if _, err := NewInsert(5, 6, "x"); !errors.Is(err, ErrInvalidOp) {
+		t.Fatalf("pos past end must fail, got %v", err)
+	}
+	o, err := NewInsert(5, 5, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := o.ApplyString("abcde")
+	if got != "abcdex" {
+		t.Fatalf("append at end: got %q", got)
+	}
+}
+
+func TestNewDeleteBounds(t *testing.T) {
+	if _, err := NewDelete(5, 3, 3); !errors.Is(err, ErrInvalidOp) {
+		t.Fatalf("delete past end must fail, got %v", err)
+	}
+	if _, err := NewDelete(5, -1, 1); !errors.Is(err, ErrInvalidOp) {
+		t.Fatalf("negative pos must fail, got %v", err)
+	}
+	o, err := NewDelete(5, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := o.ApplyString("abcde")
+	if got != "" {
+		t.Fatalf("delete all: got %q", got)
+	}
+}
+
+func TestNewReplace(t *testing.T) {
+	o, err := NewReplace(5, 1, 3, "XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := o.ApplyString("abcde")
+	if got != "aXYe" {
+		t.Fatalf("replace: got %q want aXYe", got)
+	}
+	if _, err := NewReplace(5, 4, 2, "z"); !errors.Is(err, ErrInvalidOp) {
+		t.Fatalf("replace past end must fail, got %v", err)
+	}
+}
+
+func TestPositionalsSimple(t *testing.T) {
+	o, _ := NewInsert(5, 1, "12")
+	ps := Positionals(o)
+	if len(ps) != 1 || !ps[0].Insert || ps[0].Pos != 1 || ps[0].Text != "12" {
+		t.Fatalf("positionals: %+v", ps)
+	}
+	if ps[0].Format() != `Insert["12", 1]` {
+		t.Fatalf("format: %q", ps[0].Format())
+	}
+
+	d, _ := NewDelete(5, 2, 3)
+	ps = Positionals(d)
+	if len(ps) != 1 || ps[0].Insert || ps[0].Pos != 2 || ps[0].Count != 3 {
+		t.Fatalf("positionals: %+v", ps)
+	}
+	if ps[0].Format() != "Delete[3, 2]" {
+		t.Fatalf("format: %q", ps[0].Format())
+	}
+}
+
+// TestPositionalsCompound checks that a split delete (delete spanning a
+// concurrent insert) renders as two primitives whose sequential application
+// matches the traversal op.
+func TestPositionalsCompound(t *testing.T) {
+	// On "abcXYdef": delete "bc" and "de" (a delete that was split around XY).
+	o := New().Retain(1).Delete(2).Retain(2).Delete(2).Retain(1)
+	ps := Positionals(o)
+	if len(ps) != 2 {
+		t.Fatalf("want 2 primitives, got %+v", ps)
+	}
+	// Apply primitives sequentially to verify the evolving-document positions.
+	docRunes := []rune("abcXYdef")
+	cur := string(docRunes)
+	for _, p := range ps {
+		var prim *Op
+		var err error
+		if p.Insert {
+			prim, err = NewInsert(RuneLen(cur), p.Pos, p.Text)
+		} else {
+			prim, err = NewDelete(RuneLen(cur), p.Pos, p.Count)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err = prim.ApplyString(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := o.ApplyString(string(docRunes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != want {
+		t.Fatalf("sequential primitives gave %q, traversal gave %q", cur, want)
+	}
+}
+
+func TestRuneLen(t *testing.T) {
+	if RuneLen("日本語") != 3 {
+		t.Fatalf("RuneLen multibyte: %d", RuneLen("日本語"))
+	}
+	if RuneLen("") != 0 {
+		t.Fatal("RuneLen empty")
+	}
+}

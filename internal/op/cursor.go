@@ -1,0 +1,49 @@
+package op
+
+// TransformIndex maps a document index (e.g. a remote user's cursor) through
+// an operation. Both index and the result are rune offsets; index is in the
+// operation's base document, the result in its target document. own controls
+// tie-breaking at an insertion point: if own is true the index belongs to the
+// author of the operation and is pushed after the inserted text; otherwise it
+// stays before it.
+func TransformIndex(o *Op, index int, own bool) int {
+	newIndex := index
+	pos := 0 // walk position in the base document
+	for _, c := range o.comps {
+		if pos > index {
+			break
+		}
+		switch c.Kind {
+		case KRetain:
+			pos += c.N
+		case KInsert:
+			if pos < index || (own && pos == index) {
+				newIndex += c.N
+			}
+		case KDelete:
+			if pos < index {
+				newIndex -= min(c.N, index-pos)
+			}
+			pos += c.N
+		}
+	}
+	if newIndex < 0 {
+		newIndex = 0
+	}
+	return newIndex
+}
+
+// Selection is a cursor range in a document, measured in runes. Anchor ==
+// Head for a plain caret.
+type Selection struct {
+	Anchor int
+	Head   int
+}
+
+// TransformSelection maps both ends of a selection through an operation.
+func TransformSelection(o *Op, s Selection, own bool) Selection {
+	return Selection{
+		Anchor: TransformIndex(o, s.Anchor, own),
+		Head:   TransformIndex(o, s.Head, own),
+	}
+}

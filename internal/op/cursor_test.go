@@ -1,0 +1,71 @@
+package op
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransformIndexInsertBefore(t *testing.T) {
+	o, _ := NewInsert(5, 1, "12") // "ABCDE" -> "A12BCDE"
+	if got := TransformIndex(o, 3, false); got != 5 {
+		t.Fatalf("cursor at 3 after insert@1 of 2: got %d want 5", got)
+	}
+	if got := TransformIndex(o, 0, false); got != 0 {
+		t.Fatalf("cursor at 0 must stay: got %d", got)
+	}
+}
+
+func TestTransformIndexInsertAtCursor(t *testing.T) {
+	o, _ := NewInsert(5, 2, "xx")
+	if got := TransformIndex(o, 2, false); got != 2 {
+		t.Fatalf("foreign insert at cursor must not push it: got %d", got)
+	}
+	if got := TransformIndex(o, 2, true); got != 4 {
+		t.Fatalf("own insert at cursor must push it after text: got %d", got)
+	}
+}
+
+func TestTransformIndexDelete(t *testing.T) {
+	o, _ := NewDelete(10, 2, 3) // delete [2,5)
+	cases := []struct{ in, want int }{
+		{0, 0}, {2, 2}, {3, 2}, {5, 2}, {6, 3}, {10, 7},
+	}
+	for _, c := range cases {
+		if got := TransformIndex(o, c.in, false); got != c.want {
+			t.Fatalf("delete[2,5): cursor %d -> %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTransformIndexNeverNegative(t *testing.T) {
+	o := New().Delete(5)
+	if got := TransformIndex(o, 3, false); got != 0 {
+		t.Fatalf("cursor inside fully deleted prefix: got %d want 0", got)
+	}
+}
+
+// TestTransformIndexStaysInBounds: a transformed cursor always lands within
+// the target document.
+func TestTransformIndexStaysInBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		doc := randDoc(r, 1+r.Intn(25))
+		o := randOp(r, len(doc))
+		idx := r.Intn(len(doc) + 1)
+		for _, own := range []bool{false, true} {
+			got := TransformIndex(o, idx, own)
+			if got < 0 || got > o.TargetLen() {
+				t.Fatalf("iter %d: cursor %d -> %d outside [0,%d] (op %v)",
+					i, idx, got, o.TargetLen(), o)
+			}
+		}
+	}
+}
+
+func TestTransformSelection(t *testing.T) {
+	o, _ := NewInsert(8, 2, "ab")
+	sel := TransformSelection(o, Selection{Anchor: 1, Head: 5}, false)
+	if sel.Anchor != 1 || sel.Head != 7 {
+		t.Fatalf("selection transform: got %+v", sel)
+	}
+}

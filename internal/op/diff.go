@@ -1,0 +1,28 @@
+package op
+
+// Diff computes an operation transforming document a into document b using
+// longest-common-prefix/suffix trimming: the edit is expressed as a single
+// replace of the differing middle. This is how an editor integrates an
+// external whole-document change (reload from disk, paste-over-all) into the
+// collaborative stream without losing concurrent remote edits.
+//
+// The result is minimal for single-region changes; for multi-region changes
+// it still applies correctly, just less surgically.
+func Diff(a, b string) *Op {
+	ra, rb := []rune(a), []rune(b)
+	// Longest common prefix.
+	p := 0
+	for p < len(ra) && p < len(rb) && ra[p] == rb[p] {
+		p++
+	}
+	// Longest common suffix of the remainders.
+	s := 0
+	for s < len(ra)-p && s < len(rb)-p && ra[len(ra)-1-s] == rb[len(rb)-1-s] {
+		s++
+	}
+	return New().
+		Retain(p).
+		Insert(string(rb[p : len(rb)-s])).
+		Delete(len(ra) - p - s).
+		Retain(s)
+}

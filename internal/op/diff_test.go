@@ -1,0 +1,83 @@
+package op
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffBasics(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"", ""},
+		{"", "hello"},
+		{"hello", ""},
+		{"hello", "hello"},
+		{"hello world", "hello brave world"},
+		{"hello brave world", "hello world"},
+		{"abcdef", "abXYef"},
+		{"aaa", "aa"},   // ambiguous repeats
+		{"aa", "aaa"},   // ambiguous repeats
+		{"日本語", "日本語!"}, // multibyte
+		{"日本語", "日木語"},
+	}
+	for _, c := range cases {
+		d := Diff(c.a, c.b)
+		got, err := d.ApplyString(c.a)
+		if err != nil {
+			t.Fatalf("Diff(%q,%q): %v", c.a, c.b, err)
+		}
+		if got != c.b {
+			t.Fatalf("Diff(%q,%q) applied to %q gives %q", c.a, c.b, c.a, got)
+		}
+	}
+}
+
+func TestDiffIdentityIsNoop(t *testing.T) {
+	d := Diff("same text", "same text")
+	if !d.IsNoop() {
+		t.Fatalf("identity diff: %v", d)
+	}
+}
+
+func TestDiffIsMinimalForSingleRegion(t *testing.T) {
+	d := Diff("hello world", "hello brave world")
+	// retain(6) insert("brave ") retain(5)
+	want := New().Retain(6).Insert("brave ").Retain(5)
+	if !d.Equal(want) {
+		t.Fatalf("diff: %v want %v", d, want)
+	}
+}
+
+// TestDiffQuick: Diff(a,b) applied to a always yields b.
+func TestDiffQuick(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a := string(randDoc(ra, ra.Intn(40)))
+		b := string(randDoc(rb, rb.Intn(40)))
+		got, err := Diff(a, b).ApplyString(a)
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffOfEditedDoc: diffing against the result of a random op recovers
+// an operation with the same effect.
+func TestDiffOfEditedDoc(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		doc := randDoc(r, r.Intn(30))
+		o := randOp(r, len(doc))
+		after, err := o.Apply(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Diff(string(doc), string(after))
+		got, err := d.ApplyString(string(doc))
+		if err != nil || got != string(after) {
+			t.Fatalf("iter %d: %q vs %q (%v)", i, got, string(after), err)
+		}
+	}
+}

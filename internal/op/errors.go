@@ -1,0 +1,15 @@
+package op
+
+import "errors"
+
+// Sentinel errors returned by the op package. Callers match them with
+// errors.Is.
+var (
+	// ErrLengthMismatch indicates an operation was applied to, composed
+	// with, or transformed against something of the wrong document length.
+	ErrLengthMismatch = errors.New("document length mismatch")
+
+	// ErrInvalidOp indicates a structurally invalid operation, e.g. one
+	// decoded from a corrupt wire message.
+	ErrInvalidOp = errors.New("invalid operation")
+)

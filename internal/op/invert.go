@@ -1,0 +1,32 @@
+package op
+
+import "fmt"
+
+// Invert returns the operation that undoes o on the document doc that o was
+// applied to (doc is the state *before* o). For every valid doc:
+//
+//	apply(apply(doc, o), Invert(o, doc)) == doc
+//
+// Inversion needs the base document because a delete does not record the
+// text it removed.
+func Invert(o *Op, doc []rune) (*Op, error) {
+	if len(doc) != o.baseLen {
+		return nil, fmt.Errorf("op: invert against %d runes: %w (need %d)",
+			len(doc), ErrLengthMismatch, o.baseLen)
+	}
+	inv := New()
+	pos := 0
+	for _, c := range o.comps {
+		switch c.Kind {
+		case KRetain:
+			inv.Retain(c.N)
+			pos += c.N
+		case KInsert:
+			inv.Delete(c.N)
+		case KDelete:
+			inv.Insert(string(doc[pos : pos+c.N]))
+			pos += c.N
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,71 @@
+package op
+
+import "fmt"
+
+// Transform is the inclusion transformation at the heart of operational
+// transformation (paper §2.3). Given two operations a and b defined on the
+// same document state, it returns a' and b' such that transformation
+// property TP1 holds:
+//
+//	apply(apply(d, a), b') == apply(apply(d, b), a')
+//
+// When a and b insert at the same position, a's insertion is placed first;
+// the caller encodes priority by argument order. The group-editor engines
+// always pass the notifier-side operation as a, so every site breaks ties
+// identically and replicas converge.
+func Transform(a, b *Op) (a1, b1 *Op, err error) {
+	if a.baseLen != b.baseLen {
+		return nil, nil, fmt.Errorf("op: transform: base lengths %d vs %d: %w",
+			a.baseLen, b.baseLen, ErrLengthMismatch)
+	}
+	a1, b1 = New(), New()
+	ia := &iter{comps: a.comps}
+	ib := &iter{comps: b.comps}
+	for !ia.done() || !ib.done() {
+		// a's insert wins ties: it lands first in the combined document.
+		if !ia.done() {
+			if ca := ia.peek(); ca.Kind == KInsert {
+				a1.Insert(ca.S)
+				b1.Retain(ca.N)
+				ia.advance(ca.N)
+				continue
+			}
+		}
+		if !ib.done() {
+			if cb := ib.peek(); cb.Kind == KInsert {
+				a1.Retain(cb.N)
+				b1.Insert(cb.S)
+				ib.advance(cb.N)
+				continue
+			}
+		}
+		if ia.done() || ib.done() {
+			return nil, nil, fmt.Errorf("op: transform: ragged operations: %w", ErrInvalidOp)
+		}
+		ca, cb := ia.peek(), ib.peek()
+		n := min(ca.N, cb.N)
+		switch {
+		case ca.Kind == KRetain && cb.Kind == KRetain:
+			a1.Retain(n)
+			b1.Retain(n)
+		case ca.Kind == KDelete && cb.Kind == KDelete:
+			// Both deleted the same region: neither needs to redo it.
+		case ca.Kind == KDelete && cb.Kind == KRetain:
+			a1.Delete(n)
+		case ca.Kind == KRetain && cb.Kind == KDelete:
+			b1.Delete(n)
+		default:
+			return nil, nil, fmt.Errorf("op: transform: unexpected %v/%v: %w", ca.Kind, cb.Kind, ErrInvalidOp)
+		}
+		ia.advance(n)
+		ib.advance(n)
+	}
+	return a1, b1, nil
+}
+
+// TransformOnly returns just the transformed form of a against b (a' in
+// Transform). It is used where the counterpart b' is not needed.
+func TransformOnly(a, b *Op) (*Op, error) {
+	a1, _, err := Transform(a, b)
+	return a1, err
+}

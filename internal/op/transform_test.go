@@ -1,0 +1,225 @@
+package op
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestPaperSection23Example reproduces the worked transformation from §2.3:
+// O1 = Insert["12", 1] and O2 = Delete[3, 2] are concurrent on "ABCDE".
+// Transforming O2 against O1 must yield Delete[3, 4], and both execution
+// orders must converge to the intention-preserved result "A12B".
+func TestPaperSection23Example(t *testing.T) {
+	const base = "ABCDE"
+	o1, err := NewInsert(5, 1, "12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := NewDelete(5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o1p, o2p, err := Transform(o1, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantO2p, _ := NewDelete(7, 4, 3) // Delete[3, 4] per the paper
+	if !o2p.Equal(wantO2p) {
+		t.Fatalf("O2' = %v, want %v (Delete[3,4])", o2p, wantO2p)
+	}
+
+	// Path 1 (site 1's order): O1 then O2'.
+	s1, err := o1.ApplyString(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != "A12BCDE" {
+		t.Fatalf("after O1: %q", s1)
+	}
+	s1, err = o2p.ApplyString(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path 2: O2 then O1'.
+	s2, err := o2.ApplyString(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err = o1p.ApplyString(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s1 != "A12B" || s2 != "A12B" {
+		t.Fatalf("intention-preserved result must be A12B on both paths, got %q and %q", s1, s2)
+	}
+}
+
+// TestPaperIntentionViolation reproduces the *incorrect* result the paper
+// shows when O2 executes untransformed at site 1: "A1DE".
+func TestPaperIntentionViolation(t *testing.T) {
+	const base = "ABCDE"
+	o1, _ := NewInsert(5, 1, "12")
+	s, err := o1.ApplyString(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O2 in original form, rebuilt against the *new* 7-rune document, still
+	// aimed at position 2: deletes "2BC" leaving "A1DE".
+	o2orig, _ := NewDelete(7, 2, 3)
+	s, err = o2orig.ApplyString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "A1DE" {
+		t.Fatalf("untransformed execution must give the paper's broken result A1DE, got %q", s)
+	}
+}
+
+func TestTransformInsertTieBreak(t *testing.T) {
+	// Both insert at position 0 of "x". a's text must land first.
+	a, _ := NewInsert(1, 0, "AA")
+	b, _ := NewInsert(1, 0, "BB")
+	a1, b1, err := Transform(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := Compose(a, b1)
+	p2, _ := Compose(b, a1)
+	s1, _ := p1.ApplyString("x")
+	s2, _ := p2.ApplyString("x")
+	if s1 != "AABBx" || s2 != "AABBx" {
+		t.Fatalf("tie-break: got %q / %q, want AABBx", s1, s2)
+	}
+}
+
+func TestTransformOverlappingDeletes(t *testing.T) {
+	// a deletes [1,4), b deletes [2,6) of "abcdef": union should vanish.
+	a, _ := NewDelete(6, 1, 3)
+	b, _ := NewDelete(6, 2, 4)
+	a1, b1, err := Transform(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := a.ApplyString("abcdef") // "aef"
+	s1, _ = b1.ApplyString(s1)
+	s2, _ := b.ApplyString("abcdef") // "ab" -> wait: deletes cdef -> "ab"
+	s2, _ = a1.ApplyString(s2)
+	if s1 != s2 || s1 != "a" {
+		t.Fatalf("overlapping deletes: got %q / %q, want %q", s1, s2, "a")
+	}
+}
+
+// TestTransformDeleteSpansInsert is the delete-splitting case: b deletes a
+// range into which a concurrently inserted. The transformed delete must skip
+// the inserted text (this is where positional single-range deletes break and
+// traversal ops shine).
+func TestTransformDeleteSpansInsert(t *testing.T) {
+	a, _ := NewInsert(6, 3, "XY") // "abcXYdef" on "abcdef"
+	b, _ := NewDelete(6, 1, 4)    // delete "bcde"
+	a1, b1, err := Transform(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := a.ApplyString("abcdef")
+	s1, _ = b1.ApplyString(s1)
+	s2, _ := b.ApplyString("abcdef")
+	s2, _ = a1.ApplyString(s2)
+	if s1 != s2 || s1 != "aXYf" {
+		t.Fatalf("delete-spanning-insert: got %q / %q, want aXYf", s1, s2)
+	}
+}
+
+func TestTransformBaseLengthMismatch(t *testing.T) {
+	a := New().Retain(3)
+	b := New().Retain(4)
+	if _, _, err := Transform(a, b); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}
+
+func TestTransformOnly(t *testing.T) {
+	a, _ := NewInsert(5, 1, "12")
+	b, _ := NewDelete(5, 2, 3)
+	b1, err := TransformOnly(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewDelete(7, 4, 3)
+	if !b1.Equal(want) {
+		t.Fatalf("TransformOnly: got %v want %v", b1, want)
+	}
+}
+
+// TestTP1Randomized checks transformation property TP1 on thousands of
+// random op pairs: apply(apply(d,a),b') == apply(apply(d,b),a').
+func TestTP1Randomized(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		doc := randDoc(r, r.Intn(30))
+		a := randOp(r, len(doc))
+		b := randOp(r, len(doc))
+		a1, b1, err := Transform(a, b)
+		if err != nil {
+			t.Fatalf("iter %d: transform: %v", i, err)
+		}
+		left := mustApply(t, b1, mustApply(t, a, doc))
+		right := mustApply(t, a1, mustApply(t, b, doc))
+		if string(left) != string(right) {
+			t.Fatalf("iter %d: TP1 violated:\n d=%q\n a=%v\n b=%v\n left=%q right=%q",
+				i, string(doc), a, b, string(left), string(right))
+		}
+	}
+}
+
+// TestTP1ViaCompose checks the equivalent compose formulation:
+// Compose(a,b') == Compose(b,a') as operations (not just extensionally).
+func TestTP1ViaCompose(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1500; i++ {
+		n := r.Intn(25)
+		a := randOp(r, n)
+		b := randOp(r, n)
+		a1, b1, err := Transform(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := Compose(a, b1)
+		if err != nil {
+			t.Fatalf("iter %d: compose(a,b1): %v", i, err)
+		}
+		p2, err := Compose(b, a1)
+		if err != nil {
+			t.Fatalf("iter %d: compose(b,a1): %v", i, err)
+		}
+		doc := randDoc(r, n)
+		s1 := mustApply(t, p1, doc)
+		s2 := mustApply(t, p2, doc)
+		if string(s1) != string(s2) {
+			t.Fatalf("iter %d: compose paths disagree: %q vs %q", i, string(s1), string(s2))
+		}
+	}
+}
+
+func TestTransformWithNoop(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		doc := randDoc(r, r.Intn(20))
+		a := randOp(r, len(doc))
+		noop := New().Retain(len(doc))
+		a1, n1, err := Transform(a, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a1.Equal(a) {
+			t.Fatalf("transform against noop changed op: %v -> %v", a, a1)
+		}
+		if !n1.IsNoop() {
+			t.Fatalf("noop transformed into non-noop: %v", n1)
+		}
+	}
+}

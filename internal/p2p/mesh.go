@@ -1,0 +1,175 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// MeshConfig parameterizes a mesh overhead experiment.
+type MeshConfig struct {
+	// Nodes is the number of sites N.
+	Nodes int
+	// OpsPerNode is how many operations each site broadcasts.
+	OpsPerNode int
+	// Seed drives the interleaving and delays.
+	Seed int64
+	// Disorder is the probability a queued cross-site delivery is deferred
+	// in favour of another link, creating causal gaps that exercise the
+	// delay queue.
+	Disorder float64
+	// Verify enables the quadratic causal-order audit of every delivery
+	// log (use in tests; skip in large benchmark sweeps).
+	Verify bool
+}
+
+// MeshResult aggregates the measured overheads of one mesh run.
+type MeshResult struct {
+	// Messages is the number of point-to-point message deliveries
+	// (each broadcast fans out to N-1 unicasts).
+	Messages int64
+	// FullVCBytes is the total timestamp cost with full N-element vectors
+	// — the GROVE/REDUCE baseline.
+	FullVCBytes int64
+	// SKBytes is the total timestamp cost with Singhal–Kshemkalyani
+	// differential compression on the same traffic.
+	SKBytes int64
+	// SKMaxEntries is the largest single differential timestamp observed.
+	SKMaxEntries int
+	// CVCBytes is what the same messages would cost under the paper's
+	// constant 2-integer scheme.
+	CVCBytes int64
+	// MaxPending is the high-water mark of any node's causal delay queue.
+	MaxPending int
+	// CausalViolations counts deliveries that contradicted causal order
+	// (must be zero).
+	CausalViolations int64
+}
+
+// RunMesh executes a deterministic mesh session and measures timestamp
+// overheads for the three schemes on identical traffic.
+func RunMesh(cfg MeshConfig) (*MeshResult, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("p2p: mesh needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	n := cfg.Nodes
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nodes := make([]*Node, n)
+	sks := make([]*vclock.SKProcess, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(i, n)
+		sks[i] = vclock.NewSKProcess(i, n)
+	}
+	res := &MeshResult{}
+
+	type unicast struct {
+		m  Msg
+		sk []vclock.Entry
+	}
+	// Per-(from,to) FIFO queues, like TCP links.
+	queues := make(map[[2]int][]unicast)
+	var busy [][2]int
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = cfg.OpsPerNode
+	}
+	left := n * cfg.OpsPerNode
+
+	// vt tracks real event vector clocks per delivered op for the causal
+	// violation check: if b is delivered after a at some node but b → a,
+	// order was violated.
+	type opKey struct {
+		from int
+		seq  uint64
+	}
+	vt := map[opKey]vclock.VC{}
+	evClocks := make([]*vclock.Process, n)
+	for i := range evClocks {
+		evClocks[i] = vclock.NewProcess(i, n)
+	}
+
+	// deliverCheck audits the tail of a node's delivery log: no op may be
+	// delivered after an op it causally precedes.
+	deliverCheck := func(node, newCount int) {
+		if !cfg.Verify {
+			return
+		}
+		log := nodes[node].Delivered()
+		for i := len(log) - newCount; i < len(log); i++ {
+			curVT := vt[opKey{log[i].From, log[i].Seq}]
+			for j := 0; j < i; j++ {
+				pVT := vt[opKey{log[j].From, log[j].Seq}]
+				if vclock.Compare(curVT, pVT) == vclock.Before {
+					res.CausalViolations++
+				}
+			}
+		}
+	}
+
+	for left > 0 || len(busy) > 0 {
+		deliver := len(busy) > 0 && (left == 0 || r.Intn(2) == 0)
+		if deliver {
+			ki := r.Intn(len(busy))
+			if cfg.Disorder > 0 && r.Float64() < cfg.Disorder && len(busy) > 1 {
+				ki = (ki + 1) % len(busy) // prefer a different link, creating gaps
+			}
+			key := busy[ki]
+			q := queues[key]
+			u := q[0]
+			queues[key] = q[1:]
+			if len(queues[key]) == 0 {
+				busy = append(busy[:ki], busy[ki+1:]...)
+			}
+			node := key[1]
+			ds, err := nodes[node].Receive(u.m)
+			if err != nil {
+				return nil, err
+			}
+			sks[node].Recv(u.sk)
+			// Ground-truth clocks fold in an op only when it is *delivered*
+			// (executed): a node does not causally depend on messages still
+			// sitting in its delay queue.
+			for _, d := range ds {
+				evClocks[node].Recv(vt[opKey{d.From, d.Seq}])
+			}
+			if p := nodes[node].PendingLen(); p > res.MaxPending {
+				res.MaxPending = p
+			}
+			deliverCheck(node, len(ds))
+			continue
+		}
+		// Pick a site with ops left to broadcast.
+		from := r.Intn(n)
+		for remaining[from] == 0 {
+			from = (from + 1) % n
+		}
+		remaining[from]--
+		left--
+		m := nodes[from].Broadcast(fmt.Sprintf("op-%d-%d", from, nodes[from].SV()[from]))
+		vt[opKey{m.From, m.Seq}] = evClocks[from].Send()
+		for to := 0; to < n; to++ {
+			if to == from {
+				continue
+			}
+			entries := sks[from].Send(to)
+			if len(entries) > res.SKMaxEntries {
+				res.SKMaxEntries = len(entries)
+			}
+			res.Messages++
+			res.FullVCBytes += int64(MsgTimestampBytes(m))
+			res.SKBytes += int64(vclock.EntriesWireSize(entries))
+			// The paper's scheme: always exactly two varints; use the
+			// same counter magnitudes for a fair byte comparison.
+			res.CVCBytes += int64(wire.UvarintLen(m.SV.SumExcept(to)) + wire.UvarintLen(m.SV[to]))
+			key := [2]int{from, to}
+			if len(queues[key]) == 0 {
+				busy = append(busy, key)
+			}
+			queues[key] = append(queues[key], unicast{m: m, sk: entries})
+		}
+	}
+	return res, nil
+}

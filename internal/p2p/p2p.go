@@ -1,0 +1,137 @@
+// Package p2p implements the baseline architecture the paper improves on:
+// a fully-distributed group editor (GROVE [5], original REDUCE [14]) where
+// every site broadcasts its operations to every other site, timestamped with
+// a full N-element state vector, and delivery is delayed until causally
+// ready (the causality-preservation scheme of [14]).
+//
+// The package serves the overhead experiments (EXPERIMENTS.md E3/E9): on the
+// same traffic it accounts the bytes of (a) full vector timestamps, (b)
+// Singhal–Kshemkalyani differential timestamps [13], and (c) the paper's
+// constant 2-integer compressed timestamps, and it verifies that causal
+// delivery is correct.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// ErrBadMessage indicates a message that cannot belong to this computation.
+var ErrBadMessage = errors.New("p2p: malformed message")
+
+// Msg is a broadcast operation. The state vector counts operations
+// *delivered* per site (the REDUCE state-vector convention), so the causal
+// readiness test is the classic one.
+type Msg struct {
+	From    int
+	Seq     uint64 // 1-based per-sender sequence
+	SV      vclock.VC
+	Payload string
+}
+
+// Delivery is one causally-delivered operation.
+type Delivery struct {
+	From    int
+	Seq     uint64
+	Payload string
+}
+
+// Node is one site of the mesh.
+type Node struct {
+	id int
+	n  int
+	// sv[j] counts operations from site j this node has executed
+	// (including its own).
+	sv vclock.VC
+	// pending holds causally unready messages.
+	pending []Msg
+	// delivered is the execution log, in order.
+	delivered []Delivery
+}
+
+// NewNode returns node id of n sites.
+func NewNode(id, n int) *Node {
+	if id < 0 || id >= n {
+		panic(fmt.Sprintf("p2p: node id %d of %d", id, n))
+	}
+	return &Node{id: id, n: n, sv: vclock.New(n)}
+}
+
+// SV returns a copy of the node's state vector.
+func (nd *Node) SV() vclock.VC { return nd.sv.Copy() }
+
+// Delivered returns the execution log (owned by the node).
+func (nd *Node) Delivered() []Delivery { return nd.delivered }
+
+// PendingLen returns the number of buffered causally-unready messages.
+func (nd *Node) PendingLen() int { return len(nd.pending) }
+
+// Broadcast creates, executes, and stamps a local operation; the returned
+// message goes to every other site.
+func (nd *Node) Broadcast(payload string) Msg {
+	nd.sv.Inc(nd.id)
+	m := Msg{From: nd.id, Seq: nd.sv[nd.id], SV: nd.sv.Copy(), Payload: payload}
+	nd.delivered = append(nd.delivered, Delivery{From: nd.id, Seq: m.Seq, Payload: payload})
+	return m
+}
+
+// ready reports whether m can execute now: all of m's causal predecessors
+// have executed here. With delivered-counting state vectors this is
+// SV_m[from] == sv[from]+1 and SV_m[k] <= sv[k] for k != from.
+func (nd *Node) ready(m Msg) bool {
+	for k := 0; k < nd.n; k++ {
+		if k == m.From {
+			if m.SV[k] != nd.sv[k]+1 {
+				return false
+			}
+		} else if m.SV[k] > nd.sv[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Receive buffers or executes a remote operation and returns everything
+// newly executed (the message may unblock previously buffered ones).
+func (nd *Node) Receive(m Msg) ([]Delivery, error) {
+	if m.From < 0 || m.From >= nd.n || m.From == nd.id {
+		return nil, fmt.Errorf("%w: from %d at node %d", ErrBadMessage, m.From, nd.id)
+	}
+	if len(m.SV) != nd.n {
+		return nil, fmt.Errorf("%w: vector size %d, want %d", ErrBadMessage, len(m.SV), nd.n)
+	}
+	nd.pending = append(nd.pending, m)
+	var out []Delivery
+	for {
+		progressed := false
+		for i := 0; i < len(nd.pending); i++ {
+			p := nd.pending[i]
+			if !nd.ready(p) {
+				continue
+			}
+			nd.pending = append(nd.pending[:i], nd.pending[i+1:]...)
+			nd.sv.Inc(p.From)
+			d := Delivery{From: p.From, Seq: p.Seq, Payload: p.Payload}
+			nd.delivered = append(nd.delivered, d)
+			out = append(out, d)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return out, nil
+		}
+	}
+}
+
+// ClockWords returns the number of uint64 clock words this node stores —
+// N for the full-vector baseline (the paper's clients store 2).
+func (nd *Node) ClockWords() int { return len(nd.sv) }
+
+// MsgTimestampBytes returns the wire cost of m's full-vector timestamp.
+func MsgTimestampBytes(m Msg) int {
+	b := wire.AppendVC(nil, m.SV)
+	return len(b)
+}

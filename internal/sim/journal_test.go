@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// TestSimulatedSessionJournalAnalyzes: a simulated session's journal replays
+// and analyzes offline; the reconstructed document matches the simulation's
+// converged state and the op counts line up.
+func TestSimulatedSessionJournalAnalyzes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sim.journal")
+	res, err := Run(Config{
+		Clients:      4,
+		OpsPerClient: 30,
+		Seed:         21,
+		Initial:      "simulated + journaled",
+		JournalPath:  path,
+		Compaction:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("diverged")
+	}
+	a, err := journal.Analyze(path, "simulated + journaled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != 4*30 || a.Sites != 4 {
+		t.Fatalf("analysis: %d ops, %d sites", a.Ops, a.Sites)
+	}
+	if a.FinalDoc != res.FinalText {
+		t.Fatalf("offline reconstruction %q != simulated %q", a.FinalDoc, res.FinalText)
+	}
+	if a.ConcurrentPairs == 0 {
+		t.Fatal("a concurrent session must show concurrent pairs")
+	}
+	// The recovered server also matches (replay path).
+	srv, _, err := journal.Replay(path, "simulated + journaled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Text() != res.FinalText {
+		t.Fatalf("replayed %q != simulated %q", srv.Text(), res.FinalText)
+	}
+}
+
+// TestChurnSessionJournalAnalyzes covers joins and leaves in the journal.
+func TestChurnSessionJournalAnalyzes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "churn.journal")
+	res, err := Run(Config{
+		Clients:      3,
+		Joiners:      2,
+		LeaveEarly:   1,
+		OpsPerClient: 20,
+		Seed:         5,
+		Initial:      "churn journal",
+		JournalPath:  path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := journal.Analyze(path, "churn journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sites != 5 {
+		t.Fatalf("sites %d", a.Sites)
+	}
+	if a.FinalDoc != res.FinalText {
+		t.Fatalf("offline %q != simulated %q", a.FinalDoc, res.FinalText)
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LatencyModel draws per-message one-way delays. Models are pure functions
+// of the supplied RNG so simulations stay deterministic.
+type LatencyModel interface {
+	Delay(r *rand.Rand) time.Duration
+}
+
+// Fixed is a constant delay.
+type Fixed time.Duration
+
+// Delay implements LatencyModel.
+func (f Fixed) Delay(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi time.Duration
+}
+
+// Delay implements LatencyModel.
+func (u Uniform) Delay(r *rand.Rand) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(r.Int63n(int64(u.Hi-u.Lo)))
+}
+
+// Spiky models an Internet path: a uniform base delay with occasional large
+// spikes (probability SpikeP, multiplier SpikeX) — the "high and
+// nondeterministic communication latency" environment of paper §2.
+type Spiky struct {
+	Base   Uniform
+	SpikeP float64
+	SpikeX int
+}
+
+// Delay implements LatencyModel.
+func (s Spiky) Delay(r *rand.Rand) time.Duration {
+	d := s.Base.Delay(r)
+	if s.SpikeP > 0 && r.Float64() < s.SpikeP {
+		x := s.SpikeX
+		if x < 1 {
+			x = 10
+		}
+		d *= time.Duration(x)
+	}
+	return d
+}
+
+// link is a FIFO channel with stochastic latency: delivery times are
+// monotone per link regardless of the latency draws, modelling a TCP
+// connection over a jittery path.
+type link struct {
+	sim      *Sim
+	r        *rand.Rand
+	lat      LatencyModel
+	lastArr  time.Duration
+	delivers int
+}
+
+func newLink(s *Sim, r *rand.Rand, lat LatencyModel) *link {
+	return &link{sim: s, r: r, lat: lat}
+}
+
+// send schedules fn to run at the message's delivery time, preserving FIFO
+// order with all earlier sends on this link.
+func (l *link) send(fn func()) {
+	arr := l.sim.Now() + l.lat.Delay(l.r)
+	if arr < l.lastArr {
+		arr = l.lastArr // FIFO: queue behind the previous message
+	}
+	l.lastArr = arr
+	l.delivers++
+	l.sim.At(arr-l.sim.Now(), fn)
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure2 reproduces §2.2's inconsistencies exactly: divergence across
+// the four sites and the "A1DE" intention violation at site 1, against the
+// intention-preserved "A12B".
+func TestFigure2(t *testing.T) {
+	res := Figure2()
+	if !res.Diverged {
+		t.Fatal("Fig. 2 without OT must diverge")
+	}
+	if res.Site1AfterO1O2 != "A1DE" {
+		t.Fatalf("§2.2 intention violation: got %q, paper says A1DE", res.Site1AfterO1O2)
+	}
+	if res.IntentionPreserved != "A12B" {
+		t.Fatalf("OT result: got %q, paper says A12B", res.IntentionPreserved)
+	}
+	if len(res.Orders) != 4 || len(res.Finals) != 4 {
+		t.Fatalf("four sites expected: %d orders, %d finals", len(res.Orders), len(res.Finals))
+	}
+	// The per-site orders are the figure's.
+	if strings.Join(res.Orders[0], ",") != "O2,O1,O4,O3" {
+		t.Fatalf("site 0 order: %v", res.Orders[0])
+	}
+	if strings.Join(res.Orders[1], ",") != "O1,O2,O4,O3" {
+		t.Fatalf("site 1 order: %v", res.Orders[1])
+	}
+}
+
+// TestFigure3Scenario checks the scripted replay converges and logs the
+// paper's timestamps.
+func TestFigure3Scenario(t *testing.T) {
+	res, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "A12Bx!"
+	for site, text := range res.Finals {
+		if text != want {
+			t.Fatalf("site %d final %q, want %q", site, text, want)
+		}
+	}
+	all := ""
+	for _, st := range res.Steps {
+		all += st.Title + "\n" + strings.Join(st.Lines, "\n") + "\n"
+	}
+	// Spot-check the §5 narration: the per-destination compressed
+	// timestamps of O1' and the final SV_0.
+	for _, frag := range []string{
+		"O1' propagated to site 2 with compressed timestamp [1,1]",
+		"O1' propagated to site 3 with compressed timestamp [2,0]",
+		"O3' propagated to site 1 with compressed timestamp [3,1]",
+		"SV_0 = [0, 1, 2, 1]",
+	} {
+		if !strings.Contains(all, frag) {
+			t.Fatalf("replay log missing %q:\n%s", frag, all)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package sim provides a deterministic discrete-event simulator for
+// group-editing sessions: a virtual-time event loop, latency models, FIFO
+// links, a stochastic workload generator, and scripted replays of the
+// paper's figures. All randomness is seeded, so every run is reproducible.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Sim is a virtual-time event loop. Events fire in (time, insertion) order;
+// an event may schedule further events.
+type Sim struct {
+	now time.Duration
+	q   eventQueue
+	seq int
+}
+
+// New returns an empty simulator at virtual time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// At schedules fn to run after delay of virtual time. Negative delays run
+// "now" (still after the current event completes).
+func (s *Sim) At(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.q, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty and returns the final
+// virtual time.
+func (s *Sim) Run() time.Duration {
+	for s.q.Len() > 0 {
+		ev := heap.Pop(&s.q).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+	return s.now
+}
+
+// Steps runs at most n events, returning how many ran (for tests exercising
+// partial progress).
+func (s *Sim) Steps(n int) int {
+	ran := 0
+	for s.q.Len() > 0 && ran < n {
+		ev := heap.Pop(&s.q).(*event)
+		s.now = ev.at
+		ev.fn()
+		ran++
+	}
+	return ran
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.q.Len() }
+
+type event struct {
+	at  time.Duration
+	seq int // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

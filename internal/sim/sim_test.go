@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	end := s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+	if end != 30*time.Millisecond {
+		t.Fatalf("end time %v", end)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	s := New()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			s.At(time.Millisecond, rec)
+		}
+	}
+	s.At(0, rec)
+	end := s.Run()
+	if depth != 5 {
+		t.Fatalf("depth %d", depth)
+	}
+	if end != 4*time.Millisecond {
+		t.Fatalf("end %v", end)
+	}
+}
+
+func TestNegativeDelayRunsNow(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(-time.Second, func() { ran = true })
+	if s.Run() != 0 || !ran {
+		t.Fatal("negative delay must clamp to now")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 0; i < 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() { n++ })
+	}
+	if ran := s.Steps(3); ran != 3 || n != 3 {
+		t.Fatalf("steps: ran %d n %d", ran, n)
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.Run()
+	if n != 5 {
+		t.Fatalf("n %d", n)
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if d := (Fixed(5 * time.Millisecond)).Delay(r); d != 5*time.Millisecond {
+		t.Fatalf("fixed: %v", d)
+	}
+	u := Uniform{Lo: 10 * time.Millisecond, Hi: 20 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Delay(r)
+		if d < u.Lo || d >= u.Hi {
+			t.Fatalf("uniform out of range: %v", d)
+		}
+	}
+	if d := (Uniform{Lo: 7 * time.Millisecond}).Delay(r); d != 7*time.Millisecond {
+		t.Fatalf("degenerate uniform: %v", d)
+	}
+	sp := Spiky{Base: Uniform{Lo: 10 * time.Millisecond, Hi: 11 * time.Millisecond}, SpikeP: 1, SpikeX: 10}
+	if d := sp.Delay(r); d < 100*time.Millisecond {
+		t.Fatalf("spike not applied: %v", d)
+	}
+	spDefault := Spiky{Base: Uniform{Lo: 10 * time.Millisecond, Hi: 11 * time.Millisecond}, SpikeP: 1}
+	if d := spDefault.Delay(r); d < 100*time.Millisecond {
+		t.Fatalf("default spike multiplier: %v", d)
+	}
+}
+
+func TestLinkIsFIFOUnderJitter(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(3))
+	l := newLink(s, r, Uniform{Lo: 0, Hi: 100 * time.Millisecond})
+	var got []int
+	for i := 0; i < 200; i++ {
+		i := i
+		l.send(func() { got = append(got, i) })
+	}
+	s.Run()
+	if len(got) != 200 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("link reordered under jitter at %d: %v...", i, got[:i+1])
+		}
+	}
+}

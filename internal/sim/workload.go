@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/op"
+)
+
+// Workload parameterizes the stochastic editing behaviour of simulated
+// users. It substitutes for the human editors of the paper's Web demo: what
+// the clocks observe is the causal structure induced by generation times
+// and latencies, which the generator reproduces.
+type Workload struct {
+	// InsertRatio is the probability an edit inserts (vs deletes).
+	// Typical text entry is insert-heavy; 0.7–0.9 is realistic.
+	InsertRatio float64
+	// Hotspot, when true, clusters edit positions around a per-user moving
+	// cursor instead of choosing uniformly — the "everyone types in their
+	// own paragraph" regime.
+	Hotspot bool
+	// MaxInsert bounds the rune length of one insertion (default 4).
+	MaxInsert int
+	// MaxDelete bounds the rune length of one deletion (default 4).
+	MaxDelete int
+	// ThinkMean is the mean virtual time between a user's operations
+	// (exponential distribution; default 200ms).
+	ThinkMean time.Duration
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.InsertRatio == 0 {
+		w.InsertRatio = 0.75
+	}
+	if w.MaxInsert == 0 {
+		w.MaxInsert = 4
+	}
+	if w.MaxDelete == 0 {
+		w.MaxDelete = 4
+	}
+	if w.ThinkMean == 0 {
+		w.ThinkMean = 200 * time.Millisecond
+	}
+	return w
+}
+
+// think draws the time until a user's next operation.
+func (w Workload) think(r *rand.Rand) time.Duration {
+	d := time.Duration(r.ExpFloat64() * float64(w.ThinkMean))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+var workloadAlphabet = []rune("abcdefghijklmnopqrstuvwxyz ABCDEFGH0123456789.,;日本éü")
+
+// editorState tracks one simulated user's cursor for hotspot locality.
+type editorState struct {
+	cursor int
+}
+
+// nextOp builds one random operation against a document of docLen runes.
+func (w Workload) nextOp(r *rand.Rand, st *editorState, docLen int) (*op.Op, error) {
+	pos := 0
+	if docLen > 0 {
+		if w.Hotspot {
+			// Wander around the cursor with occasional jumps.
+			if r.Intn(20) == 0 {
+				st.cursor = r.Intn(docLen + 1)
+			}
+			jitter := r.Intn(7) - 3
+			st.cursor += jitter
+			if st.cursor < 0 {
+				st.cursor = 0
+			}
+			if st.cursor > docLen {
+				st.cursor = docLen
+			}
+			pos = st.cursor
+		} else {
+			pos = r.Intn(docLen + 1)
+		}
+	}
+	if docLen == 0 || r.Float64() < w.InsertRatio {
+		n := 1 + r.Intn(w.MaxInsert)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = workloadAlphabet[r.Intn(len(workloadAlphabet))]
+		}
+		st.cursor = pos + n
+		return op.NewInsert(docLen, pos, string(rs))
+	}
+	if pos >= docLen {
+		pos = docLen - 1
+	}
+	count := 1 + r.Intn(w.MaxDelete)
+	if pos+count > docLen {
+		count = docLen - pos
+	}
+	st.cursor = pos
+	return op.NewDelete(docLen, pos, count)
+}

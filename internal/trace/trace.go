@@ -1,0 +1,78 @@
+// Package trace collects runtime metrics from a group-editing session: op
+// and byte counters per link, concurrency-detection counts, and
+// transformation counts. The benchmark harness (cmd/cvcbench and
+// bench_test.go) reads these to print the experiment tables.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metrics is a thread-safe bag of named counters and samples.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewMetrics returns an empty metrics bag.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]int64)}
+}
+
+// Inc adds delta to the named counter.
+func (m *Metrics) Inc(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Get reads the named counter.
+func (m *Metrics) Get(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Names returns all counter names, sorted.
+func (m *Metrics) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters, one per line, sorted by name.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	for _, n := range m.Names() {
+		fmt.Fprintf(&b, "%s: %d\n", n, m.Get(n))
+	}
+	return b.String()
+}
+
+// Standard counter names used across the harness.
+const (
+	// COpsGenerated counts locally generated operations.
+	COpsGenerated = "ops.generated"
+	// COpsIntegrated counts remote operations integrated.
+	COpsIntegrated = "ops.integrated"
+	// CBytesUp counts client→notifier payload bytes.
+	CBytesUp = "bytes.up"
+	// CBytesDown counts notifier→client payload bytes.
+	CBytesDown = "bytes.down"
+	// CTimestampBytes counts bytes spent on timestamps alone.
+	CTimestampBytes = "bytes.timestamps"
+	// CConcurrencyChecks counts formula (5)/(7) evaluations.
+	CConcurrencyChecks = "checks.total"
+	// CConcurrentPairs counts checks that returned "concurrent".
+	CConcurrentPairs = "checks.concurrent"
+	// CTransforms counts inclusion transformations performed.
+	CTransforms = "ot.transforms"
+)

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(COpsGenerated, 3)
+	m.Inc(COpsGenerated, 2)
+	m.Inc(CBytesUp, 100)
+	if m.Get(COpsGenerated) != 5 || m.Get(CBytesUp) != 100 {
+		t.Fatalf("counters: %d %d", m.Get(COpsGenerated), m.Get(CBytesUp))
+	}
+	if m.Get("missing") != 0 {
+		t.Fatal("missing counter must read 0")
+	}
+}
+
+func TestNamesSortedAndString(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("zzz", 1)
+	m.Inc("aaa", 2)
+	names := m.Names()
+	if len(names) != 2 || names[0] != "aaa" || names[1] != "zzz" {
+		t.Fatalf("names: %v", names)
+	}
+	out := m.String()
+	if !strings.Contains(out, "aaa: 2") || !strings.Contains(out, "zzz: 1") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Inc(CTransforms, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get(CTransforms); got != 16000 {
+		t.Fatalf("lost updates: %d", got)
+	}
+}

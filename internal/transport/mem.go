@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// memConn is one end of an in-memory pipe: two buffered channels with
+// close-once bookkeeping. Channel semantics give exactly the per-link FIFO
+// the paper assumes of TCP.
+type memConn struct {
+	send chan<- wire.Msg
+	recv <-chan wire.Msg
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed when this end closes
+	peer   *memConn
+}
+
+// Pipe returns two connected in-memory endpoints with the given queue depth
+// per direction.
+func Pipe(depth int) (Conn, Conn) {
+	ab := make(chan wire.Msg, depth)
+	ba := make(chan wire.Msg, depth)
+	a := &memConn{send: ab, recv: ba, done: make(chan struct{})}
+	b := &memConn{send: ba, recv: ab, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn.
+func (c *memConn) Send(m wire.Msg) error {
+	// Encode/decode even in-memory so byte-level bugs surface in every
+	// test, not just the TCP path, and so messages are deep-copied across
+	// the pipe like a real network would.
+	body, err := wire.Append(nil, m)
+	if err != nil {
+		return err
+	}
+	decoded, err := wire.Decode(body)
+	if err != nil {
+		return err
+	}
+	// Checked first: the select below picks randomly among ready cases and
+	// the buffered channel usually has room even after a close.
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	case c.send <- decoded:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *memConn) Recv() (wire.Msg, error) {
+	select {
+	case m := <-c.recv:
+		return m, nil
+	case <-c.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-c.recv:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-c.peer.done:
+		select {
+		case m := <-c.recv:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *memConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return nil
+}
+
+// memListener hands out pipe ends through an accept queue.
+type memListener struct {
+	conns chan Conn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewMemListener returns an in-memory listener. Dial it with
+// (*MemListener).Dial.
+func NewMemListener() *MemListener {
+	return &MemListener{inner: &memListener{
+		conns: make(chan Conn, 16),
+		done:  make(chan struct{}),
+	}}
+}
+
+// MemListener is the in-memory Listener implementation.
+type MemListener struct {
+	inner *memListener
+}
+
+// Dial creates a new connection whose far end is delivered to Accept.
+func (l *MemListener) Dial() (Conn, error) {
+	// Checked first because the select below picks randomly among ready
+	// cases and the accept queue usually has room.
+	select {
+	case <-l.inner.done:
+		return nil, ErrClosed
+	default:
+	}
+	a, b := Pipe(256)
+	select {
+	case <-l.inner.done:
+		return nil, ErrClosed
+	case l.inner.conns <- b:
+		return a, nil
+	}
+}
+
+// Accept implements Listener.
+func (l *MemListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.inner.conns:
+		return c, nil
+	case <-l.inner.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Listener.
+func (l *MemListener) Close() error {
+	l.inner.mu.Lock()
+	defer l.inner.mu.Unlock()
+	if !l.inner.closed {
+		l.inner.closed = true
+		close(l.inner.done)
+	}
+	return nil
+}
+
+// Addr implements Listener.
+func (l *MemListener) Addr() string { return "mem" }

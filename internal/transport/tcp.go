@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// tcpConn frames wire messages over a TCP stream. TCP's in-order delivery
+// provides the FIFO property the clock scheme depends on (§2.2).
+type tcpConn struct {
+	c net.Conn
+	r *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// NewTCPConn wraps an established net.Conn.
+func NewTCPConn(c net.Conn) Conn {
+	return &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// DialTCP connects to a notifier at addr.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+// Send implements Conn.
+func (t *tcpConn) Send(m wire.Msg) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if _, err := wire.WriteFrame(t.w, m); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Recv implements Conn.
+func (t *tcpConn) Recv() (wire.Msg, error) {
+	return wire.ReadFrame(t.r)
+}
+
+// Close implements Conn.
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// tcpListener adapts net.Listener.
+type tcpListener struct {
+	l net.Listener
+}
+
+// ListenTCP starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Accept implements Listener.
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+// Close implements Listener.
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+// Addr implements Listener.
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }

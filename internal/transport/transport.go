@@ -1,0 +1,41 @@
+// Package transport provides the FIFO message pipes connecting clients to
+// the notifier — the star topology of paper Fig. 1. Two implementations are
+// provided: an in-memory pipe for tests, examples and simulations, and a
+// real TCP transport ("the FIFO property of TCP connections", §2.2) for the
+// reducesrv/reducecli binaries.
+//
+// Both guarantee per-connection FIFO delivery; nothing in the system
+// requires more (no global ordering, no reliability beyond the connection).
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is one endpoint of a bidirectional FIFO message pipe.
+type Conn interface {
+	// Send enqueues a message toward the peer. It may block on
+	// backpressure. Send is safe for concurrent use.
+	Send(m wire.Msg) error
+	// Recv blocks until the next message arrives or the connection
+	// closes. Only one goroutine may call Recv at a time.
+	Recv() (wire.Msg, error)
+	// Close tears the connection down; pending Recv calls return
+	// ErrClosed (or io.EOF for the TCP transport).
+	Close() error
+}
+
+// Listener accepts inbound connections at the notifier.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accept calls return ErrClosed.
+	Close() error
+	// Addr names the listening endpoint (host:port for TCP).
+	Addr() string
+}

@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestPipeFIFO(t *testing.T) {
+	a, b := Pipe(64)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send(wire.JoinReq{Site: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.(wire.JoinReq).Site; got != i+1 {
+			t.Fatalf("FIFO violated: got %d want %d", got, i+1)
+		}
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b := Pipe(4)
+	if err := a.Send(wire.JoinReq{Site: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(wire.JoinResp{Site: 1, Text: "doc"}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b.Recv(); err != nil || m.(wire.JoinReq).Site != 1 {
+		t.Fatalf("b recv: %v %v", m, err)
+	}
+	if m, err := a.Recv(); err != nil || m.(wire.JoinResp).Text != "doc" {
+		t.Fatalf("a recv: %v %v", m, err)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe(1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+	if err := a.Send(wire.Leave{Site: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestPipeDrainsQueuedAfterClose(t *testing.T) {
+	a, b := Pipe(4)
+	if err := a.Send(wire.JoinReq{Site: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil || m.(wire.JoinReq).Site != 7 {
+		t.Fatalf("queued message lost on close: %v %v", m, err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after drain, got %v", err)
+	}
+}
+
+func TestMemListenerAcceptDial(t *testing.T) {
+	l := NewMemListener()
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		m, err := c.Recv()
+		if err != nil {
+			t.Errorf("server recv: %v", err)
+			return
+		}
+		if err := c.Send(wire.JoinResp{Site: m.(wire.JoinReq).Site, Text: "ok"}); err != nil {
+			t.Errorf("server send: %v", err)
+		}
+	}()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(wire.JoinReq{Site: 3}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil || m.(wire.JoinResp).Site != 3 {
+		t.Fatalf("dial round trip: %v %v", m, err)
+	}
+	<-done
+}
+
+func TestMemListenerClose(t *testing.T) {
+	l := NewMemListener()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("accept after close: %v", err)
+	}
+	if _, err := l.Dial(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dial after close: %v", err)
+	}
+}
+
+func TestPipeConcurrentSenders(t *testing.T) {
+	a, b := Pipe(256)
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := a.Send(wire.JoinReq{Site: s*1000 + i}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	got := make(map[int]bool)
+	for i := 0; i < senders*per; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[m.(wire.JoinReq).Site] = true
+	}
+	wg.Wait()
+	if len(got) != senders*per {
+		t.Fatalf("lost messages: %d/%d", len(got), senders*per)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback in this environment: %v", err)
+	}
+	defer l.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return // client closed
+			}
+			if jr, ok := m.(wire.JoinReq); ok {
+				if err := c.Send(wire.JoinResp{Site: jr.Site, Text: fmt.Sprintf("snap-%d", jr.Site)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := c.Send(wire.JoinReq{Site: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 20; i++ {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jr := m.(wire.JoinResp)
+		if jr.Site != i || jr.Text != fmt.Sprintf("snap-%d", i) {
+			t.Fatalf("tcp FIFO/content: %+v at %d", jr, i)
+		}
+	}
+	c.Close()
+	<-done
+}

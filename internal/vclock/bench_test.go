@@ -1,0 +1,79 @@
+package vclock
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCompare(b *testing.B) {
+	for _, n := range []int{2, 64, 2048} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			x := New(n)
+			y := New(n)
+			for i := 0; i < n; i++ {
+				x[i] = uint64(i)
+				y[i] = uint64(i)
+			}
+			y[n/2]++
+			for i := 0; i < b.N; i++ {
+				if Compare(x, y) == Concurrent {
+					b.Fatal("unexpected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	for _, n := range []int{2, 64, 2048} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			x := New(n)
+			y := New(n)
+			for i := 0; i < n; i++ {
+				y[i] = uint64(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Merge(y)
+			}
+		})
+	}
+}
+
+func BenchmarkSKSendLocality(b *testing.B) {
+	const n = 64
+	p := NewSKProcess(0, n)
+	for i := 0; i < b.N; i++ {
+		p.LocalEvent()
+		entries := p.Send(1 + i%4) // talks to a few neighbours
+		if len(entries) == 0 {
+			b.Fatal("no entries")
+		}
+	}
+}
+
+func BenchmarkFZReconstruct(b *testing.B) {
+	const n = 8
+	log := NewFZLog(n)
+	procs := make([]*FZProcess, n)
+	for i := range procs {
+		procs[i] = NewFZProcess(i, n, log)
+	}
+	var last EventID
+	for i := 0; i < 2000; i++ {
+		from := i % n
+		to := (i + 1) % n
+		id := procs[from].Send()
+		procs[to].Recv(id)
+		last = id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh memo each iteration to measure the reconstruction cost the
+		// paper's introduction calls prohibitive for online use.
+		log.memo = make(map[EventID]VC)
+		if vt := log.VectorTime(last); vt[0] == 0 && vt[1] == 0 {
+			b.Fatal("empty reconstruction")
+		}
+	}
+}

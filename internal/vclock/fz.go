@@ -1,0 +1,97 @@
+package vclock
+
+// Fowler–Zwaenepoel direct-dependency tracking [7]: messages carry a single
+// scalar (the sender's event counter). Each process records only its direct
+// dependencies; the full vector time of an event is recovered offline by a
+// transitive traversal of the dependency graph. This is the "single integer
+// timestamp, but off-line reconstruction only" extreme the paper's
+// introduction discusses: cheap on the wire, too expensive to evaluate
+// online.
+
+// EventID names an event as (process, sequence); sequences start at 1.
+type EventID struct {
+	Proc int
+	Seq  uint64
+}
+
+// fzEvent is an event record in the log: its direct dependency vector.
+type fzEvent struct {
+	deps []uint64 // deps[k] = highest seq of process k this event directly depends on
+}
+
+// FZLog accumulates the events of a computation and reconstructs vector
+// times offline.
+type FZLog struct {
+	n      int
+	events map[EventID]fzEvent
+	memo   map[EventID]VC
+}
+
+// NewFZLog returns an empty log for n processes.
+func NewFZLog(n int) *FZLog {
+	return &FZLog{n: n, events: make(map[EventID]fzEvent), memo: make(map[EventID]VC)}
+}
+
+// FZProcess is a process using direct-dependency tracking. Its on-wire
+// timestamp is the single scalar Seq.
+type FZProcess struct {
+	ID  int
+	seq uint64
+	// dep[k] = last sequence number received directly from process k.
+	dep []uint64
+	log *FZLog
+}
+
+// NewFZProcess returns FZ process id of n, recording into log.
+func NewFZProcess(id, n int, log *FZLog) *FZProcess {
+	return &FZProcess{ID: id, dep: make([]uint64, n), log: log}
+}
+
+// record snapshots the current direct dependencies as a new local event.
+func (p *FZProcess) record() EventID {
+	p.seq++
+	p.dep[p.ID] = p.seq
+	id := EventID{Proc: p.ID, Seq: p.seq}
+	p.log.events[id] = fzEvent{deps: append([]uint64(nil), p.dep...)}
+	return id
+}
+
+// LocalEvent registers a local event and returns its ID.
+func (p *FZProcess) LocalEvent() EventID { return p.record() }
+
+// Send registers a send event and returns its ID; the wire timestamp is just
+// (p.ID, seq) — one scalar beyond the implicit sender identity.
+func (p *FZProcess) Send() EventID { return p.record() }
+
+// Recv registers receipt of the message carrying the sender's event ID.
+func (p *FZProcess) Recv(from EventID) EventID {
+	if from.Seq > p.dep[from.Proc] {
+		p.dep[from.Proc] = from.Seq
+	}
+	return p.record()
+}
+
+// VectorTime reconstructs the full vector time of an event by transitively
+// chasing direct dependencies (memoized). The cost of this call is exactly
+// the "computational overhead too large for on-line use" trade-off the paper
+// describes.
+func (l *FZLog) VectorTime(id EventID) VC {
+	if vt, ok := l.memo[id]; ok {
+		return vt.Copy()
+	}
+	ev, ok := l.events[id]
+	if !ok {
+		return New(l.n)
+	}
+	vt := New(l.n)
+	vt[id.Proc] = id.Seq
+	for k, s := range ev.deps {
+		if k == id.Proc || s == 0 {
+			continue
+		}
+		sub := l.VectorTime(EventID{Proc: k, Seq: s})
+		vt.Merge(sub)
+	}
+	l.memo[id] = vt.Copy()
+	return vt
+}

@@ -1,0 +1,29 @@
+package vclock
+
+// Lamport is a scalar logical clock (Lamport 1978). It is consistent with
+// causality (a → b implies L(a) < L(b)) but cannot *characterize* it — the
+// limitation that motivated vector clocks and, in turn, the paper's
+// compressed variant.
+type Lamport struct {
+	t uint64
+}
+
+// Now returns the current clock value.
+func (l *Lamport) Now() uint64 { return l.t }
+
+// Tick advances the clock for a local or send event and returns the event's
+// timestamp.
+func (l *Lamport) Tick() uint64 {
+	l.t++
+	return l.t
+}
+
+// Observe folds in a received timestamp and ticks, returning the receive
+// event's timestamp.
+func (l *Lamport) Observe(ts uint64) uint64 {
+	if ts > l.t {
+		l.t = ts
+	}
+	l.t++
+	return l.t
+}

@@ -1,0 +1,220 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runSKDifferential drives full-vector and SK processes with an identical
+// random trace and checks the reconstructed clocks agree everywhere. The
+// Singhal–Kshemkalyani technique assumes FIFO channels (like the paper's TCP
+// links, §2.2), so delivery is FIFO per (sender, receiver) pair while the
+// interleaving across pairs stays random. It returns the per-message entry
+// counts for overhead assertions.
+func runSKDifferential(t *testing.T, n, steps int, seed int64, pickDest func(r *rand.Rand, from int) int) []int {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	full := make([]*Process, n)
+	sk := make([]*SKProcess, n)
+	for i := 0; i < n; i++ {
+		full[i] = NewProcess(i, n)
+		sk[i] = NewSKProcess(i, n)
+	}
+	type msg struct {
+		ts      VC
+		entries []Entry
+	}
+	queues := make(map[[2]int][]msg) // FIFO channel per (from, to)
+	var busy [][2]int                // keys with nonempty queues
+	var entryCounts []int
+	for step := 0; step < steps; step++ {
+		switch {
+		case len(busy) > 0 && r.Intn(2) == 0:
+			ki := r.Intn(len(busy))
+			key := busy[ki]
+			q := queues[key]
+			m := q[0]
+			queues[key] = q[1:]
+			if len(queues[key]) == 0 {
+				busy = append(busy[:ki], busy[ki+1:]...)
+			}
+			full[key[1]].Recv(m.ts)
+			sk[key[1]].Recv(m.entries)
+		default:
+			from := r.Intn(n)
+			to := pickDest(r, from)
+			ts := full[from].Send()
+			entries := sk[from].Send(to)
+			entryCounts = append(entryCounts, len(entries))
+			key := [2]int{from, to}
+			if len(queues[key]) == 0 {
+				busy = append(busy, key)
+			}
+			queues[key] = append(queues[key], msg{ts: ts, entries: entries})
+		}
+		for i := 0; i < n; i++ {
+			if Compare(full[i].Clock(), sk[i].Clock()) != Equal {
+				t.Fatalf("step %d: process %d: full %v != sk %v",
+					step, i, full[i].Clock(), sk[i].Clock())
+			}
+		}
+	}
+	return entryCounts
+}
+
+func TestSKReconstructsFullClocks(t *testing.T) {
+	runSKDifferential(t, 6, 800, 1, func(r *rand.Rand, from int) int {
+		to := r.Intn(6)
+		for to == from {
+			to = r.Intn(6)
+		}
+		return to
+	})
+}
+
+// TestSKLocalityCompresses: when processes talk mostly to ring neighbours,
+// the average number of transmitted entries must be well below N — the
+// observation [9, 13] build on (paper §1).
+func TestSKLocalityCompresses(t *testing.T) {
+	const n = 32
+	counts := runSKDifferential(t, n, 4000, 2, func(r *rand.Rand, from int) int {
+		if r.Intn(10) == 0 { // occasional long-range message
+			to := r.Intn(n)
+			for to == from {
+				to = r.Intn(n)
+			}
+			return to
+		}
+		return (from + 1) % n
+	})
+	sum := 0
+	maxC := 0
+	for _, c := range counts {
+		sum += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	avg := float64(sum) / float64(len(counts))
+	if avg > float64(n)/2 {
+		t.Fatalf("locality workload: avg %.1f entries/message, expected well under %d", avg, n)
+	}
+	if maxC > n {
+		t.Fatalf("impossible: %d entries from %d processes", maxC, n)
+	}
+}
+
+// TestSKWorstCaseIsLinear: with all-to-all random traffic the entry count
+// approaches N — the "still linear in N in the worst case" limitation the
+// paper cites as motivation (§1).
+func TestSKWorstCaseIsLinear(t *testing.T) {
+	const n = 16
+	counts := runSKDifferential(t, n, 3000, 3, func(r *rand.Rand, from int) int {
+		to := r.Intn(n)
+		for to == from {
+			to = r.Intn(n)
+		}
+		return to
+	})
+	// Look at the tail where clocks are warm.
+	tail := counts[len(counts)/2:]
+	maxC := 0
+	for _, c := range tail {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < n/2 {
+		t.Fatalf("worst-case entries %d suspiciously small for n=%d", maxC, n)
+	}
+}
+
+func TestSKStateSize(t *testing.T) {
+	p := NewSKProcess(0, 10)
+	if p.SKStateSize() != 30 {
+		t.Fatalf("SK keeps 3N words, got %d for N=10", p.SKStateSize())
+	}
+}
+
+func TestEntriesWireSize(t *testing.T) {
+	if got := EntriesWireSize(nil); got != 1 {
+		t.Fatalf("empty entry list is 1 count byte, got %d", got)
+	}
+	es := []Entry{{Index: 1, Value: 127}, {Index: 200, Value: 300}}
+	// count(1) + (1+1) + (2+2) = 7
+	if got := EntriesWireSize(es); got != 7 {
+		t.Fatalf("wire size: got %d want 7", got)
+	}
+}
+
+func TestSKSendToInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSKProcess(0, 3).Send(5)
+}
+
+func TestFZReconstruction(t *testing.T) {
+	const n = 5
+	r := rand.New(rand.NewSource(9))
+	log := NewFZLog(n)
+	full := make([]*Process, n)
+	fz := make([]*FZProcess, n)
+	for i := 0; i < n; i++ {
+		full[i] = NewProcess(i, n)
+		fz[i] = NewFZProcess(i, n, log)
+	}
+	type msg struct {
+		to int
+		ts VC
+		id EventID
+	}
+	var inflight []msg
+	type pair struct {
+		id EventID
+		ts VC
+	}
+	var events []pair
+	for step := 0; step < 700; step++ {
+		switch {
+		case len(inflight) > 0 && r.Intn(2) == 0:
+			i := r.Intn(len(inflight))
+			m := inflight[i]
+			inflight = append(inflight[:i], inflight[i+1:]...)
+			ts := full[m.to].Recv(m.ts)
+			id := fz[m.to].Recv(m.id)
+			events = append(events, pair{id: id, ts: ts})
+		case r.Intn(2) == 0:
+			p := r.Intn(n)
+			ts := full[p].LocalEvent()
+			id := fz[p].LocalEvent()
+			events = append(events, pair{id: id, ts: ts})
+		default:
+			from := r.Intn(n)
+			to := r.Intn(n)
+			for to == from {
+				to = r.Intn(n)
+			}
+			ts := full[from].Send()
+			id := fz[from].Send()
+			events = append(events, pair{id: id, ts: ts})
+			inflight = append(inflight, msg{to: to, ts: ts, id: id})
+		}
+	}
+	for _, e := range events {
+		rec := log.VectorTime(e.id)
+		if Compare(rec, e.ts) != Equal {
+			t.Fatalf("event %+v: reconstructed %v, online %v", e.id, rec, e.ts)
+		}
+	}
+}
+
+func TestFZUnknownEvent(t *testing.T) {
+	log := NewFZLog(3)
+	vt := log.VectorTime(EventID{Proc: 1, Seq: 5})
+	if Compare(vt, New(3)) != Equal {
+		t.Fatalf("unknown event must reconstruct to zero clock, got %v", vt)
+	}
+}

@@ -1,0 +1,193 @@
+// Package vclock implements classic logical-clock machinery: full N-element
+// vector clocks (Fidge/Mattern), Lamport scalar clocks, and the two vector
+// compression baselines the paper positions itself against — the
+// Singhal–Kshemkalyani differential technique [13] and the Fowler–Zwaenepoel
+// direct-dependency technique [7].
+//
+// These are the baselines for the overhead experiments (EXPERIMENTS.md
+// E3/E4/E9) and the ground-truth timestamping used by the causality oracle.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock over a fixed set of processes; VC[i] counts events of
+// process i.
+type VC []uint64
+
+// New returns a zeroed vector clock for n processes.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Inc increments process i's component and returns v for chaining.
+func (v VC) Inc(i int) VC {
+	v[i]++
+	return v
+}
+
+// Merge sets v to the component-wise maximum of v and o.
+func (v VC) Merge(o VC) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: merge of sizes %d and %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Sum returns the total number of events covered by the clock. SumExcept
+// returns the same, excluding component i — the quantity used by the paper's
+// compression formula (1).
+func (v VC) Sum() uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// SumExcept returns Sum minus component i.
+func (v VC) SumExcept(i int) uint64 { return v.Sum() - v[i] }
+
+// String renders the clock as "[a, b, c]".
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Relation is the outcome of comparing two vector clocks.
+type Relation int
+
+// Possible comparison outcomes.
+const (
+	// Equal: identical clocks.
+	Equal Relation = iota
+	// Before: the first clock happened-before the second.
+	Before
+	// After: the second clock happened-before the first.
+	After
+	// Concurrent: neither dominates the other.
+	Concurrent
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("relation(%d)", int(r))
+	}
+}
+
+// Compare determines the causal relation between two clocks of equal size.
+func Compare(a, b VC) Relation {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vclock: compare of sizes %d and %d", len(a), len(b)))
+	}
+	less, greater := false, false
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			less = true
+		case a[i] > b[i]:
+			greater = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// HappenedBefore reports a → b.
+func HappenedBefore(a, b VC) bool { return Compare(a, b) == Before }
+
+// AreConcurrent reports a ∥ b.
+func AreConcurrent(a, b VC) bool { return Compare(a, b) == Concurrent }
+
+// ConcurrentByTimestamp implements the paper's formula (3): operations O_a
+// (from site x, timestamp a) and O_b (from site y, timestamp b) are
+// concurrent iff a[x] > b[x] and b[y] > a[y]. For event timestamps produced
+// by the standard "increment own component before stamping" discipline this
+// agrees with AreConcurrent but needs only two component lookups.
+func ConcurrentByTimestamp(a VC, x int, b VC, y int) bool {
+	return a[x] > b[x] && b[y] > a[y]
+}
+
+// Process is a process in a distributed computation maintaining a full
+// vector clock with the standard send/receive/local rules.
+type Process struct {
+	ID int
+	vc VC
+}
+
+// NewProcess returns process id of n total with a zeroed clock.
+func NewProcess(id, n int) *Process { return &Process{ID: id, vc: New(n)} }
+
+// Clock returns the process's current clock (a copy).
+func (p *Process) Clock() VC { return p.vc.Copy() }
+
+// LocalEvent ticks the local component and returns the event timestamp.
+func (p *Process) LocalEvent() VC {
+	p.vc.Inc(p.ID)
+	return p.vc.Copy()
+}
+
+// Send ticks the local component and returns the timestamp to attach to the
+// message. A send is an event.
+func (p *Process) Send() VC { return p.LocalEvent() }
+
+// Recv merges a received timestamp, ticks the local component, and returns
+// the receive event's timestamp.
+func (p *Process) Recv(ts VC) VC {
+	p.vc.Merge(ts)
+	p.vc.Inc(p.ID)
+	return p.vc.Copy()
+}
+
+// WireSize returns the number of bytes a full vector timestamp occupies on
+// the wire under the project's varint encoding (see internal/wire); exposed
+// here so overhead experiments can compare schemes without constructing
+// messages.
+func (v VC) WireSize() int {
+	n := 0
+	for _, x := range v {
+		n += uvarintLen(x)
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want Relation
+	}{
+		{VC{0, 0}, VC{0, 0}, Equal},
+		{VC{1, 0}, VC{1, 0}, Equal},
+		{VC{1, 0}, VC{1, 1}, Before},
+		{VC{2, 3}, VC{1, 3}, After},
+		{VC{1, 0}, VC{0, 1}, Concurrent},
+		{VC{2, 1, 0}, VC{1, 1, 1}, Concurrent},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Fatalf("Compare(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(xs, ys [6]uint8) bool {
+		a, b := New(6), New(6)
+		for i := range xs {
+			a[i], b[i] = uint64(xs[i]), uint64(ys[i])
+		}
+		r1, r2 := Compare(a, b), Compare(b, a)
+		switch r1 {
+		case Equal:
+			return r2 == Equal
+		case Before:
+			return r2 == After
+		case After:
+			return r2 == Before
+		default:
+			return r2 == Concurrent
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIsLUB(t *testing.T) {
+	f := func(xs, ys [5]uint8) bool {
+		a, b := New(5), New(5)
+		for i := range xs {
+			a[i], b[i] = uint64(xs[i]), uint64(ys[i])
+		}
+		m := a.Copy()
+		m.Merge(b)
+		// m dominates both and is the least such clock.
+		for i := range m {
+			if m[i] < a[i] || m[i] < b[i] {
+				return false
+			}
+			if m[i] != a[i] && m[i] != b[i] {
+				return false
+			}
+		}
+		ra := Compare(a, m)
+		rb := Compare(b, m)
+		return (ra == Before || ra == Equal) && (rb == Before || rb == Equal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumAndSumExcept(t *testing.T) {
+	v := VC{1, 2, 3}
+	if v.Sum() != 6 {
+		t.Fatalf("sum %d", v.Sum())
+	}
+	if v.SumExcept(1) != 4 {
+		t.Fatalf("sumexcept %d", v.SumExcept(1))
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	v := VC{1, 2}
+	c := v.Copy()
+	c.Inc(0)
+	if v[0] != 1 || c[0] != 2 {
+		t.Fatal("copy aliased")
+	}
+}
+
+func TestStringAndRelationString(t *testing.T) {
+	if got := (VC{1, 2}).String(); got != "[1, 2]" {
+		t.Fatalf("vc string %q", got)
+	}
+	names := map[Relation]string{Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent"}
+	for r, want := range names {
+		if r.String() != want {
+			t.Fatalf("relation %d: %q", r, r.String())
+		}
+	}
+}
+
+func TestMismatchedSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	Compare(VC{1}, VC{1, 2})
+}
+
+// TestProcessRulesCaptureCausality runs a random computation and checks the
+// fundamental theorem of vector clocks: e → f iff VT(e) < VT(f), using
+// message-delivery ground truth.
+func TestProcessRulesCaptureCausality(t *testing.T) {
+	const n = 5
+	r := rand.New(rand.NewSource(17))
+	procs := make([]*Process, n)
+	for i := range procs {
+		procs[i] = NewProcess(i, n)
+	}
+	type msg struct {
+		to int
+		ts VC
+	}
+	type ev struct {
+		proc int
+		ts   VC
+	}
+	var events []ev
+	var inflight []msg
+	for step := 0; step < 600; step++ {
+		p := procs[r.Intn(n)]
+		switch {
+		case len(inflight) > 0 && r.Intn(2) == 0:
+			i := r.Intn(len(inflight))
+			m := inflight[i]
+			inflight = append(inflight[:i], inflight[i+1:]...)
+			ts := procs[m.to].Recv(m.ts)
+			events = append(events, ev{proc: m.to, ts: ts})
+		case r.Intn(2) == 0:
+			ts := p.LocalEvent()
+			events = append(events, ev{proc: p.ID, ts: ts})
+		default:
+			to := r.Intn(n)
+			ts := p.Send()
+			events = append(events, ev{proc: p.ID, ts: ts})
+			if to != p.ID {
+				inflight = append(inflight, msg{to: to, ts: ts})
+			}
+		}
+	}
+	// Same-process events must be totally ordered; cross-process pairs obey
+	// the timestamp characterization (formula 3 agreement check).
+	for i := 0; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			a, b := events[i], events[j]
+			rel := Compare(a.ts, b.ts)
+			if a.proc == b.proc && rel == Concurrent {
+				t.Fatalf("same-process events concurrent: %v vs %v", a.ts, b.ts)
+			}
+			if a.proc != b.proc {
+				got := ConcurrentByTimestamp(a.ts, a.proc, b.ts, b.proc)
+				want := rel == Concurrent
+				if got != want {
+					t.Fatalf("formula(3) disagrees with Compare: %v@%d vs %v@%d: %v vs %v",
+						a.ts, a.proc, b.ts, b.proc, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLamportConsistentWithCausality(t *testing.T) {
+	var a, b Lamport
+	t1 := a.Tick()
+	t2 := a.Tick() // a: two local events
+	if !(t1 < t2) {
+		t.Fatal("local order violated")
+	}
+	t3 := b.Observe(t2) // message a -> b
+	if !(t2 < t3) {
+		t.Fatal("send/recv order violated")
+	}
+	if b.Now() != t3 || a.Now() != t2 {
+		t.Fatal("Now mismatch")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	if got := (VC{0, 0}).WireSize(); got != 2 {
+		t.Fatalf("two zero components must be 2 bytes, got %d", got)
+	}
+	if got := (VC{127, 128}).WireSize(); got != 3 {
+		t.Fatalf("127 is 1 byte, 128 is 2: want 3, got %d", got)
+	}
+	big := New(1000)
+	if got := big.WireSize(); got != 1000 {
+		t.Fatalf("1000 zeros: %d", got)
+	}
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+// FuzzDecode throws arbitrary bytes at the message decoder: it must never
+// panic, and everything it accepts must re-encode to an equivalent message.
+func FuzzDecode(f *testing.F) {
+	// Seed with every valid message shape.
+	o, _ := op.NewInsert(5, 1, "xy")
+	seeds := []Msg{
+		JoinReq{Site: 3},
+		JoinResp{Site: 3, Text: "hello 日本", LocalOps: 7},
+		Leave{Site: 1},
+		ClientOp{From: 2, TS: core.Timestamp{T1: 9, T2: 4}, Ref: causal.OpRef{Site: 2, Seq: 4}, Op: o},
+		ServerOp{To: 1, TS: core.Timestamp{T1: 3, T2: 1}, Ref: causal.OpRef{Site: 0, Seq: 2},
+			OrigRef: causal.OpRef{Site: 2, Seq: 1}, Op: o},
+	}
+	for _, m := range seeds {
+		b, err := Append(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted messages must round-trip.
+		re, err := Append(nil, m)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		re2, err := Append(nil, m2)
+		if err != nil || !bytes.Equal(re, re2) {
+			t.Fatalf("canonical encoding unstable")
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_, _ = WriteFrame(&buf, JoinReq{Site: 1})
+	f.Add(buf.Bytes())
+	f.Add([]byte{0x05, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			if _, err := ReadFrame(r); err != nil {
+				return
+			}
+		}
+	})
+}

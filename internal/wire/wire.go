@@ -1,0 +1,495 @@
+// Package wire defines the binary protocol of the group editor and the
+// byte-accounting helpers behind the communication-overhead experiments
+// (EXPERIMENTS.md E3/E9).
+//
+// Every message is a length-prefixed frame:
+//
+//	frame   := length(uvarint) body
+//	body    := type(1 byte) payload
+//
+// All integers are unsigned varints, so a compressed 2-element timestamp
+// costs exactly two varints (2 bytes for small sessions) — the paper's
+// "minimum of two integers" (§6) — while a full N-element vector clock costs
+// N varints.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/causal"
+	"repro/internal/core"
+	"repro/internal/op"
+	"repro/internal/vclock"
+)
+
+// Protocol limits. Frames larger than MaxFrame are rejected to keep a
+// corrupt or malicious peer from ballooning memory.
+const (
+	MaxFrame = 16 << 20 // 16 MiB
+)
+
+// Wire errors.
+var (
+	// ErrFrameTooLarge indicates a frame length beyond MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrCorrupt indicates a structurally invalid message.
+	ErrCorrupt = errors.New("wire: corrupt message")
+)
+
+// MsgType tags the frame body.
+type MsgType byte
+
+// Message types.
+const (
+	// TClientOp is a client → notifier operation.
+	TClientOp MsgType = 1
+	// TServerOp is a notifier → client operation.
+	TServerOp MsgType = 2
+	// TJoinReq asks the notifier to admit a site.
+	TJoinReq MsgType = 3
+	// TJoinResp carries the admission snapshot.
+	TJoinResp MsgType = 4
+	// TLeave announces an orderly departure.
+	TLeave MsgType = 5
+	// TPresence is a client → notifier cursor/selection report.
+	TPresence MsgType = 6
+	// TServerPresence is a notifier → client presence relay.
+	TServerPresence MsgType = 7
+)
+
+// Msg is a decoded protocol message.
+type Msg interface{ msgType() MsgType }
+
+// ClientOp carries one operation from a client to the notifier.
+type ClientOp struct {
+	From int
+	TS   core.Timestamp
+	Ref  causal.OpRef
+	Op   *op.Op
+}
+
+func (ClientOp) msgType() MsgType { return TClientOp }
+
+// ServerOp carries one operation from the notifier to a client.
+type ServerOp struct {
+	To      int
+	TS      core.Timestamp
+	Ref     causal.OpRef
+	OrigRef causal.OpRef
+	Op      *op.Op
+}
+
+func (ServerOp) msgType() MsgType { return TServerOp }
+
+// JoinReq asks for admission. Site 0 requests automatic id assignment.
+// ReadOnly admits the site as a viewer: it receives every operation and may
+// share presence, but the notifier disconnects it if it ever sends an
+// operation.
+type JoinReq struct {
+	Site     int
+	ReadOnly bool
+}
+
+func (JoinReq) msgType() MsgType { return TJoinReq }
+
+// JoinResp carries the snapshot a joining site initializes from. LocalOps
+// resumes the joiner's local operation counter (nonzero on rejoin).
+type JoinResp struct {
+	Site     int
+	Text     string
+	LocalOps uint64
+}
+
+func (JoinResp) msgType() MsgType { return TJoinResp }
+
+// Leave announces that a site is departing.
+type Leave struct {
+	Site int
+}
+
+func (Leave) msgType() MsgType { return TLeave }
+
+// Presence is a client → notifier cursor/selection report in local
+// coordinates, stamped with the sender's current (un-incremented) state
+// vector.
+type Presence struct {
+	From   int
+	TS     core.Timestamp
+	Anchor int
+	Head   int
+	Active bool
+}
+
+func (Presence) msgType() MsgType { return TPresence }
+
+// ServerPresence relays a presence report to one client in server-context
+// coordinates.
+type ServerPresence struct {
+	To     int
+	From   int
+	Anchor int
+	Head   int
+	Active bool
+}
+
+func (ServerPresence) msgType() MsgType { return TServerPresence }
+
+// Append encodes a message body (type byte + payload) onto b.
+func Append(b []byte, m Msg) ([]byte, error) {
+	b = append(b, byte(m.msgType()))
+	switch v := m.(type) {
+	case ClientOp:
+		b = binary.AppendUvarint(b, uint64(v.From))
+		b = appendTimestamp(b, v.TS)
+		b = appendRef(b, v.Ref)
+		return AppendOp(b, v.Op)
+	case ServerOp:
+		b = binary.AppendUvarint(b, uint64(v.To))
+		b = appendTimestamp(b, v.TS)
+		b = appendRef(b, v.Ref)
+		b = appendRef(b, v.OrigRef)
+		return AppendOp(b, v.Op)
+	case JoinReq:
+		b = binary.AppendUvarint(b, uint64(v.Site))
+		return append(b, boolByte(v.ReadOnly)), nil
+	case JoinResp:
+		b = binary.AppendUvarint(b, uint64(v.Site))
+		b = appendString(b, v.Text)
+		return binary.AppendUvarint(b, v.LocalOps), nil
+	case Leave:
+		return binary.AppendUvarint(b, uint64(v.Site)), nil
+	case Presence:
+		b = binary.AppendUvarint(b, uint64(v.From))
+		b = appendTimestamp(b, v.TS)
+		b = binary.AppendUvarint(b, uint64(v.Anchor))
+		b = binary.AppendUvarint(b, uint64(v.Head))
+		return append(b, boolByte(v.Active)), nil
+	case ServerPresence:
+		b = binary.AppendUvarint(b, uint64(v.To))
+		b = binary.AppendUvarint(b, uint64(v.From))
+		b = binary.AppendUvarint(b, uint64(v.Anchor))
+		b = binary.AppendUvarint(b, uint64(v.Head))
+		return append(b, boolByte(v.Active)), nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message %T: %w", m, ErrCorrupt)
+	}
+}
+
+// Decode parses a message body produced by Append.
+func Decode(body []byte) (Msg, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("wire: empty body: %w", ErrCorrupt)
+	}
+	d := &decoder{b: body[1:]}
+	switch MsgType(body[0]) {
+	case TClientOp:
+		m := ClientOp{}
+		m.From = int(d.uvarint())
+		m.TS = d.timestamp()
+		m.Ref = d.ref()
+		m.Op = d.op()
+		return m, d.finish()
+	case TServerOp:
+		m := ServerOp{}
+		m.To = int(d.uvarint())
+		m.TS = d.timestamp()
+		m.Ref = d.ref()
+		m.OrigRef = d.ref()
+		m.Op = d.op()
+		return m, d.finish()
+	case TJoinReq:
+		m := JoinReq{Site: int(d.uvarint())}
+		m.ReadOnly = d.boolByte()
+		return m, d.finish()
+	case TJoinResp:
+		m := JoinResp{Site: int(d.uvarint())}
+		m.Text = d.str()
+		m.LocalOps = d.uvarint()
+		return m, d.finish()
+	case TLeave:
+		m := Leave{Site: int(d.uvarint())}
+		return m, d.finish()
+	case TPresence:
+		m := Presence{From: int(d.uvarint())}
+		m.TS = d.timestamp()
+		m.Anchor = int(d.uvarint())
+		m.Head = int(d.uvarint())
+		m.Active = d.boolByte()
+		return m, d.finish()
+	case TServerPresence:
+		m := ServerPresence{To: int(d.uvarint())}
+		m.From = int(d.uvarint())
+		m.Anchor = int(d.uvarint())
+		m.Head = int(d.uvarint())
+		m.Active = d.boolByte()
+		return m, d.finish()
+	default:
+		return nil, fmt.Errorf("wire: unknown type %d: %w", body[0], ErrCorrupt)
+	}
+}
+
+// WriteFrame encodes m as a length-prefixed frame onto w.
+func WriteFrame(w io.Writer, m Msg) (int, error) {
+	body, err := Append(nil, m)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return n + len(body), nil
+}
+
+// ReadFrame reads one length-prefixed frame from r and decodes it. r must be
+// an io.ByteReader as well (e.g. *bufio.Reader).
+func ReadFrame(r interface {
+	io.Reader
+	io.ByteReader
+}) (Msg, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if size > MaxFrame {
+		return nil, fmt.Errorf("wire: %d bytes: %w", size, ErrFrameTooLarge)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Decode(body)
+}
+
+// --- field codecs ---------------------------------------------------------
+
+func appendTimestamp(b []byte, ts core.Timestamp) []byte {
+	b = binary.AppendUvarint(b, ts.T1)
+	return binary.AppendUvarint(b, ts.T2)
+}
+
+func appendRef(b []byte, r causal.OpRef) []byte {
+	b = binary.AppendUvarint(b, uint64(r.Site))
+	return binary.AppendUvarint(b, r.Seq)
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendOp encodes an operation's component list.
+func AppendOp(b []byte, o *op.Op) ([]byte, error) {
+	if o == nil {
+		return nil, fmt.Errorf("wire: nil op: %w", ErrCorrupt)
+	}
+	comps := o.Comps()
+	b = binary.AppendUvarint(b, uint64(len(comps)))
+	for _, c := range comps {
+		b = append(b, byte(c.Kind))
+		if c.Kind == op.KInsert {
+			b = appendString(b, c.S)
+		} else {
+			b = binary.AppendUvarint(b, uint64(c.N))
+		}
+	}
+	return b, nil
+}
+
+// AppendVC encodes a full vector clock (baseline protocol; used by the
+// overhead experiments and the p2p substrate).
+func AppendVC(b []byte, v vclock.VC) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	for _, x := range v {
+		b = binary.AppendUvarint(b, x)
+	}
+	return b
+}
+
+// DecodeVC parses AppendVC output, returning the clock and remaining bytes.
+func DecodeVC(b []byte) (vclock.VC, []byte, error) {
+	d := &decoder{b: b}
+	n := d.uvarint()
+	if d.err != nil || n > MaxFrame {
+		return nil, nil, fmt.Errorf("wire: bad vc length: %w", ErrCorrupt)
+	}
+	v := vclock.New(int(n))
+	for i := range v {
+		v[i] = d.uvarint()
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return v, d.b, nil
+}
+
+// AppendSKEntries encodes a Singhal–Kshemkalyani differential timestamp.
+func AppendSKEntries(b []byte, es []vclock.Entry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(es)))
+	for _, e := range es {
+		b = binary.AppendUvarint(b, uint64(e.Index))
+		b = binary.AppendUvarint(b, e.Value)
+	}
+	return b
+}
+
+// DecodeSKEntries parses AppendSKEntries output.
+func DecodeSKEntries(b []byte) ([]vclock.Entry, []byte, error) {
+	d := &decoder{b: b}
+	n := d.uvarint()
+	if d.err != nil || n > MaxFrame {
+		return nil, nil, fmt.Errorf("wire: bad entry count: %w", ErrCorrupt)
+	}
+	es := make([]vclock.Entry, n)
+	for i := range es {
+		es[i].Index = int(d.uvarint())
+		es[i].Value = d.uvarint()
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return es, d.b, nil
+}
+
+// UvarintLen returns the encoded size of v in bytes.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// TimestampSize returns the on-wire cost of a compressed timestamp — the
+// quantity the paper reduces to a constant (§6).
+func TimestampSize(ts core.Timestamp) int {
+	return UvarintLen(ts.T1) + UvarintLen(ts.T2)
+}
+
+// --- decoder ---------------------------------------------------------------
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) timestamp() core.Timestamp {
+	return core.Timestamp{T1: d.uvarint(), T2: d.uvarint()}
+}
+
+func (d *decoder) ref() causal.OpRef {
+	return causal.OpRef{Site: int(d.uvarint()), Seq: d.uvarint()}
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) boolByte() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) == 0 {
+		d.fail()
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		d.fail()
+		return false
+	}
+	return v == 1
+}
+
+func (d *decoder) op() *op.Op {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) { // each comp takes at least one byte
+		d.fail()
+		return nil
+	}
+	comps := make([]op.Comp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if d.err != nil || len(d.b) == 0 {
+			d.fail()
+			return nil
+		}
+		kind := op.Kind(d.b[0])
+		d.b = d.b[1:]
+		switch kind {
+		case op.KInsert:
+			comps = append(comps, op.Comp{Kind: kind, S: d.str()})
+		case op.KRetain, op.KDelete:
+			comps = append(comps, op.Comp{Kind: kind, N: int(d.uvarint())})
+		default:
+			d.fail()
+			return nil
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	o, err := op.FromComps(comps)
+	if err != nil {
+		d.err = fmt.Errorf("wire: %v: %w", err, ErrCorrupt)
+		return nil
+	}
+	return o
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes: %w", len(d.b), ErrCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// LocalSession is an in-process editing session: one notifier and a set of
+// editors wired through in-memory FIFO pipes. It is the quickest way to use
+// the library and the backbone of the examples.
+type LocalSession struct {
+	Notifier *Notifier
+	Editors  []*Editor
+	ln       *transport.MemListener
+}
+
+// NewLocalSession starts a notifier with the initial document and connects
+// n editors (sites are auto-assigned 1..n).
+func NewLocalSession(n int, initial string, opts ...core.ServerOption) (*LocalSession, error) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, initial, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &LocalSession{Notifier: nt, ln: ln}
+	for i := 0; i < n; i++ {
+		conn, err := ln.Dial()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		ed, err := Connect(conn, 0)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.Editors = append(s.Editors, ed)
+	}
+	return s, nil
+}
+
+// Close tears the whole session down.
+func (s *LocalSession) Close() {
+	for _, e := range s.Editors {
+		_ = e.Close()
+	}
+	_ = s.Notifier.Close()
+}
+
+// Quiesce blocks until every operation generated so far has been processed
+// by the notifier and every broadcast has been integrated by its
+// destination, then verifies all replicas are identical. It uses the exact
+// message counts, not sleeps, and fails after timeout.
+func (s *LocalSession) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.quiet() {
+			return s.checkConverged()
+		}
+		if time.Now().After(deadline) {
+			if s.quiet() {
+				return s.checkConverged()
+			}
+			return fmt.Errorf("repro: session did not quiesce within %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// quiet reports whether all counters line up: the notifier has received
+// every op each editor generated, and each editor has integrated every op
+// the notifier sent it.
+func (s *LocalSession) quiet() bool {
+	received, sent := s.Notifier.Counts()
+	for _, e := range s.Editors {
+		if err := e.Err(); err != nil {
+			return true // broken editor: surface via checkConverged
+		}
+		fromServer, local := e.SV()
+		site := e.Site()
+		if received[site] != local {
+			return false
+		}
+		if sent[site] != fromServer {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *LocalSession) checkConverged() error {
+	want := s.Notifier.Text()
+	for _, e := range s.Editors {
+		if err := e.Err(); err != nil {
+			return fmt.Errorf("repro: editor %d failed: %w", e.Site(), err)
+		}
+		if got := e.Text(); got != want {
+			return fmt.Errorf("repro: site %d diverged: %q vs notifier %q", e.Site(), got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestNotifierRestartFromJournal: a journaled session survives a notifier
+// restart — the document is rebuilt exactly and old participants rejoin
+// under their site ids and keep editing.
+func TestNotifierRestartFromJournal(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "session.journal")
+
+	// First life.
+	ln := transport.NewMemListener()
+	nt, err := ServeWithJournal(ln, "persistent doc", jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := ln.Dial()
+	a, err := Connect(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2, _ := ln.Dial()
+	b, err := Connect(conn2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(0, "[a] "); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(b.Len(), " [b]"); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiet(t, nt, a, b)
+	want := nt.Text()
+	aSite, bSite := a.Site(), b.Site()
+	// "Crash": close everything (Close flushes the journal; a torn tail is
+	// exercised by the journal package's own tests).
+	_ = a.Close()
+	_ = b.Close()
+	_ = nt.Close()
+
+	// Second life.
+	ln2 := transport.NewMemListener()
+	nt2, err := ServeWithJournal(ln2, "persistent doc", jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt2.Close()
+	if nt2.Text() != want {
+		t.Fatalf("recovered document %q, want %q", nt2.Text(), want)
+	}
+	if len(nt2.Sites()) != 0 {
+		t.Fatalf("recovered notifier must list no connected sites, got %v", nt2.Sites())
+	}
+
+	// Old users rejoin under their ids; new edits flow.
+	conn3, _ := ln2.Dial()
+	a2, err := Connect(conn3, aSite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.Site() != aSite {
+		t.Fatalf("rejoin got site %d, want %d", a2.Site(), aSite)
+	}
+	if a2.Text() != want {
+		t.Fatalf("rejoin snapshot %q, want %q", a2.Text(), want)
+	}
+	conn4, _ := ln2.Dial()
+	b2, err := Connect(conn4, bSite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if err := a2.Insert(0, "(recovered) "); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiet(t, nt2, a2, b2)
+	if b2.Text() != nt2.Text() || b2.Text() != "(recovered) "+want {
+		t.Fatalf("post-recovery editing: %q / %q", b2.Text(), nt2.Text())
+	}
+
+	// Third life: the journal now contains two sessions' worth of records.
+	_ = a2.Close()
+	_ = b2.Close()
+	final := nt2.Text()
+	_ = nt2.Close()
+	ln3 := transport.NewMemListener()
+	nt3, err := ServeWithJournal(ln3, "persistent doc", jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt3.Close()
+	if nt3.Text() != final {
+		t.Fatalf("third recovery %q, want %q", nt3.Text(), final)
+	}
+}
+
+// waitQuiet blocks until the notifier and the given editors agree on all
+// message counts.
+func waitQuiet(t *testing.T, nt *Notifier, eds ...*Editor) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		received, sent := nt.Counts()
+		quiet := true
+		for _, e := range eds {
+			if err := e.Err(); err != nil {
+				t.Fatalf("editor %d failed: %v", e.Site(), err)
+			}
+			fromServer, local := e.SV()
+			if received[e.Site()] != local || sent[e.Site()] != fromServer {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJournalFreshStart: ServeWithJournal on a missing file behaves like
+// Serve.
+func TestJournalFreshStart(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "new.journal")
+	ln := transport.NewMemListener()
+	nt, err := ServeWithJournal(ln, "hello", jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	if nt.Text() != "hello" {
+		t.Fatalf("fresh start: %q", nt.Text())
+	}
+	conn, _ := ln.Dial()
+	e, err := Connect(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Insert(5, "!"); err != nil {
+		t.Fatal(err)
+	}
+	waitQuiet(t, nt, e)
+	if nt.Text() != "hello!" {
+		t.Fatalf("journaled edit: %q", nt.Text())
+	}
+}

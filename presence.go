@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"sort"
+
+	"repro/internal/op"
+	"repro/internal/wire"
+)
+
+// Presence (telepointers): see internal/core/presence.go for the protocol.
+// The Editor tracks every other participant's last reported selection,
+// keeping it current by transforming it through each operation it executes.
+
+// RemotePresence is another participant's selection in *this* replica's
+// coordinates.
+type RemotePresence struct {
+	Site      int
+	Selection Selection
+}
+
+// ShareSelection reports the editor's current selection (or its absence) to
+// the other participants.
+func (e *Editor) ShareSelection() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	anchor, head, active := 0, 0, false
+	if e.hasSel {
+		anchor, head, active = e.sel.Anchor, e.sel.Head, true
+	}
+	pm := e.client.Presence(anchor, head, active)
+	err := e.snd.enqueue(wire.Presence{
+		From: pm.From, TS: pm.TS, Anchor: pm.Anchor, Head: pm.Head, Active: pm.Active,
+	})
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Presences returns the remote selections currently known, sorted by site.
+func (e *Editor) Presences() []RemotePresence {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RemotePresence, 0, len(e.remoteSel))
+	for site, sel := range e.remoteSel {
+		out = append(out, RemotePresence{Site: site, Selection: sel})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// OnPresence registers a callback invoked after a remote selection changes
+// (site, selection, active); called without internal locks held.
+func (e *Editor) OnPresence(fn func(site int, sel Selection, active bool)) {
+	e.mu.Lock()
+	e.onPresence = fn
+	e.mu.Unlock()
+}
+
+// handlePresence integrates a relayed report (called from readLoop with
+// e.mu held; returns the callback to run unlocked).
+func (e *Editor) handlePresence(m wire.ServerPresence) func() {
+	if !m.Active {
+		delete(e.remoteSel, m.From)
+		fn := e.onPresence
+		if fn == nil {
+			return nil
+		}
+		return func() { fn(m.From, Selection{}, false) }
+	}
+	a, h := e.client.MapIncomingSelection(m.Anchor, m.Head)
+	sel := Selection{Anchor: a, Head: h}
+	if e.remoteSel == nil {
+		e.remoteSel = make(map[int]Selection)
+	}
+	e.remoteSel[m.From] = sel
+	fn := e.onPresence
+	if fn == nil {
+		return nil
+	}
+	return func() { fn(m.From, sel, true) }
+}
+
+// advanceRemoteSelections keeps tracked remote selections current through an
+// operation this replica just executed.
+func (e *Editor) advanceRemoteSelections(o *op.Op) {
+	for site, sel := range e.remoteSel {
+		s := op.TransformSelection(o, op.Selection{Anchor: sel.Anchor, Head: sel.Head}, false)
+		e.remoteSel[site] = Selection{Anchor: s.Anchor, Head: s.Head}
+	}
+}

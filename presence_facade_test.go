@@ -1,0 +1,174 @@
+package repro
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitForPresence polls until e knows a selection for site (or times out).
+func waitForPresence(t *testing.T, e *Editor, site int) Selection {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, rp := range e.Presences() {
+			if rp.Site == site {
+				return rp.Selection
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site %d presence never arrived at site %d", site, e.Site())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPresenceSharedAcrossSession(t *testing.T) {
+	s, err := NewLocalSession(3, "hello brave world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b, c := s.Editors[0], s.Editors[1], s.Editors[2]
+
+	// a selects "brave" and shares.
+	a.SetSelection(6, 11)
+	if err := a.ShareSelection(); err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []*Editor{b, c} {
+		sel := waitForPresence(t, other, a.Site())
+		if got := runeSlice(other.Text(), sel.Anchor, sel.Head); got != "brave" {
+			t.Fatalf("site %d sees %q", other.Site(), got)
+		}
+	}
+}
+
+func TestPresenceTracksRemoteEdits(t *testing.T) {
+	s, err := NewLocalSession(2, "hello brave world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+
+	a.SetSelection(6, 11) // "brave"
+	if err := a.ShareSelection(); err != nil {
+		t.Fatal(err)
+	}
+	waitForPresence(t, b, a.Site())
+
+	// b edits before the selection; without any new presence report, b's
+	// view of a's selection must shift and still cover "brave".
+	if err := b.Insert(0, ">>> "); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sel := waitForPresence(t, b, a.Site())
+	if got := runeSlice(b.Text(), sel.Anchor, sel.Head); got != "brave" {
+		t.Fatalf("tracked selection covers %q in %q", got, b.Text())
+	}
+}
+
+func TestPresenceClearAndCallback(t *testing.T) {
+	s, err := NewLocalSession(2, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+
+	type event struct {
+		site   int
+		active bool
+	}
+	var mu sync.Mutex
+	var events []event
+	b.OnPresence(func(site int, _ Selection, active bool) {
+		mu.Lock()
+		events = append(events, event{site, active})
+		mu.Unlock()
+	})
+
+	a.SetSelection(1, 2)
+	if err := a.ShareSelection(); err != nil {
+		t.Fatal(err)
+	}
+	waitForPresence(t, b, a.Site())
+
+	a.ClearSelection()
+	if err := a.ShareSelection(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b.Presences()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("presence never cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) < 2 || !events[0].active || events[len(events)-1].active {
+		t.Fatalf("callback events: %+v", events)
+	}
+	if events[0].site != a.Site() {
+		t.Fatalf("callback site: %+v", events)
+	}
+}
+
+// TestPresenceUnderConcurrentTyping: everyone types while everyone shares
+// selections; no crashes, no divergence, and every tracked selection stays
+// within bounds.
+func TestPresenceUnderConcurrentTyping(t *testing.T) {
+	s, err := NewLocalSession(3, strings.Repeat("word ", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i, e := range s.Editors {
+		wg.Add(1)
+		go func(i int, e *Editor) {
+			defer wg.Done()
+			for k := 0; k < 30; k++ {
+				if err := e.Insert(e.Len()/2, "x"); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				e.SetSelection(k%e.Len(), k%e.Len())
+				if err := e.ShareSelection(); err != nil {
+					t.Errorf("share: %v", err)
+					return
+				}
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	if err := s.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Editors {
+		for _, rp := range e.Presences() {
+			if rp.Selection.Anchor < 0 || rp.Selection.Head > e.Len() {
+				t.Fatalf("selection out of bounds: %+v of %d", rp, e.Len())
+			}
+		}
+	}
+}
+
+// runeSlice extracts [a,h) rune-wise (swapping if needed).
+func runeSlice(s string, a, h int) string {
+	if a > h {
+		a, h = h, a
+	}
+	rs := []rune(s)
+	if a < 0 || h > len(rs) {
+		return ""
+	}
+	return string(rs[a:h])
+}

@@ -1,0 +1,330 @@
+// Package repro is a real-time group editor with compressed vector clocks,
+// reproducing "Capturing Causality by Compressed Vector Clock in Real-Time
+// Group Editors" (C. Sun and W. Cai, IPPS 2002).
+//
+// The system is a star: a central Notifier (the paper's site 0) relays
+// operations between Editors (sites 1..N). Every editor keeps only a
+// 2-element state vector and every message carries a constant 2-integer
+// timestamp regardless of N, because the notifier transforms each operation
+// before relaying it (operational transformation), collapsing the
+// N-dimensional causality relation among operations to two dimensions.
+//
+// Quick start:
+//
+//	ln := transport.NewMemListener()        // or transport.ListenTCP(...)
+//	nt, _ := repro.Serve(ln, "hello world")
+//	conn, _ := ln.Dial()
+//	ed, _ := repro.Connect(conn, 0)         // 0 = auto-assign a site id
+//	ed.Insert(5, ",")                       // applied locally at once,
+//	                                        // propagated in the background
+//
+// The heavy lifting lives in internal packages: internal/core (the clock
+// scheme and engines), internal/op (operational transformation),
+// internal/doc (rope/gap-buffer documents), internal/wire and
+// internal/transport (protocol and links), internal/sim (deterministic
+// simulation), internal/vclock and internal/p2p (the baselines the paper
+// compares against), internal/causal (the ground-truth oracle).
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed Notifier or Editor.
+var ErrClosed = errors.New("repro: closed")
+
+// ErrReadOnly is returned by editing methods of a viewer (ConnectViewer).
+var ErrReadOnly = errors.New("repro: read-only viewer")
+
+// peer is the notifier's view of one connected editor.
+type peer struct {
+	conn     transport.Conn
+	snd      *sender
+	readOnly bool
+}
+
+// Notifier is the running site-0 service: it owns the authoritative
+// document copy, admits editors, transforms and relays their operations.
+type Notifier struct {
+	ln transport.Listener
+
+	mu       sync.Mutex
+	srv      *core.Server
+	peers    map[int]*peer
+	nextSite int
+	closed   bool
+	jw       *journal.Writer // nil without persistence
+
+	wg sync.WaitGroup
+}
+
+// Serve starts a notifier for the given initial document on a listener and
+// returns immediately; the accept loop runs in the background.
+func Serve(ln transport.Listener, initial string, opts ...core.ServerOption) (*Notifier, error) {
+	n := &Notifier{
+		ln:       ln,
+		srv:      core.NewServer(initial, opts...),
+		peers:    make(map[int]*peer),
+		nextSite: 1,
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ServeWithJournal is Serve with crash-consistent persistence: every state
+// transition is appended to journalPath before it takes effect, and if the
+// file already holds a previous session the notifier is rebuilt from it
+// (surviving clients reconnect with their site ids and resume — their local
+// counters continue where the journal shows them).
+func ServeWithJournal(ln transport.Listener, initial, journalPath string, opts ...core.ServerOption) (*Notifier, error) {
+	srv, jw, _, err := journal.Recover(journalPath, initial, opts...)
+	if err != nil {
+		return nil, err
+	}
+	n := &Notifier{
+		ln:       ln,
+		srv:      srv,
+		peers:    make(map[int]*peer),
+		nextSite: 1,
+		jw:       jw,
+	}
+	// Site ids continue past anything the journal has seen.
+	if max := srv.SV().Len(); max > n.nextSite {
+		n.nextSite = max
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the listener's address.
+func (n *Notifier) Addr() string { return n.ln.Addr() }
+
+// Text returns the notifier's current copy of the document.
+func (n *Notifier) Text() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv.Text()
+}
+
+// Sites returns the ids of currently joined sites.
+func (n *Notifier) Sites() []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv.Sites()
+}
+
+// Counts reports, per joined site, how many operations the notifier has
+// received from it and sent to it. Tests use this to detect quiescence
+// exactly instead of sleeping.
+func (n *Notifier) Counts() (received, sent map[int]uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	received = make(map[int]uint64)
+	sent = make(map[int]uint64)
+	for _, site := range n.srv.Sites() {
+		received[site] = n.srv.SV().Of(site)
+		sent[site] = n.srv.SentTo(site)
+	}
+	return received, sent
+}
+
+// Close shuts the service down: stops accepting, closes every connection,
+// and waits for the connection handlers to finish.
+func (n *Notifier) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+
+	_ = n.ln.Close()
+	for _, p := range peers {
+		_ = p.conn.Close()
+	}
+	n.wg.Wait()
+	if n.jw != nil {
+		return n.jw.Close()
+	}
+	return nil
+}
+
+func (n *Notifier) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go n.handle(conn)
+	}
+}
+
+// handle runs one connection: join handshake, then the operation loop.
+func (n *Notifier) handle(conn transport.Conn) {
+	defer n.wg.Done()
+	site, p, err := n.admit(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	defer func() {
+		n.mu.Lock()
+		if _, ok := n.peers[site]; ok {
+			delete(n.peers, site)
+			_ = n.srv.Leave(site)
+			if n.jw != nil {
+				_ = n.jw.Append(journal.Record{Kind: journal.KLeave, Site: site})
+			}
+		}
+		n.mu.Unlock()
+		p.snd.close()
+		_ = conn.Close()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch v := m.(type) {
+		case wire.ClientOp:
+			if v.From != site || p.readOnly {
+				return // impersonation, or an op from a viewer
+			}
+			if err := n.receive(v); err != nil {
+				return
+			}
+		case wire.Presence:
+			if v.From != site {
+				return
+			}
+			if err := n.relayPresence(v); err != nil {
+				return
+			}
+		case wire.Leave:
+			return
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+// admit performs the join handshake on a fresh connection. The snapshot is
+// enqueued while the registration lock is held, so it precedes any
+// broadcast to the new site.
+func (n *Notifier) admit(conn transport.Conn) (int, *peer, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return 0, nil, err
+	}
+	req, ok := m.(wire.JoinReq)
+	if !ok {
+		return 0, nil, fmt.Errorf("repro: expected join, got %T", m)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, nil, ErrClosed
+	}
+	site := req.Site
+	if site <= 0 {
+		site = n.nextSite
+	}
+	for {
+		if _, taken := n.peers[site]; !taken {
+			break
+		}
+		site++
+	}
+	if site >= n.nextSite {
+		n.nextSite = site + 1
+	}
+	snap, err := n.srv.Join(site)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n.jw != nil {
+		if err := n.jw.Append(journal.Record{Kind: journal.KJoin, Site: site}); err != nil {
+			_ = n.srv.Leave(site)
+			return 0, nil, err
+		}
+	}
+	p := &peer{conn: conn, snd: newSender(conn), readOnly: req.ReadOnly}
+	n.peers[site] = p
+	if err := p.snd.enqueue(wire.JoinResp{Site: snap.Site, Text: snap.Text, LocalOps: snap.LocalOps}); err != nil {
+		delete(n.peers, site)
+		_ = n.srv.Leave(site)
+		return 0, nil, err
+	}
+	return site, p, nil
+}
+
+// relayPresence re-coordinates a presence report and fans it out. Presence
+// is ephemeral: it is never journaled.
+func (n *Notifier) relayPresence(m wire.Presence) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	outs, err := n.srv.RelayPresence(core.PresenceMsg{
+		From: m.From, TS: m.TS, Anchor: m.Anchor, Head: m.Head, Active: m.Active,
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range outs {
+		p, ok := n.peers[o.To]
+		if !ok {
+			continue
+		}
+		_ = p.snd.enqueue(wire.ServerPresence{
+			To: o.To, From: o.From, Anchor: o.Anchor, Head: o.Head, Active: o.Active,
+		})
+	}
+	return nil
+}
+
+// receive integrates one client operation and fans the broadcasts out.
+func (n *Notifier) receive(m wire.ClientOp) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cm := core.ClientMsg{From: m.From, Op: m.Op, TS: m.TS, Ref: m.Ref}
+	if n.jw != nil {
+		// Write-ahead between validation and application: only operations
+		// the engine will accept are journaled, and they are durable before
+		// any effect (or broadcast) exists.
+		if err := n.srv.Precheck(cm); err != nil {
+			return err
+		}
+		if err := n.jw.Append(journal.Record{Kind: journal.KClientOp, Op: m}); err != nil {
+			return err
+		}
+	}
+	bcast, _, err := n.srv.Receive(cm)
+	if err != nil {
+		return err
+	}
+	for _, bm := range bcast {
+		p, ok := n.peers[bm.To]
+		if !ok {
+			continue
+		}
+		// A broken peer's own handler cleans it up; its failure must not
+		// abort everyone else's broadcast.
+		_ = p.snd.enqueue(wire.ServerOp{To: bm.To, TS: bm.TS, Ref: bm.Ref, OrigRef: bm.OrigRef, Op: bm.Op})
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func TestLocalSessionBasicEditing(t *testing.T) {
+	s, err := NewLocalSession(2, "hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	a, b := s.Editors[0], s.Editors[1]
+	if a.Text() != "hello world" || b.Text() != "hello world" {
+		t.Fatal("snapshot mismatch")
+	}
+	if err := a.Insert(5, ","); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != "hello, world" {
+		t.Fatalf("local response must be immediate: %q", a.Text())
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != "hello, world" || s.Notifier.Text() != "hello, world" {
+		t.Fatalf("propagation: %q / %q", b.Text(), s.Notifier.Text())
+	}
+}
+
+func TestPaperExampleOverFacade(t *testing.T) {
+	s, err := NewLocalSession(2, "ABCDE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// The §2.2/§2.3 pair, concurrently: O1 at one editor, O2 at the other.
+	if err := s.Editors[0].Insert(1, "12"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Editors[1].Delete(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Notifier.Text(); got != "A12B" {
+		t.Fatalf("intention-preserved result: %q, paper says A12B", got)
+	}
+}
+
+func TestManyEditorsConcurrentRandomEdits(t *testing.T) {
+	const editors = 6
+	s, err := NewLocalSession(editors, "the shared document body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i, e := range s.Editors {
+		wg.Add(1)
+		go func(i int, e *Editor) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(i)))
+			for k := 0; k < 60; k++ {
+				n := e.Len()
+				if n == 0 || r.Intn(3) != 0 {
+					pos := 0
+					if n > 0 {
+						pos = r.Intn(n + 1)
+					}
+					if err := e.Insert(pos, fmt.Sprintf("[%d.%d]", i, k)); err != nil {
+						t.Errorf("editor %d insert: %v", i, err)
+						return
+					}
+				} else {
+					pos := r.Intn(n)
+					if err := e.Delete(pos, 1); err != nil {
+						t.Errorf("editor %d delete: %v", i, err)
+						return
+					}
+				}
+				if k%7 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	if err := s.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnChangeCallback(t *testing.T) {
+	s, err := NewLocalSession(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var calls atomic.Int64
+	s.Editors[1].OnChange(func(string) { calls.Add(1) })
+	if err := s.Editors[0].Insert(0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("remote change callback fired %d times", calls.Load())
+	}
+	if err := s.Editors[1].Insert(1, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("local change callback fired %d times", calls.Load())
+	}
+}
+
+func TestEditorErrorsOnBadPositions(t *testing.T) {
+	s, err := NewLocalSession(1, "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	if err := e.Insert(10, "x"); err == nil {
+		t.Fatal("insert past end must fail")
+	}
+	if err := e.Delete(0, 10); err == nil {
+		t.Fatal("delete past end must fail")
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("local errors must not poison the session: %v", err)
+	}
+}
+
+func TestEditorCloseThenEdit(t *testing.T) {
+	s, err := NewLocalSession(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("double close must be fine")
+	}
+	if err := e.Insert(0, "x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("edit after close: %v", err)
+	}
+}
+
+func TestLateJoinerSeesSnapshot(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	conn, _ := ln.Dial()
+	a, err := Connect(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Insert(0, "written before join"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the notifier to hold the op, then join.
+	deadline := time.Now().Add(5 * time.Second)
+	for nt.Text() != "written before join" {
+		if time.Now().After(deadline) {
+			t.Fatal("notifier never saw the op")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn2, _ := ln.Dial()
+	b, err := Connect(conn2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Text() != "written before join" {
+		t.Fatalf("late joiner snapshot: %q", b.Text())
+	}
+	if a.Site() == b.Site() {
+		t.Fatal("site ids must be unique")
+	}
+}
+
+func TestLeaveRejoinKeepsSessionAlive(t *testing.T) {
+	s, err := NewLocalSession(3, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Editors[2].Insert(4, "!"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	leftSite := s.Editors[2].Site()
+	if err := s.Editors[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Editors = s.Editors[:2]
+
+	// Wait for the notifier to process the departure.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.Notifier.Sites()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("notifier still lists %v", s.Notifier.Sites())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := s.Editors[0].Insert(0, ">"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rejoin with the same site id.
+	conn, _ := s.ln.Dial()
+	back, err := Connect(conn, leftSite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Editors = append(s.Editors, back)
+	if back.Text() != s.Notifier.Text() {
+		t.Fatalf("rejoin snapshot: %q vs %q", back.Text(), s.Notifier.Text())
+	}
+	if err := back.Insert(0, "#"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s.Notifier.Text(), "#>") {
+		t.Fatalf("final: %q", s.Notifier.Text())
+	}
+}
+
+func TestSiteAssignmentAvoidsCollisions(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	c1, _ := ln.Dial()
+	a, err := Connect(c1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c2, _ := ln.Dial()
+	b, err := Connect(c2, 5) // taken: must get a different id
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Site() != 5 || b.Site() == 5 {
+		t.Fatalf("sites: %d, %d", a.Site(), b.Site())
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback: %v", err)
+	}
+	nt, err := Serve(ln, "tcp doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	var eds []*Editor
+	for i := 0; i < 3; i++ {
+		conn, err := transport.DialTCP(nt.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Connect(conn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		eds = append(eds, e)
+	}
+	for i, e := range eds {
+		if err := e.Insert(0, fmt.Sprintf("<%d>", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesce by counts.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		received, sent := nt.Counts()
+		quiet := true
+		for _, e := range eds {
+			fromServer, local := e.SV()
+			if received[e.Site()] != local || sent[e.Site()] != fromServer {
+				quiet = false
+			}
+		}
+		if quiet {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tcp session did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := nt.Text()
+	for _, e := range eds {
+		if e.Text() != want {
+			t.Fatalf("site %d: %q vs %q", e.Site(), e.Text(), want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(want, fmt.Sprintf("<%d>", i)) {
+			t.Fatalf("missing marker %d in %q", i, want)
+		}
+	}
+}
+
+func TestProtocolViolationDisconnects(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	// Speak garbage instead of joining.
+	conn, _ := ln.Dial()
+	if err := conn.Send(wire.Leave{Site: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("notifier must drop a connection that skips the handshake")
+	}
+
+	// Join properly, then impersonate another site.
+	conn2, _ := ln.Dial()
+	e, err := Connect(conn2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	conn3, _ := ln.Dial()
+	if err := conn3.Send(wire.JoinReq{Site: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn3.Recv(); err != nil { // snapshot
+		t.Fatal(err)
+	}
+	o, _ := wireInsertOp(0, 0, "x")
+	if err := conn3.Send(wire.ClientOp{From: 7, TS: o.TS, Ref: o.Ref, Op: o.Op}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn3.Recv(); err == nil {
+		t.Fatal("impersonation must disconnect")
+	}
+}
+
+// wireInsertOp builds a standalone ClientOp for protocol tests.
+func wireInsertOp(docLen, pos int, text string) (wire.ClientOp, error) {
+	c := core.NewClient(7, strings.Repeat("x", docLen))
+	m, err := c.Insert(pos, text)
+	if err != nil {
+		return wire.ClientOp{}, err
+	}
+	return wire.ClientOp{From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op}, nil
+}

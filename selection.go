@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"repro/internal/op"
+)
+
+// Selection support: each editor tracks a local cursor/selection in rune
+// offsets and transforms it through every operation — its own edits push the
+// caret along like a normal editor; remote edits shift it without stealing
+// it. This is the standard groupware cursor-stability behaviour, built on
+// op.TransformSelection.
+
+// Selection is a cursor range; Anchor == Head is a plain caret.
+type Selection struct {
+	Anchor int
+	Head   int
+}
+
+// SetSelection places the local selection, clamped into the document.
+func (e *Editor) SetSelection(anchor, head int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.client.DocLen()
+	e.sel = Selection{Anchor: clamp(anchor, n), Head: clamp(head, n)}
+	e.hasSel = true
+}
+
+// Selection returns the current selection and whether one is set.
+func (e *Editor) Selection() (Selection, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sel, e.hasSel
+}
+
+// ClearSelection removes the selection.
+func (e *Editor) ClearSelection() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hasSel = false
+}
+
+// transformSelection maps the selection through an executed operation.
+// own marks the editor's own edits (caret trails the typed text).
+func (e *Editor) transformSelection(o *op.Op, own bool) {
+	if !e.hasSel {
+		return
+	}
+	s := op.Selection{Anchor: e.sel.Anchor, Head: e.sel.Head}
+	s = op.TransformSelection(o, s, own)
+	e.sel = Selection{Anchor: s.Anchor, Head: s.Head}
+}
+
+func clamp(x, n int) int {
+	if x < 0 {
+		return 0
+	}
+	if x > n {
+		return n
+	}
+	return x
+}

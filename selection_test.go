@@ -1,0 +1,137 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func TestSelectionTracksLocalTyping(t *testing.T) {
+	s, err := NewLocalSession(1, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	e.SetSelection(5, 5)
+	if err := e.Insert(5, "!!"); err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := e.Selection()
+	if !ok || sel.Head != 7 {
+		t.Fatalf("caret after own insert at caret: %+v %v", sel, ok)
+	}
+}
+
+func TestSelectionShiftedByRemoteEdits(t *testing.T) {
+	s, err := NewLocalSession(2, "hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+
+	// b selects "world".
+	b.SetSelection(6, 11)
+	// a inserts at the front; b's selection must shift right by 4.
+	if err := a.Insert(0, ">>> "); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := b.Selection()
+	if !ok || sel.Anchor != 10 || sel.Head != 15 {
+		t.Fatalf("selection after remote prefix insert: %+v", sel)
+	}
+	if got, err := sliceRunes(b.Text(), sel.Anchor, sel.Head); err != nil || got != "world" {
+		t.Fatalf("selection no longer covers the word: %q %v", got, err)
+	}
+}
+
+func TestSelectionSurvivesRemoteDeleteAround(t *testing.T) {
+	s, err := NewLocalSession(2, "abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+	b.SetSelection(4, 4)                   // caret before 'e'
+	if err := a.Delete(1, 2); err != nil { // remove "bc"
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := b.Selection()
+	if sel.Head != 2 {
+		t.Fatalf("caret after remote delete before it: %+v", sel)
+	}
+}
+
+func TestSelectionClampAndClear(t *testing.T) {
+	s, err := NewLocalSession(1, "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	e.SetSelection(-3, 99)
+	sel, ok := e.Selection()
+	if !ok || sel.Anchor != 0 || sel.Head != 2 {
+		t.Fatalf("clamping: %+v", sel)
+	}
+	e.ClearSelection()
+	if _, ok := e.Selection(); ok {
+		t.Fatal("selection must be cleared")
+	}
+}
+
+// sliceRunes extracts [i,j) rune-wise.
+func sliceRunes(s string, i, j int) (string, error) {
+	rs := []rune(s)
+	if i < 0 || j < i || j > len(rs) {
+		return "", ErrClosed // any error will do for the test
+	}
+	return string(rs[i:j]), nil
+}
+
+func newTestListener(t *testing.T) *transport.MemListener {
+	t.Helper()
+	return transport.NewMemListener()
+}
+
+func coreUndoOption() []core.ClientOption {
+	return []core.ClientOption{core.WithClientUndo()}
+}
+
+func TestUndoOverFacade(t *testing.T) {
+	// Undo requires the core option; LocalSession doesn't pass it, so wire
+	// manually.
+	ln := newTestListener(t)
+	nt, err := Serve(ln, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Connect(conn, 0, coreUndoOption()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Insert(3, "!!!"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Text() != "doc" {
+		t.Fatalf("after undo: %q", e.Text())
+	}
+}

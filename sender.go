@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// sender serializes outbound messages onto a connection through an
+// unbounded FIFO queue drained by one writer goroutine. Enqueueing never
+// blocks, so engine mutexes are never held across a potentially blocking
+// network write — the classic recipe for distributed deadlock under
+// backpressure.
+type sender struct {
+	conn transport.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []wire.Msg
+	closed bool
+	err    error
+
+	done chan struct{}
+}
+
+func newSender(conn transport.Conn) *sender {
+	s := &sender{conn: conn, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// enqueue appends m to the outbound queue; messages are sent in enqueue
+// order.
+func (s *sender) enqueue(m wire.Msg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if s.err != nil {
+			return s.err
+		}
+		return ErrClosed
+	}
+	s.q = append(s.q, m)
+	s.cond.Signal()
+	return nil
+}
+
+// close drains what is already queued (best effort) and stops the writer.
+func (s *sender) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+func (s *sender) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.q) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.q) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		m := s.q[0]
+		s.q = s.q[1:]
+		s.mu.Unlock()
+
+		if err := s.conn.Send(m); err != nil {
+			s.mu.Lock()
+			s.err = err
+			s.closed = true
+			s.q = nil
+			s.mu.Unlock()
+			return
+		}
+	}
+}

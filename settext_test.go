@@ -1,0 +1,90 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSetTextBasic(t *testing.T) {
+	s, err := NewLocalSession(2, "hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+
+	if err := a.SetText("hello brave world"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != "hello brave world" {
+		t.Fatalf("local: %q", a.Text())
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != "hello brave world" {
+		t.Fatalf("remote: %q", b.Text())
+	}
+}
+
+func TestSetTextNoChangeIsNoop(t *testing.T) {
+	s, err := NewLocalSession(1, "same")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Editors[0]
+	if err := e.SetText("same"); err != nil {
+		t.Fatal(err)
+	}
+	if _, local := e.SV(); local != 0 {
+		t.Fatalf("no-change SetText generated %d ops", local)
+	}
+}
+
+// TestSetTextPreservesConcurrentRemoteEdits: because SetText diffs into a
+// single-region edit, a concurrent remote edit outside that region must
+// survive.
+func TestSetTextPreservesConcurrentRemoteEdits(t *testing.T) {
+	s, err := NewLocalSession(2, "header | body | footer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.Editors[0], s.Editors[1]
+
+	// Concurrently: a rewrites the body region; b edits the footer.
+	if err := a.SetText("header | NEW BODY | footer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(b.Len(), "!"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := "header | NEW BODY | footer!"
+	if a.Text() != want || b.Text() != want {
+		t.Fatalf("concurrent SetText: %q / %q, want %q", a.Text(), b.Text(), want)
+	}
+}
+
+func TestSetTextLargeDocument(t *testing.T) {
+	base := strings.Repeat("line of text\n", 500)
+	s, err := NewLocalSession(2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	edited := strings.Replace(base, "line of text", "LINE OF TEXT", 1)
+	if err := s.Editors[0].SetText(edited); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Editors[1].Text() != edited {
+		t.Fatal("large SetText diverged")
+	}
+}

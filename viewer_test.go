@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func TestViewerSeesEditsButCannotEdit(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "watch me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	conn, _ := ln.Dial()
+	writer, err := Connect(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	conn2, _ := ln.Dial()
+	viewer, err := ConnectViewer(conn2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+
+	// Viewer cannot edit, locally rejected.
+	for _, call := range []func() error{
+		func() error { return viewer.Insert(0, "x") },
+		func() error { return viewer.Delete(0, 1) },
+		func() error { return viewer.Replace(0, 1, "y") },
+		func() error { return viewer.SetText("zzz") },
+		func() error { return viewer.Undo() },
+		func() error { return viewer.Edit(func(b *Batch) { b.Insert(0, "n") }) },
+	} {
+		if err := call(); !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("viewer edit: %v", err)
+		}
+	}
+
+	// Viewer still receives everything.
+	if err := writer.Insert(0, ">> "); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for viewer.Text() != ">> watch me" {
+		if time.Now().After(deadline) {
+			t.Fatalf("viewer never saw the edit: %q", viewer.Text())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := viewer.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewerPresenceWorks(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "pointing allowed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	conn, _ := ln.Dial()
+	writer, err := Connect(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	conn2, _ := ln.Dial()
+	viewer, err := ConnectViewer(conn2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+
+	viewer.SetSelection(0, 8) // "pointing"
+	if err := viewer.ShareSelection(); err != nil {
+		t.Fatal(err)
+	}
+	sel := waitForPresence(t, writer, viewer.Site())
+	if sel.Anchor != 0 || sel.Head != 8 {
+		t.Fatalf("viewer presence: %+v", sel)
+	}
+}
+
+// TestMaliciousViewerDisconnected: a client that joined read-only but sends
+// an operation anyway is dropped by the notifier.
+func TestMaliciousViewerDisconnected(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := Serve(ln, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	conn, _ := ln.Dial()
+	if err := conn.Send(wire.JoinReq{Site: 5, ReadOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil { // snapshot
+		t.Fatal(err)
+	}
+	// Hand-craft an otherwise valid op.
+	c := core.NewClient(5, "")
+	m, _ := c.Insert(0, "sneaky")
+	if err := conn.Send(wire.ClientOp{From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("notifier must disconnect a viewer that sends operations")
+	}
+	if nt.Text() != "" {
+		t.Fatalf("viewer op applied: %q", nt.Text())
+	}
+}
