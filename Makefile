@@ -1,0 +1,27 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test vet lint race fuzz check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/cvclint ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/transport ./internal/sim .
+
+fuzz:
+	$(GO) test ./internal/op -run='^$$' -fuzz='^FuzzTransform$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/op -run='^$$' -fuzz='^FuzzCompose$$' -fuzztime=$(FUZZTIME)
+
+# check is the full local CI gate; see scripts/check.sh.
+check:
+	FUZZTIME=$(FUZZTIME) bash scripts/check.sh

@@ -1,0 +1,168 @@
+// Command cvclint runs the repo's causality-invariant analyzers
+// (internal/lint) over the module and reports file:line diagnostics,
+// exiting non-zero on findings.
+//
+//	cvclint ./...            # analyze every package in the module
+//	cvclint ./internal/core  # analyze specific directories
+//	cvclint -list            # describe the analyzer suite
+//	cvclint -only errdrop,opalias ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 load or type-check failure.
+//
+// Findings are suppressed by an inline `//lint:allow <analyzer> <reason>`
+// comment on the offending line or the line above; -show-suppressed prints
+// those too (without affecting the exit code).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cvclint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	showSuppressed := fs.Bool("show-suppressed", false, "also print findings silenced by //lint:allow")
+	verbose := fs.Bool("v", false, "print each package as it is analyzed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		if analyzers, err = lint.ByName(*only); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvclint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvclint:", err)
+		return 2
+	}
+
+	pkgs, err := loadTargets(loader, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvclint:", err)
+		return 2
+	}
+
+	exit := 0
+	findings := 0
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cvclint: analyzing %s\n", pkg.Path)
+		}
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(os.Stderr, "cvclint: %s: %v\n", pkg.Path, e)
+			}
+			exit = 2
+			continue
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			if d.Suppressed {
+				if *showSuppressed {
+					fmt.Printf("%s [suppressed]\n", d)
+				}
+				continue
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if exit == 0 && findings > 0 {
+		exit = 1
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "cvclint: %d finding(s)\n", findings)
+	}
+	return exit
+}
+
+// loadTargets resolves the command-line package patterns: no arguments or
+// "./..." means the whole module; anything else is a directory.
+func loadTargets(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." || pat == "all" {
+			pkgs, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					out = append(out, p)
+				}
+			}
+			continue
+		}
+		dir, err := filepath.Abs(strings.TrimSuffix(pat, "/..."))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(loader.ModuleDir, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside module %s", pat, loader.ModuleDir)
+		}
+		path := loader.ModulePath
+		if rel != "." {
+			path = loader.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[pkg.Path] {
+			seen[pkg.Path] = true
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,250 @@
+// Package lint is a small, stdlib-only static-analysis framework enforcing
+// the causality invariants the Go type system cannot express (paper §3–§6):
+// timestamps must be ordered only through the formula-(5)/(7) helpers,
+// relayed operations must be new transformed ops rather than aliased
+// originals, engine mutexes must not be held across blocking sends, and wire
+// and journal errors must not be silently dropped.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are loaded
+// with go/parser and type-checked with go/types (see load.go), and each
+// analyzer is a visitor over typed ASTs registered with the shared driver
+// (cmd/cvclint). Adding a pass is ~50 lines: declare an Analyzer, walk
+// pass.Files, call pass.Reportf.
+//
+// Findings can be suppressed with an inline comment on the offending line or
+// the line directly above it:
+//
+//	//lint:allow tscompare — assertion against expected constants, not ordering
+//
+// The comment names one or more analyzers (comma-separated); everything
+// after the list is free-form justification. Suppressions are honored by the
+// driver and surfaced with -show-suppressed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one registered pass. Run inspects a single type-checked
+// package through its Pass and reports findings; it must not retain the
+// Pass after returning.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:allow comments.
+	Name string
+	// Doc is a one-line description shown by cvclint -list.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{OpAlias, TSCompare, LockSend, ErrDrop, NoPanic}
+}
+
+// ByName resolves a comma-separated analyzer list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Pass carries one type-checked package into an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path (e.g. "repro/internal/core").
+	Path string
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed is set when a //lint:allow comment covers the finding.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Run applies the analyzers to a loaded package and returns its findings,
+// with //lint:allow suppressions applied, sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	for i := range diags {
+		d := &diags[i]
+		key := fileLine{d.Pos.Filename, d.Pos.Line}
+		prev := fileLine{d.Pos.Filename, d.Pos.Line - 1}
+		if allows[key][d.Analyzer] || allows[prev][d.Analyzer] {
+			d.Suppressed = true
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// collectAllows gathers //lint:allow comments: map (file,line) → analyzer
+// set. A suppression applies to findings on its own line (trailing comment)
+// or on the line immediately below (preceding comment).
+func collectAllows(fset *token.FileSet, files []*ast.File) map[fileLine]map[string]bool {
+	out := make(map[fileLine]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fileLine{pos.Filename, pos.Line}
+				if out[key] == nil {
+					out[key] = make(map[string]bool)
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						out[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- shared type helpers used by the analyzers ---------------------------
+
+// namedType unwraps pointers and aliases down to a named type, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// calleeFunc resolves the static callee of a call, or nil (builtin calls,
+// conversions, and calls through function values resolve to nil).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// funcPkgPath returns the declaring package path of f ("" for nil).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// identObj resolves an expression to the object of its root identifier when
+// the expression is a plain (possibly parenthesized) identifier.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

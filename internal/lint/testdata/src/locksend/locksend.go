@@ -1,0 +1,80 @@
+// Fixture for the locksend analyzer: no mutex may be held across a channel
+// send or blocking transport call.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+type notifier struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan wire.Msg
+	conn transport.Conn
+}
+
+func (n *notifier) deferHeld(m wire.Msg) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.conn.Send(m) // want "blocking transport.Send while n.mu is held"
+}
+
+func (n *notifier) chanHeld(m wire.Msg) {
+	n.mu.Lock()
+	n.ch <- m // want "channel send while n.mu is held"
+	n.mu.Unlock()
+}
+
+func (n *notifier) rlockHeld() (wire.Msg, error) {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	return n.conn.Recv() // want "blocking transport.Recv while n.rw is held"
+}
+
+func (n *notifier) earlyReturnStaysHeld(m wire.Msg, closed bool) error {
+	n.mu.Lock()
+	if closed {
+		n.mu.Unlock()
+		return nil
+	}
+	defer n.mu.Unlock()
+	return n.conn.Send(m) // want "blocking transport.Send while n.mu is held"
+}
+
+// unlockBeforeSend snapshots under the lock and sends outside it — the
+// pattern sender.go exists to enable.
+func (n *notifier) unlockBeforeSend(m wire.Msg) error {
+	n.mu.Lock()
+	q := []wire.Msg{m}
+	n.mu.Unlock()
+	for _, x := range q {
+		if err := n.conn.Send(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goroutineRunsUnlocked: the spawned body does not execute under the lock.
+func (n *notifier) goroutineRunsUnlocked(m wire.Msg) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		_ = n.conn.Send(m)
+	}()
+}
+
+// lockScopedToLoopBody: each iteration releases before the send.
+func (n *notifier) lockScopedToLoopBody(msgs []wire.Msg) error {
+	for _, m := range msgs {
+		n.mu.Lock()
+		n.mu.Unlock()
+		if err := n.conn.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

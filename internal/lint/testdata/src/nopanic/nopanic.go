@@ -1,0 +1,27 @@
+// Fixture for the nopanic analyzer: library code returns errors; only
+// allowlisted unreachable guards may panic.
+package fixture
+
+import "errors"
+
+func panics(x int) int {
+	if x < 0 {
+		panic("negative") // want "panic in library code"
+	}
+	return x
+}
+
+func allowlisted(x int) int {
+	if x < 0 {
+		//lint:allow nopanic — fixture: unreachable precondition guard
+		panic("negative")
+	}
+	return x
+}
+
+func returnsError(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative")
+	}
+	return x, nil
+}

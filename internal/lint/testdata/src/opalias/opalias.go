@@ -1,0 +1,69 @@
+// Fixture for the opalias analyzer: an *op.Op reachable from a sent
+// message must not be mutated after the send.
+package fixture
+
+import (
+	"repro/internal/op"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func afterChannelSend(ch chan<- *op.Op) {
+	o := op.New().Retain(1)
+	ch <- o
+	o.Insert("x") // want "mutated after the send"
+}
+
+func afterTransportSend(conn transport.Conn) error {
+	o := op.New().Retain(2)
+	m := wire.ClientOp{From: 1, Op: o}
+	if err := conn.Send(m); err != nil {
+		return err
+	}
+	o.Delete(1) // want "mutated after the send"
+	return nil
+}
+
+func compositeInCall(conn transport.Conn) error {
+	o := op.New().Retain(2)
+	if err := conn.Send(wire.ClientOp{From: 1, Op: o}); err != nil {
+		return err
+	}
+	o.Retain(3) // want "mutated after the send"
+	return nil
+}
+
+func fieldAssign(ch chan<- wire.ServerOp) {
+	o := op.New().Insert("hi")
+	var m wire.ServerOp
+	m.Op = o
+	ch <- m
+	o.Insert("!") // want "mutated after the send"
+}
+
+// buildBeforeSend is the correct order: every mutation precedes the send.
+func buildBeforeSend(ch chan<- *op.Op) {
+	o := op.New()
+	o.Insert("hello")
+	o.Retain(4)
+	ch <- o
+}
+
+// cloneThenMutate is the documented escape hatch: mutate a deep copy.
+func cloneThenMutate(conn transport.Conn) error {
+	o := op.New().Retain(2)
+	if err := conn.Send(wire.ClientOp{From: 1, Op: o}); err != nil {
+		return err
+	}
+	p := o.Clone()
+	p.Insert("x")
+	return nil
+}
+
+// unrelatedOp is never aliased by the sent message.
+func unrelatedOp(ch chan<- *op.Op) {
+	a := op.New().Retain(1)
+	b := op.New().Retain(1)
+	ch <- a
+	b.Insert("x")
+}

@@ -1,0 +1,37 @@
+// Fixture for the tscompare analyzer: clock types may only be ordered by
+// the formula-(5)/(7) helpers in internal/core.
+package fixture
+
+import "repro/internal/core"
+
+func orderedFields(a, b core.Timestamp) bool {
+	return a.T1 < b.T1 // want "ad-hoc < comparison on core.Timestamp.T1"
+}
+
+func structEquality(a, b core.Timestamp) bool {
+	return a == b // want "ad-hoc == comparison on Timestamp"
+}
+
+func svField(sv core.ClientSV, n uint64) bool {
+	return sv.Local > n // want "ad-hoc > comparison on core.ClientSV.Local"
+}
+
+func mixedOperands(t core.Timestamp, n uint64) bool {
+	return n >= t.T2 // want "ad-hoc >= comparison on core.Timestamp.T2"
+}
+
+// throughHelpers is the sanctioned path: formula (5).
+func throughHelpers(a, b core.Timestamp, fromServer bool) bool {
+	return core.ConcurrentClient(a, b, fromServer)
+}
+
+// plainCounters are not clock components.
+func plainCounters(x, y uint64) bool {
+	return x < y
+}
+
+// suppressed demonstrates the driver-honored escape hatch.
+func suppressed(a, b core.Timestamp) bool {
+	//lint:allow tscompare — fixture: asserting equality in a test helper, not ordering
+	return a.T2 == b.T2
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TSCompare flags ad-hoc comparisons on the compressed clock types outside
+// internal/core and internal/causal. Ordering two timestamps with == or <
+// looks harmless but silently reimplements the concurrency relation the
+// paper derives in formulas (4)–(7): T_Oa[1] and T_Ob[1] are counts taken at
+// *different sites*, so componentwise comparison does not decide causality.
+// All ordering must go through core.ConcurrentClient / core.ConcurrentServer
+// (and their General variants), which encode the FIFO star-topology
+// simplification correctly.
+var TSCompare = &Analyzer{
+	Name: "tscompare",
+	Doc:  "ad-hoc ==/< comparison on Timestamp/ClientSV/ServerSV outside internal/core and internal/causal",
+	Run:  runTSCompare,
+}
+
+// clockTypePkg exempts the packages that define and legitimately order the
+// clock representations.
+var tsCompareExempt = map[string]bool{
+	"repro/internal/core":   true,
+	"repro/internal/causal": true,
+}
+
+func runTSCompare(pass *Pass) {
+	if tsCompareExempt[pass.Path] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			if name := pass.clockOperand(be.X); name != "" {
+				pass.Reportf(be.OpPos, "ad-hoc %s comparison on %s; causality must be decided by the formula-(5)/(7) helpers in internal/core", be.Op, name)
+				return true
+			}
+			if name := pass.clockOperand(be.Y); name != "" {
+				pass.Reportf(be.OpPos, "ad-hoc %s comparison on %s; causality must be decided by the formula-(5)/(7) helpers in internal/core", be.Op, name)
+			}
+			return true
+		})
+	}
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// clockFields are the exported counters of the 2-element representations;
+// comparing one of them is ordering a clock component.
+var clockFields = map[string][]string{
+	"Timestamp": {"T1", "T2"},
+	"ClientSV":  {"FromServer", "Local"},
+}
+
+// clockOperand reports the clock type name involved in expr, or "": either
+// the expression itself has a clock type, or it selects a clock counter
+// field (e.g. ts.T1).
+func (p *Pass) clockOperand(expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	if name := p.clockTypeName(expr); name != "" {
+		return name
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base := p.clockTypeName(sel.X)
+	for _, field := range clockFields[base] {
+		if sel.Sel.Name == field {
+			return "core." + base + "." + field
+		}
+	}
+	return ""
+}
+
+// clockTypeName returns the bare name of the clock type of expr, or "".
+func (p *Pass) clockTypeName(expr ast.Expr) string {
+	tv, ok := p.Info.Types[expr]
+	if !ok {
+		return ""
+	}
+	for _, name := range []string{"Timestamp", "ClientSV", "ServerSV"} {
+		if isNamed(tv.Type, "repro/internal/core", name) {
+			return name
+		}
+	}
+	return ""
+}

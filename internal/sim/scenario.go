@@ -133,6 +133,15 @@ func Figure3() (*Figure3Result, error) {
 		clients[site] = core.NewClient(site, snap.Text, core.WithClientCompaction(0))
 	}
 	res := &Figure3Result{Finals: map[int]string{}}
+	// The helpers below record the first engine error and turn every later
+	// call into a no-op, so the fixed §5 sequence reads linearly while
+	// failures still surface through Figure3's error result.
+	var firstErr error
+	fail := func(format string, args ...any) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf(format, args...)
+		}
+	}
 	step := func(title string) *Figure3Step {
 		res.Steps = append(res.Steps, Figure3Step{Title: title})
 		return &res.Steps[len(res.Steps)-1]
@@ -154,10 +163,14 @@ func Figure3() (*Figure3Result, error) {
 	}
 
 	generate := func(st *Figure3Step, site int, name string, build func(c *core.Client) (core.ClientMsg, error)) core.ClientMsg {
+		if firstErr != nil {
+			return core.ClientMsg{}
+		}
 		c := clients[site]
 		m, err := build(c)
 		if err != nil {
-			panic(fmt.Sprintf("figure3: generate %s: %v", name, err))
+			fail("figure3: generate %s: %w", name, err)
+			return core.ClientMsg{}
 		}
 		logf(st, "%s = %s generated at site %d, timestamped %v, doc now %q",
 			name, describe(m.Op), site, m.TS, c.Text())
@@ -165,10 +178,14 @@ func Figure3() (*Figure3Result, error) {
 	}
 
 	integrate := func(st *Figure3Step, site int, name string, m core.ServerMsg) {
+		if firstErr != nil {
+			return
+		}
 		c := clients[site]
 		ir, err := c.Integrate(m)
 		if err != nil {
-			panic(fmt.Sprintf("figure3: integrate %s at %d: %v", name, site, err))
+			fail("figure3: integrate %s at %d: %w", name, site, err)
+			return
 		}
 		verdicts := make([]string, 0, len(ir.Checks))
 		for _, ch := range ir.Checks {
@@ -186,9 +203,13 @@ func Figure3() (*Figure3Result, error) {
 	}
 
 	receive := func(st *Figure3Step, name string, m core.ClientMsg) map[int]core.ServerMsg {
+		if firstErr != nil {
+			return nil
+		}
 		bcast, ir, err := srv.Receive(m)
 		if err != nil {
-			panic(fmt.Sprintf("figure3: receive %s: %v", name, err))
+			fail("figure3: receive %s: %w", name, err)
+			return nil
 		}
 		verdicts := make([]string, 0, len(ir.Checks))
 		for _, ch := range ir.Checks {
@@ -240,6 +261,9 @@ func Figure3() (*Figure3Result, error) {
 	integrate(st, 1, "O3'", b3[1])
 	integrate(st, 3, "O3'", b3[3])
 
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	res.Finals[0] = srv.Text()
 	for site, c := range clients {
 		res.Finals[site] = c.Text()

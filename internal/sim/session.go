@@ -107,13 +107,13 @@ type Result struct {
 }
 
 // Run simulates one session to quiescence.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
 	if cfg.Clients < 1 {
 		return nil, fmt.Errorf("sim: need at least one client, got %d", cfg.Clients)
 	}
 	s := New()
-	res := &Result{Metrics: trace.NewMetrics()}
+	res = &Result{Metrics: trace.NewMetrics()}
 
 	srv := core.NewServer(cfg.Initial,
 		core.WithServerMode(cfg.Mode), core.WithServerCompaction(cfg.Compaction))
@@ -134,7 +134,13 @@ func Run(cfg Config) (*Result, error) {
 		if jw, err = journal.Create(cfg.JournalPath); err != nil {
 			return nil, err
 		}
-		defer jw.Close()
+		// The journal is the session's durable record: a failed flush on
+		// close means records were lost, which must fail the run.
+		defer func() {
+			if cerr := jw.Close(); cerr != nil && err == nil {
+				res, err = nil, fmt.Errorf("sim: close journal: %w", cerr)
+			}
+		}()
 	}
 	var checks []core.Check
 	genTime := map[causal.OpRef]time.Duration{}

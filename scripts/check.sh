@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# check.sh — the full local CI gate: build, vet, cvclint, tests, race
+# detector, and a short fuzz smoke on the transform invariants.
+#
+#   bash scripts/check.sh            # full gate (~2 min)
+#   FUZZTIME=30s bash scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+step() { echo "== $*" >&2; }
+
+step "go build ./..."
+go build ./...
+
+step "go vet ./..."
+go vet ./...
+
+step "cvclint ./..."
+go run ./cmd/cvclint ./...
+
+step "go test ./..."
+go test ./...
+
+step "go test -race (engine, transport, sim, root)"
+go test -race ./internal/core ./internal/transport ./internal/sim .
+
+# One -fuzz target per invocation: the go tool rejects multiple matches.
+step "fuzz smoke: FuzzTransform ($FUZZTIME)"
+go test ./internal/op -run='^$' -fuzz='^FuzzTransform$' -fuzztime="$FUZZTIME"
+
+step "fuzz smoke: FuzzCompose ($FUZZTIME)"
+go test ./internal/op -run='^$' -fuzz='^FuzzCompose$' -fuzztime="$FUZZTIME"
+
+step "all checks passed"
