@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race fuzz check
+.PHONY: build test vet lint race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,12 @@ lint:
 	$(GO) run ./cmd/cvclint ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/transport ./internal/sim .
+	$(GO) test -race ./internal/core ./internal/transport ./internal/server ./internal/sim .
+
+# bench refreshes BENCH_notifier.json, the committed hot-path trajectory
+# point; see scripts/bench.sh.
+bench:
+	bash scripts/bench.sh
 
 fuzz:
 	$(GO) test ./internal/op -run='^$$' -fuzz='^FuzzTransform$$' -fuzztime=$(FUZZTIME)

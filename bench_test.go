@@ -8,12 +8,14 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/op"
 	"repro/internal/p2p"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/vclock"
 )
@@ -74,11 +76,16 @@ func BenchmarkE3TimestampBytes(b *testing.B) {
 }
 
 // BenchmarkE4ClockMemory measures clock words per participant: CVC clients
-// keep 2, the CVC notifier N, full-vector sites N, SK processes 3N.
+// keep 2, the CVC notifier N, full-vector sites N, SK processes 3N. It also
+// measures the words the notifier's history buffer spends on timestamps: the
+// delta encoding keeps O(N) total for any buffer length, where timestamping
+// each entry with a full state vector (the paper's §3.3 formulation taken
+// literally) would cost N words per entry.
 func BenchmarkE4ClockMemory(b *testing.B) {
+	const hbLen = 256
 	for _, n := range []int{4, 64, 1024} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
-			var cvcClient, cvcServer, fullSite, skSite int
+			var cvcClient, cvcServer, fullSite, skSite, hbWords int
 			for i := 0; i < b.N; i++ {
 				srv := core.NewServer("")
 				for site := 1; site <= n; site++ {
@@ -86,15 +93,23 @@ func BenchmarkE4ClockMemory(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				var hb core.ServerHB
+				hb.Grow(n) // dimensioned like SV_0, as Server.Join keeps it
+				for j := 0; j < hbLen; j++ {
+					hb.Add(core.ServerEntry{Origin: 1 + j%n})
+				}
 				cvcClient = 2 // ClientSV is two uint64 words by construction
 				cvcServer = srv.SV().Len()
 				fullSite = p2p.NewNode(0, n).ClockWords()
 				skSite = vclock.NewSKProcess(0, n).SKStateSize()
+				hbWords = hb.ClockWords()
 			}
 			b.ReportMetric(float64(cvcClient), "cvc-client-words")
 			b.ReportMetric(float64(cvcServer), "cvc-notifier-words")
 			b.ReportMetric(float64(fullSite), "fullvc-site-words")
 			b.ReportMetric(float64(skSite), "sk-site-words")
+			b.ReportMetric(float64(hbWords), "cvc-hb-ts-words")
+			b.ReportMetric(float64(n*hbLen), "fullvc-hb-ts-words")
 		})
 	}
 }
@@ -131,7 +146,7 @@ func BenchmarkE5VerdictSoundness(b *testing.B) {
 // simulated latency — pure processing) as the number of sites grows, to
 // show local responsiveness and notifier cost scaling.
 func BenchmarkE6SessionScaling(b *testing.B) {
-	for _, n := range []int{2, 8, 32} {
+	for _, n := range []int{2, 8, 32, 256} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			srv := core.NewServer("", core.WithServerCompaction(32))
 			clients := make([]*core.Client, n)
@@ -159,6 +174,84 @@ func BenchmarkE6SessionScaling(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE6MultiSession measures aggregate throughput when the same total
+// load is spread over M independent documents served by the sharded session
+// manager (internal/server): each session is a full Fig. 1 star with 4
+// clients, serialized on its own goroutine. The paper's protocol is strictly
+// per-session — sessions share no clock state — so on a multi-core machine
+// throughput should scale with sessions (ns/op dropping as sessions grow);
+// on a single-core runner the benchmark degenerates to measuring the
+// actor-queue overhead instead.
+func BenchmarkE6MultiSession(b *testing.B) {
+	const clientsPer = 4
+	for _, sessions := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			mgr := server.NewManager(server.WithEngineOptions(core.WithServerCompaction(32)))
+			defer mgr.Close()
+			type shard struct {
+				sess    *server.Session
+				clients []*core.Client
+				locks   []sync.Mutex
+			}
+			shards := make([]*shard, sessions)
+			for si := range shards {
+				sess, err := mgr.GetOrCreate(fmt.Sprintf("doc-%d", si))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sh := &shard{sess: sess, clients: make([]*core.Client, clientsPer), locks: make([]sync.Mutex, clientsPer)}
+				for ci := 0; ci < clientsPer; ci++ {
+					snap, err := sess.Join(0, server.Subscriber{
+						// Runs on the session goroutine while the generating
+						// side runs on the driver, so each client carries a
+						// lock — exactly the Editor's discipline.
+						Deliver: func(bm core.ServerMsg) {
+							sh.locks[bm.To-1].Lock()
+							_, ierr := sh.clients[bm.To-1].Integrate(bm)
+							sh.locks[bm.To-1].Unlock()
+							if ierr != nil {
+								b.Errorf("integrate: %v", ierr)
+							}
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sh.clients[ci] = core.NewClient(snap.Site, snap.Text, core.WithClientCompaction(32))
+				}
+				shards[si] = sh
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for si, sh := range shards {
+				ops := b.N / sessions
+				if si == 0 {
+					ops += b.N % sessions
+				}
+				wg.Add(1)
+				go func(sh *shard, ops int) {
+					defer wg.Done()
+					for k := 0; k < ops; k++ {
+						ci := k % clientsPer
+						sh.locks[ci].Lock()
+						m, err := sh.clients[ci].Insert(sh.clients[ci].DocLen(), "x")
+						sh.locks[ci].Unlock()
+						if err != nil {
+							b.Errorf("insert: %v", err)
+							return
+						}
+						if err := sh.sess.Receive(m); err != nil {
+							b.Errorf("receive: %v", err)
+							return
+						}
+					}
+				}(sh, ops)
+			}
+			wg.Wait()
 		})
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/server"
 	"repro/internal/transport"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	relay := flag.Bool("unsafe-relay", false, "ablation: relay ORIGINAL operations (breaks consistency; for experiments)")
 	status := flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
 	journalPath := flag.String("journal", "", "persist the session to this journal file (recovers from it on restart)")
+	multi := flag.Bool("multi", false, "serve many independent documents (clients pick one by session name; see internal/server)")
 	flag.Parse()
 
 	initial := *text
@@ -48,6 +50,15 @@ func main() {
 		opts = append(opts, core.WithServerMode(core.ModeRelay))
 		log.Printf("WARNING: relay mode — operations are not transformed; divergence expected")
 	}
+
+	if *multi {
+		if *journalPath != "" {
+			log.Fatalf("reducesrv: -journal is not supported with -multi (per-session journals are not implemented)")
+		}
+		runMulti(ln, initial, *status, opts)
+		return
+	}
+
 	var nt *repro.Notifier
 	if *journalPath != "" {
 		nt, err = repro.ServeWithJournal(ln, initial, *journalPath, opts...)
@@ -82,4 +93,41 @@ func main() {
 	fmt.Println()
 	log.Printf("reducesrv: shutting down; final document:\n%s", nt.Text())
 	_ = nt.Close()
+}
+
+// runMulti serves many documents concurrently: each session name maps to an
+// independent notifier engine on its own goroutine (internal/server), so
+// unrelated documents scale across cores instead of sharing one lock.
+func runMulti(ln transport.Listener, initial string, status time.Duration, opts []core.ServerOption) {
+	mgr := server.NewManager(
+		server.WithInitialText(initial),
+		server.WithEngineOptions(opts...),
+	)
+	svc := server.Serve(ln, mgr)
+	log.Printf("reducesrv: multi-session notifier listening on %s (%d bytes of initial text per new session)",
+		svc.Addr(), len(initial))
+
+	if status > 0 {
+		go func() {
+			for range time.Tick(status) {
+				var sites int
+				var ops uint64
+				for _, st := range mgr.Stats() {
+					sites += st.Sites
+					ops += st.Ops
+				}
+				log.Printf("status: %d sessions, %d sites joined, %d ops executed", mgr.Len(), sites, ops)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println()
+	for _, st := range mgr.Stats() {
+		log.Printf("reducesrv: session %q: %d sites, %d ops, %d runes", st.Name, st.Sites, st.Ops, st.Doc)
+	}
+	_ = svc.Close()
+	_ = mgr.Close()
 }

@@ -43,18 +43,26 @@ type Editor struct {
 // specific id; pass 0 to let the notifier assign one. The call blocks until
 // the snapshot handshake completes.
 func Connect(conn transport.Conn, site int, opts ...core.ClientOption) (*Editor, error) {
-	return connect(conn, site, false, opts...)
+	return connect(conn, wire.JoinReq{Site: site, ReadOnly: false}, false, opts...)
 }
 
 // ConnectViewer joins as a read-only viewer: the editor tracks the document
 // and presence like any participant, but every editing method returns
 // ErrReadOnly and the notifier enforces the same server-side.
 func ConnectViewer(conn transport.Conn, site int, opts ...core.ClientOption) (*Editor, error) {
-	return connect(conn, site, true, opts...)
+	return connect(conn, wire.JoinReq{Site: site, ReadOnly: true}, true, opts...)
 }
 
-func connect(conn transport.Conn, site int, readOnly bool, opts ...core.ClientOption) (*Editor, error) {
-	if err := conn.Send(wire.JoinReq{Site: site, ReadOnly: readOnly}); err != nil {
+// ConnectSession joins the named document on a multi-session notifier
+// (internal/server). The empty name is the default document, making this
+// equivalent to Connect against such a server; single-session notifiers do
+// not understand the message and will drop the connection.
+func ConnectSession(conn transport.Conn, session string, site int, opts ...core.ClientOption) (*Editor, error) {
+	return connect(conn, wire.SessionJoinReq{Session: session, Site: site}, false, opts...)
+}
+
+func connect(conn transport.Conn, join wire.Msg, readOnly bool, opts ...core.ClientOption) (*Editor, error) {
+	if err := conn.Send(join); err != nil {
 		return nil, fmt.Errorf("repro: join: %w", err)
 	}
 	m, err := conn.Recv()

@@ -48,6 +48,11 @@ type Client struct {
 	compactEvery int
 	sinceCompact int
 
+	// checkTrace records per-entry Check verdicts into IntegrationResult
+	// (WithClientCheckTrace); off by default so integration performs zero
+	// per-check allocations.
+	checkTrace bool
+
 	// undo, when non-nil, tracks inverses of local operations (see
 	// undo.go). Mutually exclusive with compaction.
 	undo *undoStack
@@ -92,6 +97,14 @@ func WithClientResume(localOps uint64) ClientOption {
 // operations, concurrency checks, and transformations.
 func WithClientMetrics(m *trace.Metrics) ClientOption {
 	return func(c *Client) { c.metrics = m }
+}
+
+// WithClientCheckTrace records every per-entry concurrency verdict into
+// IntegrationResult.Checks. Validation harnesses need the trace to replay
+// verdicts against the ground-truth oracle; the default path only counts
+// (ConcurrentCount/CheckCount) and allocates nothing per check.
+func WithClientCheckTrace() ClientOption {
+	return func(c *Client) { c.checkTrace = true }
 }
 
 // count increments a counter when a sink is attached.
@@ -214,13 +227,19 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 	}
 
 	// Concurrency detection — the paper's formula (5), one O(1) comparison
-	// per buffered operation.
-	res := IntegrationResult{}
-	for _, e := range c.hb.Entries() {
+	// per buffered operation; allocation-free unless the check trace is on.
+	entries := c.hb.Entries()
+	res := IntegrationResult{CheckCount: len(entries)}
+	if c.checkTrace {
+		res.Checks = make([]Check, 0, len(entries))
+	}
+	for _, e := range entries {
 		conc := ConcurrentClient(m.TS, e.TS, e.Origin == OriginServer)
-		res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
 		if conc {
 			res.ConcurrentCount++
+		}
+		if c.checkTrace {
+			res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
 		}
 	}
 
@@ -262,7 +281,7 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 	c.hb.Add(ClientEntry{Op: exec, TS: m.TS, Origin: OriginServer, Ref: m.Ref})
 	res.Executed = exec
 	c.count(trace.COpsIntegrated, 1)
-	c.count(trace.CConcurrencyChecks, int64(len(res.Checks)))
+	c.count(trace.CConcurrencyChecks, int64(res.CheckCount))
 	c.count(trace.CConcurrentPairs, int64(res.ConcurrentCount))
 
 	if c.compactEvery > 0 && c.undo == nil {

@@ -144,14 +144,14 @@ func enumerate(t *testing.T, script []scriptOp, nClients int, run func(order []e
 // plus every concurrency verdict against the oracle.
 func replaySchedule(t *testing.T, script []scriptOp, nClients int, initial string, order []event) {
 	t.Helper()
-	srv := NewServer(initial, WithServerCompaction(0))
+	srv := NewServer(initial, WithServerCompaction(0), WithServerCheckTrace())
 	clients := map[int]*Client{}
 	for site := 1; site <= nClients; site++ {
 		snap, err := srv.Join(site)
 		if err != nil {
 			t.Fatal(err)
 		}
-		clients[site] = NewClient(site, snap.Text, WithClientCompaction(0))
+		clients[site] = NewClient(site, snap.Text, WithClientCompaction(0), WithClientCheckTrace())
 	}
 	oracle := causal.NewOracle()
 	var checks []Check

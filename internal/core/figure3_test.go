@@ -21,14 +21,14 @@ import (
 //
 // Arrival order at site 0: O2, O1, O4, O3 — exactly Fig. 2/3.
 func TestFigure3Walkthrough(t *testing.T) {
-	srv := NewServer("ABCDE", WithServerCompaction(0))
+	srv := NewServer("ABCDE", WithServerCompaction(0), WithServerCheckTrace())
 	clients := map[int]*Client{}
 	for site := 1; site <= 3; site++ {
 		snap, err := srv.Join(site)
 		if err != nil {
 			t.Fatal(err)
 		}
-		clients[site] = NewClient(site, snap.Text, WithClientCompaction(0))
+		clients[site] = NewClient(site, snap.Text, WithClientCompaction(0), WithClientCheckTrace())
 	}
 	c1, c2, c3 := clients[1], clients[2], clients[3]
 
@@ -100,7 +100,7 @@ func TestFigure3Walkthrough(t *testing.T) {
 		t.Fatalf("site 0 after O2: %q", srv.Text())
 	}
 	if hb := srv.History().Entries(); len(hb) != 1 ||
-		vclock.Compare(hb[0].TS, vclock.VC{0, 0, 1, 0}) != vclock.Equal {
+		vclock.Compare(srv.History().TS(0), vclock.VC{0, 0, 1, 0}) != vclock.Equal {
 		t.Fatalf("HB_0 after O2': %+v, paper says [O2'] with [0,1,0]", hb)
 	}
 
@@ -144,7 +144,7 @@ func TestFigure3Walkthrough(t *testing.T) {
 		t.Fatalf("site 0 after O1': %q", srv.Text())
 	}
 	if hb := srv.History().Entries(); len(hb) != 2 ||
-		vclock.Compare(hb[1].TS, vclock.VC{0, 1, 1, 0}) != vclock.Equal {
+		vclock.Compare(srv.History().TS(1), vclock.VC{0, 1, 1, 0}) != vclock.Equal {
 		t.Fatalf("HB_0 after O1': %+v, paper says [...,O1'] with [1,1,0]", hb)
 	}
 
@@ -177,7 +177,7 @@ func TestFigure3Walkthrough(t *testing.T) {
 		t.Fatalf("site 0 after O4': %q", srv.Text())
 	}
 	if hb := srv.History().Entries(); len(hb) != 3 ||
-		vclock.Compare(hb[2].TS, vclock.VC{0, 1, 1, 1}) != vclock.Equal {
+		vclock.Compare(srv.History().TS(2), vclock.VC{0, 1, 1, 1}) != vclock.Equal {
 		t.Fatalf("HB_0 after O4': %+v, paper says [...,O4'] with [1,1,1]", hb)
 	}
 
@@ -211,7 +211,7 @@ func TestFigure3Walkthrough(t *testing.T) {
 	wantTS("O3' to site 1", findMsg(bcastO3, 1).TS, Timestamp{3, 1})
 	wantTS("O3' to site 3", findMsg(bcastO3, 3).TS, Timestamp{3, 1})
 	if hb := srv.History().Entries(); len(hb) != 4 ||
-		vclock.Compare(hb[3].TS, vclock.VC{0, 1, 2, 1}) != vclock.Equal {
+		vclock.Compare(srv.History().TS(3), vclock.VC{0, 1, 2, 1}) != vclock.Equal {
 		t.Fatalf("HB_0 after O3': %+v, paper says [...,O3'] with [1,2,1]", hb)
 	}
 

@@ -88,35 +88,91 @@ func (h *ClientHB) Compact(ackedLocal uint64) int {
 		}
 	}
 	n := len(h.entries) - len(kept)
+	// Zero the vacated tail so dropped *op.Op values are not pinned against
+	// the GC by the reused backing array.
+	for i := len(kept); i < len(h.entries); i++ {
+		h.entries[i] = ClientEntry{}
+	}
 	h.entries = kept
 	h.dropped += n
 	return n
 }
 
 // ServerEntry is one executed operation saved in the notifier's history
-// buffer, timestamped with the full state vector (paper §3.3) and tagged
-// with the site that originally generated it (the y of formulas 6–7).
+// buffer, tagged with the site that originally generated it (the y of
+// formulas 6–7).
+//
+// The paper (§3.3) timestamps each buffered operation with the full
+// N-element state vector. Storing that vector per entry would make the
+// notifier's history O(N·HB) words; instead the buffer stores only the
+// origin site per entry and reconstructs any TS value on demand from the
+// single vector snapshot it keeps for the *newest* entry (see ServerHB):
+// consecutive entries differ by exactly one unit increment at the origin
+// site, so entry i's vector is the tail snapshot minus the increments of the
+// entries after i. Total memory is O(HB) + O(N).
 type ServerEntry struct {
 	Op     *op.Op
-	TS     vclock.VC // full SV_0 value at buffering time
-	Origin int       // original generator site y
+	Origin int // original generator site y
 	Ref    causal.OpRef
-
-	// sum caches Σ TS so the per-check Σ_{j≠x} TS[j] of formula (7) is a
-	// single subtraction instead of an O(N) scan. Set by Add.
-	sum uint64
 }
 
 // ServerHB is the notifier's history buffer.
+//
+// Invariant (delta encoding): entry i's full state-vector timestamp is
+//
+//	TS_i[x] = tail[x] − (# entries j > i with Origin_j == x)
+//	Σ TS_i  = tailSum − (len(entries)−1−i)
+//
+// where tail is the SV_0 snapshot at the newest Add. Both identities hold
+// because every Add pairs with exactly one SV_0 increment at the entry's
+// origin, and Compact only removes a prefix.
 type ServerHB struct {
 	entries []ServerEntry
 	dropped int
+
+	// tail mirrors SV_0 as of the newest entry; counts[x] is the number of
+	// buffered entries with Origin == x (so tail[x]−counts[x] is TS[x] of
+	// the entry *before* the oldest buffered one).
+	tail    vclock.VC
+	counts  vclock.VC
+	tailSum uint64
 }
 
-// Add appends an executed operation.
+// Add appends an executed operation, advancing the tail snapshot by one unit
+// at e.Origin — the delta form of the paper's "timestamp with the full state
+// vector" that performs no O(N) copy.
 func (h *ServerHB) Add(e ServerEntry) {
-	e.sum = e.TS.Sum()
+	h.grow(e.Origin)
+	h.tail[e.Origin]++
+	h.tailSum++
+	h.counts[e.Origin]++
 	h.entries = append(h.entries, e)
+}
+
+// AddFull appends an operation whose full state-vector timestamp is known —
+// used by tests and replay tooling that construct buffers standalone. ts
+// must be the previous newest timestamp plus a unit increment at e.Origin
+// (the only sequence a real notifier can produce).
+func (h *ServerHB) AddFull(e ServerEntry, ts vclock.VC) {
+	h.tail = ts.Copy()
+	h.tailSum = ts.Sum()
+	h.grow(e.Origin)
+	h.counts[e.Origin]++
+	h.entries = append(h.entries, e)
+}
+
+// Grow extends the tail snapshot to cover site (zero-valued), keeping
+// reconstructed timestamps dimensioned like SV_0; the owning Server calls it
+// on Join.
+func (h *ServerHB) Grow(site int) { h.grow(site) }
+
+func (h *ServerHB) grow(site int) {
+	for len(h.tail) <= site {
+		h.tail = append(h.tail, 0)
+	}
+	for len(h.counts) <= site {
+		h.counts = append(h.counts, 0)
+	}
 }
 
 // Len returns the number of buffered operations.
@@ -129,28 +185,84 @@ func (h *ServerHB) Dropped() int { return h.dropped }
 // buffer.
 func (h *ServerHB) Entries() []ServerEntry { return h.entries }
 
-// ConcurrentWith runs the simplified server check (formula 7) of an
-// operation newly arrived from site x (timestamp ta, join baseline
-// baselineX) against every buffered entry and returns the concurrent ones,
-// oldest first.
-func (h *ServerHB) ConcurrentWith(ta Timestamp, x int, baselineX uint64) []ServerEntry {
-	var out []ServerEntry
-	for i := range h.entries {
-		if h.concurrentAt(i, ta, x, baselineX) {
-			out = append(out, h.entries[i])
-		}
+// TS reconstructs the full state-vector timestamp of entry i (an O(N + HB)
+// walk back from the tail snapshot; diagnostics and tests only — the hot
+// path never materializes a vector).
+func (h *ServerHB) TS(i int) vclock.VC {
+	out := h.tail.Copy()
+	for j := len(h.entries) - 1; j > i; j-- {
+		out[h.entries[j].Origin]--
 	}
 	return out
 }
 
-// concurrentAt is formula (7) against entry i using the cached sum.
-func (h *ServerHB) concurrentAt(i int, ta Timestamp, x int, baselineX uint64) bool {
-	e := &h.entries[i]
-	var tbx uint64
-	if x < len(e.TS) {
-		tbx = e.TS[x]
+// Sum returns Σ TS of entry i in O(1) via the delta invariant.
+func (h *ServerHB) Sum(i int) uint64 {
+	return h.tailSum - uint64(len(h.entries)-1-i)
+}
+
+// ClockWords returns how many clock words the buffer keeps to timestamp
+// every buffered entry — tail + counts + tailSum, O(N) regardless of Len(),
+// versus the O(N·Len) of the paper's full-vector-per-entry storage (§3.3).
+// Reported by BenchmarkE4ClockMemory.
+func (h *ServerHB) ClockWords() int { return len(h.tail) + len(h.counts) + 1 }
+
+// checkArrival runs the simplified server check (formula 7) of an operation
+// newly arrived from site x (timestamp ta, join baseline baselineX) against
+// every buffered entry, oldest first, and returns the number of concurrent
+// entries. When visit is non-nil it is called for every entry with the
+// verdict (used by the opt-in check trace); the scan itself allocates
+// nothing.
+//
+// TS[x] and Σ TS per entry come from the delta invariant: a single forward
+// pass keeps a running count of buffered operations from x, so each check
+// stays O(1) as in the cached-sum formulation of ConcurrentServerSum.
+func (h *ServerHB) checkArrival(ta Timestamp, x int, baselineX uint64, visit func(i int, e *ServerEntry, conc bool)) int {
+	n := len(h.entries)
+	if n == 0 {
+		return 0
 	}
-	return ConcurrentServerSum(ta, x, e.sum, tbx, e.Origin, baselineX)
+	var tailX, totalX uint64
+	if x < len(h.tail) {
+		tailX = h.tail[x]
+	}
+	if x < len(h.counts) {
+		totalX = h.counts[x]
+	}
+	// beforeX is TS[x] of the entry preceding the oldest buffered one;
+	// adding the running seenX count yields TS_i[x] for every i.
+	beforeX := tailX - totalX
+	seenX := uint64(0)
+	sum := h.tailSum - uint64(n-1)
+	concurrent := 0
+	for i := range h.entries {
+		e := &h.entries[i]
+		if e.Origin == x {
+			seenX++
+		}
+		conc := ConcurrentServerSum(ta, x, sum, beforeX+seenX, e.Origin, baselineX)
+		if conc {
+			concurrent++
+		}
+		if visit != nil {
+			visit(i, e, conc)
+		}
+		sum++
+	}
+	return concurrent
+}
+
+// ConcurrentWith runs formula (7) of an operation newly arrived from site x
+// against every buffered entry and returns the concurrent ones, oldest
+// first.
+func (h *ServerHB) ConcurrentWith(ta Timestamp, x int, baselineX uint64) []ServerEntry {
+	var out []ServerEntry
+	h.checkArrival(ta, x, baselineX, func(i int, e *ServerEntry, conc bool) {
+		if conc {
+			out = append(out, *e)
+		}
+	})
+	return out
 }
 
 // Compact garbage-collects entries no future arrival can be concurrent
@@ -161,29 +273,64 @@ func (h *ServerHB) concurrentAt(i int, ta Timestamp, x int, baselineX uint64) bo
 // entries removed. Only a prefix is collected — the HB stays a suffix of the
 // execution order.
 func (h *ServerHB) Compact(acked map[int]uint64, baselines map[int]uint64) int {
+	n := len(h.entries)
+	if n == 0 || len(acked) == 0 {
+		return 0
+	}
+	// Precompute per-site retention state once: the threshold below which a
+	// broadcast index is already covered (baseline + acked, since
+	// se > b && se−b > a  ⟺  se > b+a for unsigned a), and the site's
+	// TS[x] before the oldest entry. The per-entry loop then touches a
+	// small slice instead of re-iterating a map in nondeterministic order.
+	type retention struct {
+		site   int
+		thr    uint64 // baseline + acked broadcasts
+		tsx    uint64 // running TS_i[site], advanced as entries pass
+	}
+	sites := make([]retention, 0, len(acked))
+	for x, a := range acked {
+		var tailX, totalX uint64
+		if x >= 0 && x < len(h.tail) {
+			tailX = h.tail[x]
+		}
+		if x >= 0 && x < len(h.counts) {
+			totalX = h.counts[x]
+		}
+		sites = append(sites, retention{site: x, thr: baselines[x] + a, tsx: tailX - totalX})
+	}
+	sum := h.tailSum - uint64(n-1)
 	cut := 0
-	for _, e := range h.entries {
-		needed := false
-		for x, a := range acked {
-			if x == e.Origin {
+scan:
+	for i := range h.entries {
+		e := &h.entries[i]
+		for k := range sites {
+			s := &sites[k]
+			if s.site == e.Origin {
+				s.tsx++ // this entry is an op from s.site: TS[site] advances
 				continue
 			}
-			// Entries already folded into x's join snapshot (broadcast
-			// index not past the baseline) were never sent to x at all.
-			if se := sumExceptVC(e.TS, x); se > baselines[x] && se-baselines[x] > a {
-				needed = true
-				break
+			// se = Σ_{j≠x} TS_i[j]; the entry is still needed by x when its
+			// broadcast index toward x exceeds what x has acknowledged.
+			if se := sum - s.tsx; se > s.thr {
+				break scan
 			}
 		}
-		if needed {
-			break
-		}
 		cut++
+		sum++
 	}
 	if cut == 0 {
 		return 0
 	}
-	h.entries = append(h.entries[:0], h.entries[cut:]...)
+	for i := 0; i < cut; i++ {
+		h.counts[h.entries[i].Origin]--
+	}
+	kept := copy(h.entries, h.entries[cut:])
+	// Zero the vacated tail so dropped *op.Op values are not pinned against
+	// the GC by the reused backing array.
+	for i := kept; i < len(h.entries); i++ {
+		h.entries[i] = ServerEntry{}
+	}
+	h.entries = h.entries[:kept]
 	h.dropped += cut
 	return cut
 }

@@ -36,8 +36,8 @@ func TestClientHBCompact(t *testing.T) {
 
 func TestServerHBConcurrentWith(t *testing.T) {
 	var hb ServerHB
-	hb.Add(ServerEntry{TS: vclock.VC{0, 0, 1, 0}, Origin: 2, Ref: causal.OpRef{Site: 0, Seq: 1}})
-	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 1, 0}, Origin: 1, Ref: causal.OpRef{Site: 0, Seq: 2}})
+	hb.AddFull(ServerEntry{Origin: 2, Ref: causal.OpRef{Site: 0, Seq: 1}}, vclock.VC{0, 0, 1, 0})
+	hb.AddFull(ServerEntry{Origin: 1, Ref: causal.OpRef{Site: 0, Seq: 2}}, vclock.VC{0, 1, 1, 0})
 
 	// §5: O4 from site 3 with [1,1] is concurrent with O1' only.
 	conc := hb.ConcurrentWith(Timestamp{1, 1}, 3, 0)
@@ -49,9 +49,9 @@ func TestServerHBConcurrentWith(t *testing.T) {
 func TestServerHBCompactPrefixOnly(t *testing.T) {
 	var hb ServerHB
 	// Three entries; site 2 has acked only the first (broadcast index 1).
-	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 0}, Origin: 1})
-	hb.Add(ServerEntry{TS: vclock.VC{0, 2, 0}, Origin: 1})
-	hb.Add(ServerEntry{TS: vclock.VC{0, 3, 0}, Origin: 1})
+	hb.AddFull(ServerEntry{Origin: 1}, vclock.VC{0, 1, 0})
+	hb.AddFull(ServerEntry{Origin: 1}, vclock.VC{0, 2, 0})
+	hb.AddFull(ServerEntry{Origin: 1}, vclock.VC{0, 3, 0})
 	acked := map[int]uint64{1: 0, 2: 1}
 	baselines := map[int]uint64{1: 0, 2: 0}
 	n := hb.Compact(acked, baselines)
@@ -66,7 +66,7 @@ func TestServerHBCompactPrefixOnly(t *testing.T) {
 
 func TestServerHBCompactSkipsOriginSite(t *testing.T) {
 	var hb ServerHB
-	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 0}, Origin: 1})
+	hb.AddFull(ServerEntry{Origin: 1}, vclock.VC{0, 1, 0})
 	// Site 1 is the origin: its own ack is irrelevant; only site 2 matters,
 	// and site 2 has seen broadcast 1.
 	n := hb.Compact(map[int]uint64{1: 0, 2: 1}, map[int]uint64{1: 0, 2: 0})
@@ -79,7 +79,7 @@ func TestServerHBCompactBaselineUnderflowGuard(t *testing.T) {
 	var hb ServerHB
 	// Entry from before site 2's join (broadcast sum 1 < baseline 5):
 	// site 2 got it via its snapshot, so it never blocks collection.
-	hb.Add(ServerEntry{TS: vclock.VC{0, 1, 0}, Origin: 1})
+	hb.AddFull(ServerEntry{Origin: 1}, vclock.VC{0, 1, 0})
 	n := hb.Compact(map[int]uint64{2: 0}, map[int]uint64{2: 5})
 	if n != 1 {
 		t.Fatalf("pre-join entry must be collectable, removed %d", n)

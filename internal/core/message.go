@@ -80,7 +80,14 @@ type IntegrationResult struct {
 	// Executed is the form actually applied to the local document.
 	Executed *op.Op
 	// Checks are the concurrency decisions taken, one per history entry.
+	// Recording them costs one allocation-heavy slice per integration, so
+	// they are only populated when the engine was built with
+	// WithServerCheckTrace/WithClientCheckTrace; the default hot path
+	// leaves Checks nil and reports counts only.
 	Checks []Check
+	// CheckCount is the number of concurrency checks performed (one per
+	// history entry), always set even when Checks is not recorded.
+	CheckCount int
 	// ConcurrentCount is the number of buffered operations found
 	// concurrent with the arrival.
 	ConcurrentCount int

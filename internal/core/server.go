@@ -35,11 +35,28 @@ type Server struct {
 
 	clients map[int]*clientState
 
+	// dests caches the joined destinations in ascending site order so
+	// Receive neither rebuilds nor re-sorts the broadcast list per
+	// operation; Join/Leave invalidate it (nil = dirty).
+	dests []destRef
+
 	compactEvery int
 	sinceCompact int
 
+	// checkTrace records per-entry Check verdicts into IntegrationResult
+	// (WithServerCheckTrace); off by default so the hot path performs zero
+	// per-check allocations.
+	checkTrace bool
+
 	// metrics, when non-nil, receives engine counters.
 	metrics *trace.Metrics
+}
+
+// destRef pairs a joined site with its state so the broadcast loop does no
+// map lookups.
+type destRef struct {
+	site int
+	st   *clientState
 }
 
 // clientState is the per-client bookkeeping at the notifier.
@@ -87,6 +104,15 @@ func WithServerCompaction(n int) ServerOption {
 // concurrency checks, and transformations.
 func WithServerMetrics(m *trace.Metrics) ServerOption {
 	return func(s *Server) { s.metrics = m }
+}
+
+// WithServerCheckTrace records every per-entry concurrency verdict into
+// IntegrationResult.Checks. Validation harnesses need the trace to replay
+// verdicts against the ground-truth oracle; production servers should leave
+// it off — the default path only counts (ConcurrentCount/CheckCount) and
+// allocates nothing per check.
+func WithServerCheckTrace() ServerOption {
+	return func(s *Server) { s.checkTrace = true }
 }
 
 // count increments a counter when a sink is attached.
@@ -173,10 +199,13 @@ func (s *Server) Join(site int) (Snapshot, error) {
 		st.sent = 0
 		st.acked = 0
 		st.bridge = nil
+		s.dests = nil
 		return Snapshot{Site: site, Text: s.buf.String(), LocalOps: s.sv.Of(site)}, nil
 	}
 	s.sv.Grow(site)
+	s.hb.Grow(site)
 	s.clients[site] = &clientState{joined: true, baseline: s.sv.SumExcept(site)}
+	s.dests = nil
 	return Snapshot{Site: site, Text: s.buf.String(), LocalOps: s.sv.Of(site)}, nil
 }
 
@@ -189,7 +218,23 @@ func (s *Server) Leave(site int) error {
 	}
 	st.joined = false
 	st.bridge = nil
+	s.dests = nil
 	return nil
+}
+
+// destinations returns the joined sites in ascending order, rebuilding the
+// cache after a Join/Leave invalidated it.
+func (s *Server) destinations() []destRef {
+	if s.dests == nil {
+		s.dests = make([]destRef, 0, len(s.clients))
+		for site, st := range s.clients {
+			if st.joined {
+				s.dests = append(s.dests, destRef{site: site, st: st})
+			}
+		}
+		sort.Slice(s.dests, func(i, j int) bool { return s.dests[i].site < s.dests[j].site })
+	}
+	return s.dests
 }
 
 // Precheck validates an incoming operation against the engine's state
@@ -225,14 +270,17 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 	st := s.clients[m.From]
 
 	// Formula (7) against every buffered operation (O(1) per entry via the
-	// cached Σ TS).
-	res := IntegrationResult{}
-	for i, e := range s.hb.Entries() {
-		conc := s.hb.concurrentAt(i, m.TS, m.From, st.baseline)
-		res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
-		if conc {
-			res.ConcurrentCount++
-		}
+	// delta-encoded Σ TS and TS[x]); the scan allocates nothing unless the
+	// check trace is on.
+	res := IntegrationResult{CheckCount: s.hb.Len()}
+	if s.checkTrace {
+		res.Checks = make([]Check, 0, s.hb.Len())
+		res.ConcurrentCount = s.hb.checkArrival(m.TS, m.From, st.baseline,
+			func(i int, e *ServerEntry, conc bool) {
+				res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
+			})
+	} else {
+		res.ConcurrentCount = s.hb.checkArrival(m.TS, m.From, st.baseline, nil)
 	}
 
 	exec := m.Op
@@ -272,35 +320,31 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 		// causal identity — nothing new is generated at site 0.
 		ref = m.Ref
 	}
-	s.hb.Add(ServerEntry{Op: exec, TS: s.sv.Full(), Origin: m.From, Ref: ref})
+	s.hb.Add(ServerEntry{Op: exec, Origin: m.From, Ref: ref})
 	res.Executed = exec
 	s.count(trace.COpsIntegrated, 1)
-	s.count(trace.CConcurrencyChecks, int64(len(res.Checks)))
+	s.count(trace.CConcurrencyChecks, int64(res.CheckCount))
 	s.count(trace.CConcurrentPairs, int64(res.ConcurrentCount))
 
 	// Broadcast to everyone except the originator, each with its own
 	// compressed timestamp (formulas 1–2) — the operation itself is
 	// identical for all destinations, only the two integers differ (§3.3).
-	// Destinations are sorted so simulations are deterministic.
-	dests := make([]int, 0, len(s.clients))
-	for dest := range s.clients {
-		dests = append(dests, dest)
-	}
-	sort.Ints(dests)
-	var out []ServerMsg
-	for _, dest := range dests {
-		dstState := s.clients[dest]
-		if dest == m.From || !dstState.joined {
+	// Destinations come pre-sorted from the join cache so simulations are
+	// deterministic.
+	dests := s.destinations()
+	out := make([]ServerMsg, 0, len(dests)-1)
+	for _, d := range dests {
+		if d.site == m.From {
 			continue
 		}
-		dstState.sent++
+		d.st.sent++
 		// Safe to share exec across bridges and the broadcast: engine code
 		// never mutates a built operation (Transform returns fresh ops).
-		dstState.bridge = append(dstState.bridge, bridgeOp{seq: dstState.sent, op: exec, ref: ref})
+		d.st.bridge = append(d.st.bridge, bridgeOp{seq: d.st.sent, op: exec, ref: ref})
 		out = append(out, ServerMsg{
-			To:      dest,
+			To:      d.site,
 			Op:      exec,
-			TS:      s.sv.Compress(dest, dstState.baseline),
+			TS:      s.sv.Compress(d.site, d.st.baseline),
 			Ref:     ref,
 			OrigRef: m.Ref,
 		})

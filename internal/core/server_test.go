@@ -194,6 +194,102 @@ func TestRejoinAfterGeneratingOps(t *testing.T) {
 	}
 }
 
+// TestRejoinCompactionAndDestinationCache drives the full lifecycle the
+// sorted-destination cache and the delta-encoded history buffer must agree
+// on: traffic with automatic compaction, a leave, more traffic (the cache
+// must drop the departed site at once), a rejoin (the cache must readmit
+// it; no broadcast generated before its snapshot may reach it), and edits
+// by the rejoiner. Engine invariants are re-checked after every step.
+func TestRejoinCompactionAndDestinationCache(t *testing.T) {
+	srv := NewServer("", WithServerCompaction(2))
+	clients := map[int]*Client{
+		1: join(t, srv, 1, WithClientCompaction(2)),
+		2: join(t, srv, 2, WithClientCompaction(2)),
+		3: join(t, srv, 3, WithClientCompaction(2)),
+	}
+	// step sends one insert from a site and checks the broadcast fan-out is
+	// exactly wantTo, in ascending order — the contract the cached
+	// destination list must keep through joins and leaves.
+	step := func(from, pos int, s string, wantTo ...int) []ServerMsg {
+		t.Helper()
+		m, err := clients[from].Insert(pos, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcast, _, err := srv.Receive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bcast) != len(wantTo) {
+			t.Fatalf("op from %d broadcast to %d sites, want %v", from, len(bcast), wantTo)
+		}
+		for i, bm := range bcast {
+			if bm.To != wantTo[i] {
+				t.Fatalf("op from %d: destination[%d] = %d, want %v", from, i, bm.To, wantTo)
+			}
+			if _, err := clients[bm.To].Integrate(bm); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := srv.CheckInvariants(); err != nil {
+			t.Fatalf("after op from %d: %v", from, err)
+		}
+		return bcast
+	}
+
+	// Warm the destination cache and run enough traffic for compaction.
+	step(1, 0, "a", 2, 3)
+	step(2, 0, "b", 1, 3)
+	step(3, 0, "c", 1, 2)
+	step(1, 0, "d", 2, 3)
+
+	// Site 2 leaves: the cache must stop fanning out to it immediately.
+	if err := srv.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	delete(clients, 2)
+	step(1, 0, "e", 3)
+	step(3, 0, "f", 1)
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatalf("after leave: %v", err)
+	}
+
+	// Rejoin: the snapshot carries everything, so nothing generated before
+	// it may be re-delivered (the step checks above already proved no
+	// broadcast targeted site 2 while it was away).
+	snap, err := srv.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Text != srv.Text() {
+		t.Fatalf("rejoin snapshot %q, server %q", snap.Text, srv.Text())
+	}
+	clients[2] = NewClient(2, snap.Text,
+		WithClientResume(snap.LocalOps), WithClientCompaction(2))
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatalf("after rejoin: %v", err)
+	}
+
+	// First broadcast toward the rejoiner counts from its snapshot: T1=1.
+	for _, bm := range step(1, 0, "g", 2, 3) {
+		if bm.To == 2 && bm.TS.T1 != 1 {
+			t.Fatalf("first post-rejoin broadcast T1 = %d, want 1", bm.TS.T1)
+		}
+	}
+	// The rejoiner edits; the cache fans its op out to the others.
+	step(2, 0, "h", 1, 3)
+	step(3, 0, "i", 1, 2)
+
+	for site, c := range clients {
+		if c.Text() != srv.Text() {
+			t.Fatalf("site %d diverged: %q vs server %q", site, c.Text(), srv.Text())
+		}
+	}
+	if srv.History().Dropped() == 0 {
+		t.Fatal("automatic compaction never removed an entry")
+	}
+}
+
 func TestLateJoinerConvergesAndTimestampsRebase(t *testing.T) {
 	srv := NewServer("", WithServerCompaction(0))
 	clients := map[int]*Client{1: join(t, srv, 1), 2: join(t, srv, 2)}

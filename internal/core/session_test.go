@@ -31,7 +31,7 @@ type harness struct {
 func newHarness(t *testing.T, nClients int, initial string, mode Mode, compactEvery int) *harness {
 	h := &harness{
 		t:        t,
-		srv:      NewServer(initial, WithServerMode(mode), WithServerCompaction(compactEvery)),
+		srv:      NewServer(initial, WithServerMode(mode), WithServerCompaction(compactEvery), WithServerCheckTrace()),
 		clients:  make(map[int]*Client),
 		toServer: make(map[int][]ClientMsg),
 		toClient: make(map[int][]ServerMsg),
@@ -44,7 +44,7 @@ func newHarness(t *testing.T, nClients int, initial string, mode Mode, compactEv
 			t.Fatal(err)
 		}
 		h.clients[site] = NewClient(site, snap.Text,
-			WithClientMode(mode), WithClientCompaction(compactEvery))
+			WithClientMode(mode), WithClientCompaction(compactEvery), WithClientCheckTrace())
 	}
 	return h
 }

@@ -115,6 +115,69 @@ func buildBalanced(leaves []*ropeNode) *ropeNode {
 	}
 }
 
+// tryInsert inserts rs in place when the position lands inside (or at the
+// edge of) a leaf with room, updating subtree lengths on the way down, and
+// reports whether it did. The structure, heights, and balance of the tree
+// are unchanged, so no rebalancing is needed. This is the hot path for
+// interactive editing: a keystroke-sized insert touches one leaf and
+// allocates at most one amortized slice growth instead of O(depth) fresh
+// nodes via split/concat.
+//
+// In-place mutation is safe because leaf rune slices are never shared
+// between trees: every constructor (NewRope, split, concat-merge) copies.
+func (n *ropeNode) tryInsert(pos int, rs []rune) bool {
+	if n.isLeaf() {
+		if n.length+len(rs) > maxLeaf {
+			return false
+		}
+		n.runes = append(n.runes, rs...) // grow, amortized
+		copy(n.runes[pos+len(rs):], n.runes[pos:n.length])
+		copy(n.runes[pos:], rs)
+		n.length = len(n.runes)
+		return true
+	}
+	var ok bool
+	if pos <= n.left.length {
+		ok = n.left.tryInsert(pos, rs)
+		if !ok && pos == n.left.length {
+			// Boundary position: the right subtree's edge leaf may have room.
+			ok = n.right.tryInsert(0, rs)
+		}
+	} else {
+		ok = n.right.tryInsert(pos-n.left.length, rs)
+	}
+	if ok {
+		n.length += len(rs)
+	}
+	return ok
+}
+
+// tryDelete removes [pos, pos+cnt) in place when the range falls entirely
+// within one leaf, updating subtree lengths, and reports whether it did.
+// A leaf emptied by the deletion stays in the tree (harmless: empty leaves
+// are skipped by concat and contribute nothing to slices).
+func (n *ropeNode) tryDelete(pos, cnt int) bool {
+	if n.isLeaf() {
+		copy(n.runes[pos:], n.runes[pos+cnt:])
+		n.runes = n.runes[:n.length-cnt]
+		n.length -= cnt
+		return true
+	}
+	var ok bool
+	switch {
+	case pos >= n.left.length:
+		ok = n.right.tryDelete(pos-n.left.length, cnt)
+	case pos+cnt <= n.left.length:
+		ok = n.left.tryDelete(pos, cnt)
+	default:
+		return false // spans the subtree boundary; caller falls back to split
+	}
+	if ok {
+		n.length -= cnt
+	}
+	return ok
+}
+
 // split divides the subtree into [0,i) and [i,length).
 func split(n *ropeNode, i int) (*ropeNode, *ropeNode) {
 	if n == nil {
@@ -179,6 +242,9 @@ func (r *Rope) Insert(pos int, s string) error {
 		return nil
 	}
 	rs := []rune(s)
+	if r.root != nil && len(rs) <= maxLeaf/2 && r.root.tryInsert(pos, rs) {
+		return nil
+	}
 	var mid *ropeNode
 	if len(rs) <= maxLeaf {
 		mid = leaf(rs)
@@ -196,6 +262,9 @@ func (r *Rope) Delete(pos, n int) error {
 		return fmt.Errorf("rope delete [%d,%d) of %d: %w", pos, pos+n, r.Len(), ErrRange)
 	}
 	if n == 0 {
+		return nil
+	}
+	if r.root != nil && r.root.tryDelete(pos, n) {
 		return nil
 	}
 	l, rest := split(r.root, pos)

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// registry is the immutable session table the Manager publishes. Readers
+// load it atomically and index it without locks; writers copy, mutate, and
+// republish under the Manager's mutex. Sessions churn at human rates
+// (documents opened and closed) while lookups happen per operation, so
+// copy-on-write puts the copy on the cold side.
+type registry map[string]*Session
+
+// Manager routes document names to running Sessions.
+type Manager struct {
+	initial func(name string) string
+	engine  []core.ServerOption
+	queue   int
+
+	reg atomic.Value // registry
+
+	mu     sync.Mutex // serializes registry writes and Close
+	closed bool
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithInitialText sets the initial document for every new session.
+func WithInitialText(text string) ManagerOption {
+	return func(m *Manager) { m.initial = func(string) string { return text } }
+}
+
+// WithInitialTextFunc derives each new session's initial document from its
+// name (e.g. loading per-document files).
+func WithInitialTextFunc(fn func(name string) string) ManagerOption {
+	return func(m *Manager) { m.initial = fn }
+}
+
+// WithEngineOptions passes options to every session's core.Server.
+func WithEngineOptions(opts ...core.ServerOption) ManagerOption {
+	return func(m *Manager) { m.engine = opts }
+}
+
+// WithQueueDepth sets each session's command-queue buffer (default 64).
+func WithQueueDepth(n int) ManagerOption {
+	return func(m *Manager) {
+		if n > 0 {
+			m.queue = n
+		}
+	}
+}
+
+// NewManager returns an empty manager; sessions are created on first use.
+func NewManager(opts ...ManagerOption) *Manager {
+	m := &Manager{
+		initial: func(string) string { return "" },
+		queue:   64,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.reg.Store(registry{})
+	return m
+}
+
+// Get returns the named session if it is running. The lookup is lock-free.
+func (m *Manager) Get(name string) (*Session, bool) {
+	s, ok := m.reg.Load().(registry)[name]
+	return s, ok
+}
+
+// GetOrCreate returns the named session, starting it if necessary. The hit
+// path is the lock-free Get; only genuine creation takes the write lock.
+func (m *Manager) GetOrCreate(name string) (*Session, error) {
+	if s, ok := m.Get(name); ok {
+		return s, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	old := m.reg.Load().(registry)
+	if s, ok := old[name]; ok { // lost the creation race
+		return s, nil
+	}
+	s := newSession(name, m.initial(name), m.queue, m.engine...)
+	next := make(registry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = s
+	m.reg.Store(next)
+	return s, nil
+}
+
+// Drop stops the named session and removes it from the registry. Connections
+// still attached observe ErrClosed from their next call.
+func (m *Manager) Drop(name string) {
+	m.mu.Lock()
+	old := m.reg.Load().(registry)
+	s, ok := old[name]
+	if ok {
+		next := make(registry, len(old))
+		for k, v := range old {
+			if k != name {
+				next[k] = v
+			}
+		}
+		m.reg.Store(next)
+	}
+	m.mu.Unlock()
+	if ok {
+		_ = s.Close()
+	}
+}
+
+// Names returns the running session names, sorted.
+func (m *Manager) Names() []string {
+	reg := m.reg.Load().(registry)
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of running sessions.
+func (m *Manager) Len() int { return len(m.reg.Load().(registry)) }
+
+// Stats summarizes every running session, sorted by name.
+func (m *Manager) Stats() []Stats {
+	reg := m.reg.Load().(registry)
+	out := make([]Stats, 0, len(reg))
+	for _, s := range reg {
+		out = append(out, s.Stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Close stops every session and rejects further creation.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	reg := m.reg.Load().(registry)
+	m.reg.Store(registry{})
+	m.mu.Unlock()
+	for _, s := range reg {
+		_ = s.Close()
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Service is the network front end of a Manager: one listener serving many
+// document sessions. A connection opens with either a wire.JoinReq (the
+// single-document protocol — routed to the default session "") or a
+// wire.SessionJoinReq naming a document; afterwards the per-connection
+// protocol is identical to the single-session Notifier's, so reducecli and
+// the Editor client work unchanged against either server.
+type Service struct {
+	ln  transport.Listener
+	mgr *Manager
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[transport.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// Serve starts accepting connections for mgr's sessions on ln and returns
+// immediately. The caller retains ownership of mgr (Close does not close it),
+// so one manager can serve several listeners.
+func Serve(ln transport.Listener, mgr *Manager) *Service {
+	s := &Service{ln: ln, mgr: mgr, conns: make(map[transport.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Service) Addr() string { return s.ln.Addr() }
+
+// Close stops accepting, closes every connection, and waits for the
+// connection handlers to finish.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle runs one connection: session routing, join handshake, then the
+// operation loop.
+func (s *Service) handle(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	sess, site, readOnly, snd, err := s.admit(conn)
+	if err != nil {
+		return
+	}
+	defer func() {
+		_ = sess.Leave(site)
+		snd.close()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch v := m.(type) {
+		case wire.ClientOp:
+			if v.From != site || readOnly {
+				return // impersonation, or an op from a viewer
+			}
+			if err := sess.Receive(core.ClientMsg{From: v.From, Op: v.Op, TS: v.TS, Ref: v.Ref}); err != nil {
+				return
+			}
+		case wire.Presence:
+			if v.From != site {
+				return
+			}
+			if err := sess.RelayPresence(core.PresenceMsg{
+				From: v.From, TS: v.TS, Anchor: v.Anchor, Head: v.Head, Active: v.Active,
+			}); err != nil {
+				return
+			}
+		case wire.Leave:
+			return
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+// admit reads the opening message, routes to (or creates) the session, and
+// completes the join handshake. The snapshot is enqueued from the session
+// goroutine by the Admitted hook, so it precedes any broadcast to the site.
+func (s *Service) admit(conn transport.Conn) (*Session, int, bool, *connSender, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, 0, false, nil, err
+	}
+	var name string
+	var site int
+	var readOnly bool
+	switch v := m.(type) {
+	case wire.JoinReq:
+		site, readOnly = v.Site, v.ReadOnly
+	case wire.SessionJoinReq:
+		name, site, readOnly = v.Session, v.Site, v.ReadOnly
+	default:
+		return nil, 0, false, nil, fmt.Errorf("server: expected join, got %T", m)
+	}
+	sess, err := s.mgr.GetOrCreate(name)
+	if err != nil {
+		return nil, 0, false, nil, err
+	}
+	snd := newConnSender(conn)
+	snap, err := sess.Join(site, Subscriber{
+		ReadOnly: readOnly,
+		Admitted: func(sn core.Snapshot) {
+			_ = snd.enqueue(wire.JoinResp{Site: sn.Site, Text: sn.Text, LocalOps: sn.LocalOps})
+		},
+		Deliver: func(bm core.ServerMsg) {
+			_ = snd.enqueue(wire.ServerOp{To: bm.To, TS: bm.TS, Ref: bm.Ref, OrigRef: bm.OrigRef, Op: bm.Op})
+		},
+		Presence: func(o core.PresenceOut) {
+			_ = snd.enqueue(wire.ServerPresence{
+				To: o.To, From: o.From, Anchor: o.Anchor, Head: o.Head, Active: o.Active,
+			})
+		},
+	})
+	if err != nil {
+		snd.close()
+		return nil, 0, false, nil, err
+	}
+	return sess, snap.Site, readOnly, snd, nil
+}
+
+// connSender serializes outbound messages onto a connection through an
+// unbounded FIFO queue drained by one writer goroutine, so the session
+// goroutine never blocks on a peer's network backpressure.
+type connSender struct {
+	conn transport.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []wire.Msg
+	closed bool
+
+	done chan struct{}
+}
+
+func newConnSender(conn transport.Conn) *connSender {
+	s := &connSender{conn: conn, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// enqueue appends m to the outbound queue; messages leave in enqueue order.
+func (s *connSender) enqueue(m wire.Msg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.q = append(s.q, m)
+	s.cond.Signal()
+	return nil
+}
+
+// close drains what is already queued (best effort) and stops the writer.
+func (s *connSender) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+func (s *connSender) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.q) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.q) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		m := s.q[0]
+		s.q = s.q[1:]
+		s.mu.Unlock()
+
+		if err := s.conn.Send(m); err != nil {
+			s.mu.Lock()
+			s.closed = true
+			s.q = nil
+			s.mu.Unlock()
+			return
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package server runs many independent document sessions — each a complete
+// star of paper Fig. 1 with its own notifier engine — inside one process.
+//
+// The paper's protocol is strictly per-session: SV_0, the history buffer,
+// and every timestamp are scoped to one document, so M documents are M
+// independent notifiers that never need to synchronize with each other. The
+// package exploits that: each Session serializes its engine on a dedicated
+// goroutine (the same single-writer discipline core.Server requires), and
+// the Manager routes to sessions through a copy-on-write registry that makes
+// the lookup on every received operation lock-free. Throughput then scales
+// with sessions across cores instead of funneling every document through one
+// mutex.
+package server
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Package errors.
+var (
+	// ErrClosed is returned by operations on a closed Session or Manager.
+	ErrClosed = errors.New("server: closed")
+	// ErrRejected is returned for an operation from a site that is not
+	// joined read-write in the session (unknown sender or a viewer).
+	ErrRejected = errors.New("server: operation rejected")
+)
+
+// Subscriber is one participant's delivery hooks, invoked on the session
+// goroutine. Callbacks must not block and must not call back into the same
+// Session synchronously (enqueue to a writer goroutine instead — see the
+// connection sender in service.go).
+type Subscriber struct {
+	// Deliver receives every operation broadcast to this site.
+	Deliver func(core.ServerMsg)
+	// Presence, when non-nil, receives relayed presence reports.
+	Presence func(core.PresenceOut)
+	// Admitted, when non-nil, is called with the join snapshot after the
+	// site is registered but before any broadcast can be delivered —
+	// the hook that lets a transport enqueue the snapshot strictly ahead
+	// of operations (the ordering Notifier.admit gets from its lock).
+	Admitted func(core.Snapshot)
+	// ReadOnly marks a viewer; Receive rejects its operations.
+	ReadOnly bool
+}
+
+// cmd is one unit of work for the session goroutine.
+type cmd struct {
+	fn   func()
+	done chan struct{}
+}
+
+// donePool recycles completion channels so a Receive round-trip does not
+// allocate one per operation.
+var donePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+// Session is one document's notifier running on its own goroutine. All
+// public methods are safe for concurrent use; they serialize through the
+// session's command queue, so the core engine itself is only ever touched
+// from one goroutine.
+type Session struct {
+	name string
+
+	// mu guards closed; inflight counts enqueues that passed the closed
+	// check. Close waits for in-flight enqueues before signalling quit, so
+	// no enqueue can race past the drain and block forever.
+	mu       sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	cmds chan cmd
+	quit chan struct{}
+	done chan struct{}
+
+	// Engine state below is owned by the session goroutine exclusively.
+	srv      *core.Server
+	subs     map[int]*Subscriber
+	nextSite int
+	received uint64
+}
+
+func newSession(name, initial string, queue int, opts ...core.ServerOption) *Session {
+	s := &Session{
+		name:     name,
+		cmds:     make(chan cmd, queue),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		srv:      core.NewServer(initial, opts...),
+		subs:     make(map[int]*Subscriber),
+		nextSite: 1,
+	}
+	go s.run()
+	return s
+}
+
+// Name returns the session's registry name ("" is the default document).
+func (s *Session) Name() string { return s.name }
+
+func (s *Session) run() {
+	defer close(s.done)
+	for {
+		select {
+		case c := <-s.cmds:
+			c.fn()
+			c.done <- struct{}{}
+		case <-s.quit:
+			// Close waits out in-flight enqueues before signalling, so
+			// nothing new can be mid-enqueue: draining what is buffered
+			// releases every waiter, then the goroutine exits.
+			for {
+				select {
+				case c := <-s.cmds:
+					c.fn()
+					c.done <- struct{}{}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// do runs fn on the session goroutine and waits for it to finish.
+func (s *Session) do(fn func()) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.RUnlock()
+	d := donePool.Get().(chan struct{})
+	s.cmds <- cmd{fn: fn, done: d}
+	s.inflight.Done()
+	<-d
+	donePool.Put(d)
+	return nil
+}
+
+// Join admits a site (site <= 0 requests automatic assignment) and registers
+// its delivery hooks. It returns the snapshot the joiner initializes from;
+// sub.Admitted, when set, sees the same snapshot strictly before any
+// broadcast reaches sub.Deliver.
+func (s *Session) Join(site int, sub Subscriber) (core.Snapshot, error) {
+	var snap core.Snapshot
+	var err error
+	derr := s.do(func() {
+		if site <= 0 {
+			site = s.nextSite
+		}
+		for {
+			if _, taken := s.subs[site]; !taken {
+				break
+			}
+			site++
+		}
+		if site >= s.nextSite {
+			s.nextSite = site + 1
+		}
+		snap, err = s.srv.Join(site)
+		if err != nil {
+			return
+		}
+		s.subs[site] = &sub
+		if sub.Admitted != nil {
+			sub.Admitted(snap)
+		}
+	})
+	if derr != nil {
+		return core.Snapshot{}, derr
+	}
+	return snap, err
+}
+
+// Leave removes a site; its subscriber receives nothing further.
+func (s *Session) Leave(site int) error {
+	var err error
+	if derr := s.do(func() {
+		if _, ok := s.subs[site]; !ok {
+			return // unknown or already gone: Leave is idempotent
+		}
+		delete(s.subs, site)
+		err = s.srv.Leave(site)
+	}); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// Receive integrates one client operation and fans the broadcasts out to the
+// subscribed destinations. Operations from viewers are rejected.
+func (s *Session) Receive(m core.ClientMsg) error {
+	var err error
+	if derr := s.do(func() {
+		sub := s.subs[m.From]
+		if sub == nil || sub.ReadOnly {
+			err = ErrRejected
+			return
+		}
+		bcast, _, rerr := s.srv.Receive(m)
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		s.received++
+		for _, bm := range bcast {
+			if dst := s.subs[bm.To]; dst != nil && dst.Deliver != nil {
+				dst.Deliver(bm)
+			}
+		}
+	}); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// RelayPresence re-coordinates a presence report and fans it out to
+// subscribers that registered a Presence hook.
+func (s *Session) RelayPresence(m core.PresenceMsg) error {
+	var err error
+	if derr := s.do(func() {
+		outs, rerr := s.srv.RelayPresence(m)
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		for _, o := range outs {
+			if dst := s.subs[o.To]; dst != nil && dst.Presence != nil {
+				dst.Presence(o)
+			}
+		}
+	}); derr != nil {
+		return derr
+	}
+	return err
+}
+
+// Text returns the session's current document.
+func (s *Session) Text() string {
+	var text string
+	_ = s.do(func() { text = s.srv.Text() })
+	return text
+}
+
+// Stats is a point-in-time summary of one session.
+type Stats struct {
+	Name  string
+	Sites int    // currently joined sites
+	Ops   uint64 // operations received over the session's lifetime
+	Doc   int    // document length in runes
+}
+
+// Stats reports the session's current size and traffic counters.
+func (s *Session) Stats() Stats {
+	st := Stats{Name: s.name}
+	_ = s.do(func() {
+		st.Sites = len(s.subs)
+		st.Ops = s.received
+		st.Doc = len([]rune(s.srv.Text()))
+	})
+	return st
+}
+
+// Close stops the session goroutine. Buffered commands still execute;
+// subsequent calls return ErrClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Enqueues that passed the closed check land in the buffer before quit
+	// is signalled, so the run loop's drain releases every waiter.
+	s.inflight.Wait()
+	close(s.quit)
+	<-s.done
+	return nil
+}

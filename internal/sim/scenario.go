@@ -123,14 +123,14 @@ type Figure3Result struct {
 // Figure3 replays the paper's §5 scenario on real engines, producing a
 // step-by-step log whose timestamps and verdicts match the paper.
 func Figure3() (*Figure3Result, error) {
-	srv := core.NewServer("ABCDE", core.WithServerCompaction(0))
+	srv := core.NewServer("ABCDE", core.WithServerCompaction(0), core.WithServerCheckTrace())
 	clients := map[int]*core.Client{}
 	for site := 1; site <= 3; site++ {
 		snap, err := srv.Join(site)
 		if err != nil {
 			return nil, err
 		}
-		clients[site] = core.NewClient(site, snap.Text, core.WithClientCompaction(0))
+		clients[site] = core.NewClient(site, snap.Text, core.WithClientCompaction(0), core.WithClientCheckTrace())
 	}
 	res := &Figure3Result{Finals: map[int]string{}}
 	// The helpers below record the first engine error and turn every later

@@ -115,8 +115,14 @@ func Run(cfg Config) (res *Result, err error) {
 	s := New()
 	res = &Result{Metrics: trace.NewMetrics()}
 
-	srv := core.NewServer(cfg.Initial,
-		core.WithServerMode(cfg.Mode), core.WithServerCompaction(cfg.Compaction))
+	srvOpts := []core.ServerOption{
+		core.WithServerMode(cfg.Mode), core.WithServerCompaction(cfg.Compaction)}
+	if cfg.Validate {
+		// Verdict replay against the oracle needs the per-check trace; it
+		// is off otherwise so throughput runs exercise the lean hot path.
+		srvOpts = append(srvOpts, core.WithServerCheckTrace())
+	}
+	srv := core.NewServer(cfg.Initial, srvOpts...)
 	clients := make(map[int]*core.Client, cfg.Clients)
 	states := make(map[int]*editorState, cfg.Clients)
 	rngs := make(map[int]*rand.Rand, cfg.Clients)
@@ -162,9 +168,13 @@ func Run(cfg Config) (res *Result, err error) {
 				return err
 			}
 		}
-		clients[site] = core.NewClient(site, snap.Text,
+		cliOpts := []core.ClientOption{
 			core.WithClientMode(cfg.Mode), core.WithClientCompaction(cfg.Compaction),
-			core.WithClientResume(snap.LocalOps))
+			core.WithClientResume(snap.LocalOps)}
+		if cfg.Validate {
+			cliOpts = append(cliOpts, core.WithClientCheckTrace())
+		}
+		clients[site] = core.NewClient(site, snap.Text, cliOpts...)
 		states[site] = &editorState{}
 		rngs[site] = rand.New(rand.NewSource(cfg.Seed + int64(site)*7919))
 		upLinks[site] = newLink(s, netRng, cfg.Latency)
@@ -226,9 +236,9 @@ func Run(cfg Config) (res *Result, err error) {
 			abort(fmt.Errorf("sim: server receive: %w", err))
 			return
 		}
-		res.TotalChecks += len(ir.Checks)
+		res.TotalChecks += ir.CheckCount
 		res.ConcurrentPairs += ir.ConcurrentCount
-		res.Metrics.Inc(trace.CConcurrencyChecks, int64(len(ir.Checks)))
+		res.Metrics.Inc(trace.CConcurrencyChecks, int64(ir.CheckCount))
 		res.Metrics.Inc(trace.CConcurrentPairs, int64(ir.ConcurrentCount))
 		// Modeled baseline cost: one full SV_0-sized vector per message
 		// (computed once per op; the vector is identical for the up-leg
@@ -284,10 +294,10 @@ func Run(cfg Config) (res *Result, err error) {
 			abort(fmt.Errorf("sim: client %d integrate: %w", site, err))
 			return
 		}
-		res.TotalChecks += len(ir.Checks)
+		res.TotalChecks += ir.CheckCount
 		res.ConcurrentPairs += ir.ConcurrentCount
 		res.Metrics.Inc(trace.COpsIntegrated, 1)
-		res.Metrics.Inc(trace.CConcurrencyChecks, int64(len(ir.Checks)))
+		res.Metrics.Inc(trace.CConcurrencyChecks, int64(ir.CheckCount))
 		res.Metrics.Inc(trace.CConcurrentPairs, int64(ir.ConcurrentCount))
 		if cfg.Validate {
 			checks = append(checks, ir.Checks...)

@@ -58,6 +58,9 @@ const (
 	TPresence MsgType = 6
 	// TServerPresence is a notifier → client presence relay.
 	TServerPresence MsgType = 7
+	// TSessionJoinReq asks a multi-session notifier to admit a site into a
+	// named document session.
+	TSessionJoinReq MsgType = 8
 )
 
 // Msg is a decoded protocol message.
@@ -94,6 +97,18 @@ type JoinReq struct {
 }
 
 func (JoinReq) msgType() MsgType { return TJoinReq }
+
+// SessionJoinReq asks for admission into the named session of a sharded
+// notifier (internal/server). The empty session name is the default
+// document, so a SessionJoinReq{} is equivalent to a JoinReq{}; site and
+// ReadOnly mean the same as in JoinReq. The reply is an ordinary JoinResp.
+type SessionJoinReq struct {
+	Session  string
+	Site     int
+	ReadOnly bool
+}
+
+func (SessionJoinReq) msgType() MsgType { return TSessionJoinReq }
 
 // JoinResp carries the snapshot a joining site initializes from. LocalOps
 // resumes the joiner's local operation counter (nonzero on rejoin).
@@ -155,6 +170,10 @@ func Append(b []byte, m Msg) ([]byte, error) {
 	case JoinReq:
 		b = binary.AppendUvarint(b, uint64(v.Site))
 		return append(b, boolByte(v.ReadOnly)), nil
+	case SessionJoinReq:
+		b = appendString(b, v.Session)
+		b = binary.AppendUvarint(b, uint64(v.Site))
+		return append(b, boolByte(v.ReadOnly)), nil
 	case JoinResp:
 		b = binary.AppendUvarint(b, uint64(v.Site))
 		b = appendString(b, v.Text)
@@ -202,6 +221,11 @@ func Decode(body []byte) (Msg, error) {
 		return m, d.finish()
 	case TJoinReq:
 		m := JoinReq{Site: int(d.uvarint())}
+		m.ReadOnly = d.boolByte()
+		return m, d.finish()
+	case TSessionJoinReq:
+		m := SessionJoinReq{Session: d.str()}
+		m.Site = int(d.uvarint())
 		m.ReadOnly = d.boolByte()
 		return m, d.finish()
 	case TJoinResp:

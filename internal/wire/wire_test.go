@@ -66,6 +66,13 @@ func TestControlMessagesRoundTrip(t *testing.T) {
 	if got := roundTrip(t, Leave{Site: 9}).(Leave); got.Site != 9 {
 		t.Fatalf("leave: %+v", got)
 	}
+	sj := roundTrip(t, SessionJoinReq{Session: "docs/α", Site: 7, ReadOnly: true}).(SessionJoinReq)
+	if sj.Session != "docs/α" || sj.Site != 7 || !sj.ReadOnly {
+		t.Fatalf("session join req: %+v", sj)
+	}
+	if got := roundTrip(t, SessionJoinReq{}).(SessionJoinReq); got.Session != "" || got.Site != 0 || got.ReadOnly {
+		t.Fatalf("empty session join req: %+v", got)
+	}
 }
 
 func TestFrameRoundTrip(t *testing.T) {

@@ -23,8 +23,13 @@ go run ./cmd/cvclint ./...
 step "go test ./..."
 go test ./...
 
-step "go test -race (engine, transport, sim, root)"
-go test -race ./internal/core ./internal/transport ./internal/sim .
+step "go test -race (engine, transport, server, sim, root)"
+go test -race ./internal/core ./internal/transport ./internal/server ./internal/sim .
+
+step "bench smoke (benchtime=10x)"
+BENCHTIME=10x bash scripts/bench.sh /tmp/bench_smoke.$$.json >/dev/null 2>&1 \
+	|| { echo "bench smoke failed" >&2; exit 1; }
+rm -f /tmp/bench_smoke.$$.json
 
 # One -fuzz target per invocation: the go tool rejects multiple matches.
 step "fuzz smoke: FuzzTransform ($FUZZTIME)"
