@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// BenchmarkBroadcastTCP measures the full notifier→client fan-out over
+// loopback TCP: one writer types, N-1 receivers integrate every keystroke.
+// One iteration is one keystroke broadcast to all N-1 other sites; the
+// writer does not wait per keystroke, so bursts queue up and exercise the
+// write-coalescing path exactly like a fast typist does. Beyond ns/op and
+// allocs/op it reports wire bytes, bufio flushes, and ServerOp body encodes
+// per broadcast — the encode-once acceptance criterion is encodes ≈ 1.
+func BenchmarkBroadcastTCP(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { benchBroadcastTCP(b, n) })
+	}
+}
+
+func benchBroadcastTCP(b *testing.B, n int) {
+	ln, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nt, err := Serve(ln, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nt.Close()
+
+	var delivered, want atomic.Int64
+	done := make(chan struct{}, 1)
+
+	dial := func() *Editor {
+		conn, err := transport.DialTCP(ln.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ed, err := Connect(conn, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ed
+	}
+	writer := dial()
+	defer writer.Close()
+	for i := 1; i < n; i++ {
+		ed := dial()
+		defer ed.Close()
+		ed.OnChange(func(string) {
+			if delivered.Add(1) == want.Load() {
+				done <- struct{}{}
+			}
+		})
+	}
+
+	// wave types k keystrokes back to back and waits until every receiver
+	// has integrated all of them.
+	wave := func(k int) {
+		delivered.Store(0)
+		want.Store(int64(k * (n - 1)))
+		for i := 0; i < k; i++ {
+			if err := writer.Insert(0, "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		<-done
+	}
+
+	wave(1) // warm up: all connections admitted and primed
+
+	startBytes := transport.TCPBytesSent()
+	startFlushes := transport.TCPFlushes()
+	startEncodes := wire.ServerOpEncodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	wave(b.N)
+	b.StopTimer()
+	fN := float64(b.N)
+	b.ReportMetric(float64(wire.ServerOpEncodes()-startEncodes)/fN, "encodes/broadcast")
+	b.ReportMetric(float64(transport.TCPBytesSent()-startBytes)/fN, "wireB/op")
+	b.ReportMetric(float64(transport.TCPFlushes()-startFlushes)/fN, "flushes/op")
+	if err := writer.Err(); err != nil {
+		b.Fatal(err)
+	}
+}

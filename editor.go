@@ -17,7 +17,7 @@ import (
 // background goroutine.
 type Editor struct {
 	conn transport.Conn
-	snd  *sender
+	snd  *transport.Sender
 
 	mu       sync.Mutex
 	client   *core.Client
@@ -75,7 +75,7 @@ func connect(conn transport.Conn, join wire.Msg, readOnly bool, opts ...core.Cli
 	}
 	e := &Editor{
 		conn:     conn,
-		snd:      newSender(conn),
+		snd:      transport.NewSender(conn, ErrClosed),
 		readOnly: readOnly,
 		client: core.NewClient(resp.Site, resp.Text,
 			append([]core.ClientOption{core.WithClientResume(resp.LocalOps)}, opts...)...),
@@ -210,7 +210,7 @@ func (e *Editor) edit(gen func(*core.Client) (core.ClientMsg, error)) error {
 	// Enqueued under the lock so concurrent edits leave in generation
 	// order — the FIFO property the clocks rely on. The queue never
 	// blocks, so the local path stays as fast as a single-user editor.
-	sendErr := e.snd.enqueue(wire.ClientOp{From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op})
+	sendErr := e.snd.Enqueue(wire.ClientOp{From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op})
 	text := e.client.Text()
 	fn := e.onChange
 	e.mu.Unlock()
@@ -236,8 +236,8 @@ func (e *Editor) Close() error {
 	site := e.client.Site()
 	e.mu.Unlock()
 
-	_ = e.snd.enqueue(wire.Leave{Site: site})
-	e.snd.close() // drains the queue, including the Leave
+	_ = e.snd.Enqueue(wire.Leave{Site: site})
+	e.snd.Close() // drains the queue, including the Leave
 	_ = e.conn.Close()
 	e.wg.Wait()
 	return nil
@@ -264,40 +264,55 @@ func (e *Editor) readLoop() {
 			}
 			return
 		}
-		if sp, ok := m.(wire.ServerPresence); ok {
+		switch v := m.(type) {
+		case wire.ServerPresence:
 			e.mu.Lock()
-			cb := e.handlePresence(sp)
+			cb := e.handlePresence(v)
 			e.mu.Unlock()
 			if cb != nil {
 				cb()
 			}
-			continue
-		}
-		so, ok := m.(wire.ServerOp)
-		if !ok {
+		case wire.ServerOp:
+			if !e.integrate(v) {
+				return
+			}
+		case wire.OpBatch:
+			// Decode fan-out of a coalesced frame: integrate in order, with
+			// the same per-operation callbacks a frame-per-op stream gives.
+			for _, so := range v.Ops {
+				if !e.integrate(so) {
+					return
+				}
+			}
+		default:
 			e.fail(fmt.Errorf("repro: unexpected %T from notifier", m))
 			return
 		}
-		e.mu.Lock()
-		var res core.IntegrationResult
-		res, err = e.client.Integrate(core.ServerMsg{
-			To: so.To, Op: so.Op, TS: so.TS, Ref: so.Ref, OrigRef: so.OrigRef,
-		})
-		var text string
-		var fn func(string)
-		if err == nil {
-			e.transformSelection(res.Executed, false)
-			e.advanceRemoteSelections(res.Executed)
-			text = e.client.Text()
-			fn = e.onChange
-		}
-		e.mu.Unlock()
-		if err != nil {
-			e.fail(fmt.Errorf("repro: integrate: %w", err))
-			return
-		}
-		if fn != nil {
-			fn(text)
-		}
 	}
+}
+
+// integrate applies one relayed operation, reporting false on failure
+// (after recording the sticky error).
+func (e *Editor) integrate(so wire.ServerOp) bool {
+	e.mu.Lock()
+	res, err := e.client.Integrate(core.ServerMsg{
+		To: so.To, Op: so.Op, TS: so.TS, Ref: so.Ref, OrigRef: so.OrigRef,
+	})
+	var text string
+	var fn func(string)
+	if err == nil {
+		e.transformSelection(res.Executed, false)
+		e.advanceRemoteSelections(res.Executed)
+		text = e.client.Text()
+		fn = e.onChange
+	}
+	e.mu.Unlock()
+	if err != nil {
+		e.fail(fmt.Errorf("repro: integrate: %w", err))
+		return false
+	}
+	if fn != nil {
+		fn(text)
+	}
+	return true
 }

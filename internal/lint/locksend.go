@@ -7,7 +7,8 @@ import (
 )
 
 // LockSend flags a sync.Mutex/RWMutex held across a channel send or a
-// blocking transport call (Conn.Send, Conn.Recv, Listener.Accept). In the
+// blocking transport call (Conn.Send, FrameConn.SendFrame, Conn.Recv,
+// Listener.Accept). In the
 // notifier's fan-out path this is the classic distributed-deadlock recipe:
 // a slow peer exerts backpressure, the send blocks while the engine lock is
 // held, and every other site's operations stall behind it — which is
@@ -29,7 +30,7 @@ var LockSend = &Analyzer{
 // backpressure. The transport package itself is responsible for its own
 // write serialization and is analyzed like everyone else — it passes
 // because its internal mutexes guard buffered writers, not Conn calls.
-var lockSendBlocking = map[string]bool{"Send": true, "Recv": true, "Accept": true}
+var lockSendBlocking = map[string]bool{"Send": true, "SendFrame": true, "Recv": true, "Accept": true}
 
 func runLockSend(pass *Pass) {
 	for _, f := range pass.Files {

@@ -21,7 +21,7 @@ type Service struct {
 
 	mu     sync.Mutex
 	closed bool
-	conns  map[transport.Conn]struct{}
+	conns  map[transport.Conn]*transport.Sender
 
 	wg sync.WaitGroup
 }
@@ -30,10 +30,27 @@ type Service struct {
 // immediately. The caller retains ownership of mgr (Close does not close it),
 // so one manager can serve several listeners.
 func Serve(ln transport.Listener, mgr *Manager) *Service {
-	s := &Service{ln: ln, mgr: mgr, conns: make(map[transport.Conn]struct{})}
+	s := &Service{ln: ln, mgr: mgr, conns: make(map[transport.Conn]*transport.Sender)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// QueueHighWater reports the deepest any live connection's outbound queue
+// has been — the backpressure of the slowest client currently connected.
+func (s *Service) QueueHighWater() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hw int
+	for _, snd := range s.conns {
+		if snd == nil {
+			continue
+		}
+		if d := snd.HighWater(); d > hw {
+			hw = d
+		}
+	}
+	return hw
 }
 
 // Addr returns the listener's address.
@@ -75,7 +92,7 @@ func (s *Service) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = nil // sender registered once the join handshake completes
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
@@ -99,7 +116,7 @@ func (s *Service) handle(conn transport.Conn) {
 	}
 	defer func() {
 		_ = sess.Leave(site)
-		snd.close()
+		snd.Close()
 	}()
 	for {
 		m, err := conn.Recv()
@@ -134,7 +151,7 @@ func (s *Service) handle(conn transport.Conn) {
 // admit reads the opening message, routes to (or creates) the session, and
 // completes the join handshake. The snapshot is enqueued from the session
 // goroutine by the Admitted hook, so it precedes any broadcast to the site.
-func (s *Service) admit(conn transport.Conn) (*Session, int, bool, *connSender, error) {
+func (s *Service) admit(conn transport.Conn) (*Session, int, bool, *transport.Sender, error) {
 	m, err := conn.Recv()
 	if err != nil {
 		return nil, 0, false, nil, err
@@ -154,93 +171,32 @@ func (s *Service) admit(conn transport.Conn) (*Session, int, bool, *connSender, 
 	if err != nil {
 		return nil, 0, false, nil, err
 	}
-	snd := newConnSender(conn)
+	// The sender is the shared writer-queue type: the session goroutine
+	// never blocks on a peer's network backpressure, and its drains
+	// coalesce bursts into batched frames with one flush each.
+	snd := transport.NewSender(conn, ErrClosed)
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = snd
+	}
+	s.mu.Unlock()
 	snap, err := sess.Join(site, Subscriber{
 		ReadOnly: readOnly,
 		Admitted: func(sn core.Snapshot) {
-			_ = snd.enqueue(wire.JoinResp{Site: sn.Site, Text: sn.Text, LocalOps: sn.LocalOps})
+			_ = snd.Enqueue(wire.JoinResp{Site: sn.Site, Text: sn.Text, LocalOps: sn.LocalOps})
 		},
-		Deliver: func(bm core.ServerMsg) {
-			_ = snd.enqueue(wire.ServerOp{To: bm.To, TS: bm.TS, Ref: bm.Ref, OrigRef: bm.OrigRef, Op: bm.Op})
+		DeliverBroadcast: func(bc *wire.Broadcast, to int, ts core.Timestamp) {
+			_ = snd.EnqueueBroadcast(bc, to, ts)
 		},
 		Presence: func(o core.PresenceOut) {
-			_ = snd.enqueue(wire.ServerPresence{
+			_ = snd.Enqueue(wire.ServerPresence{
 				To: o.To, From: o.From, Anchor: o.Anchor, Head: o.Head, Active: o.Active,
 			})
 		},
 	})
 	if err != nil {
-		snd.close()
+		snd.Close()
 		return nil, 0, false, nil, err
 	}
 	return sess, snap.Site, readOnly, snd, nil
-}
-
-// connSender serializes outbound messages onto a connection through an
-// unbounded FIFO queue drained by one writer goroutine, so the session
-// goroutine never blocks on a peer's network backpressure.
-type connSender struct {
-	conn transport.Conn
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []wire.Msg
-	closed bool
-
-	done chan struct{}
-}
-
-func newConnSender(conn transport.Conn) *connSender {
-	s := &connSender{conn: conn, done: make(chan struct{})}
-	s.cond = sync.NewCond(&s.mu)
-	go s.run()
-	return s
-}
-
-// enqueue appends m to the outbound queue; messages leave in enqueue order.
-func (s *connSender) enqueue(m wire.Msg) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	s.q = append(s.q, m)
-	s.cond.Signal()
-	return nil
-}
-
-// close drains what is already queued (best effort) and stops the writer.
-func (s *connSender) close() {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		s.cond.Signal()
-	}
-	s.mu.Unlock()
-	<-s.done
-}
-
-func (s *connSender) run() {
-	defer close(s.done)
-	for {
-		s.mu.Lock()
-		for len(s.q) == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if len(s.q) == 0 && s.closed {
-			s.mu.Unlock()
-			return
-		}
-		m := s.q[0]
-		s.q = s.q[1:]
-		s.mu.Unlock()
-
-		if err := s.conn.Send(m); err != nil {
-			s.mu.Lock()
-			s.closed = true
-			s.q = nil
-			s.mu.Unlock()
-			return
-		}
-	}
 }

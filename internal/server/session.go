@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // Package errors.
@@ -35,6 +36,13 @@ var (
 type Subscriber struct {
 	// Deliver receives every operation broadcast to this site.
 	Deliver func(core.ServerMsg)
+	// DeliverBroadcast, when non-nil, is preferred over Deliver for
+	// operation broadcasts: it receives the shared encode-once body
+	// (serialized exactly once per Receive however many sites subscribe),
+	// retained once per call — the hook owns that reference and must
+	// Release it after the bytes are written. Network transports set this;
+	// in-process consumers keep the simpler Deliver.
+	DeliverBroadcast func(bc *wire.Broadcast, to int, ts core.Timestamp)
 	// Presence, when non-nil, receives relayed presence reports.
 	Presence func(core.PresenceOut)
 	// Admitted, when non-nil, is called with the join snapshot after the
@@ -205,10 +213,32 @@ func (s *Session) Receive(m core.ClientMsg) error {
 			return
 		}
 		s.received++
+		// Every destination shares refs and op; only To and the compressed
+		// timestamp differ. The shared body is encoded lazily — only when a
+		// subscriber actually takes the encode-once path — and exactly once.
+		var bc *wire.Broadcast
 		for _, bm := range bcast {
-			if dst := s.subs[bm.To]; dst != nil && dst.Deliver != nil {
+			dst := s.subs[bm.To]
+			if dst == nil {
+				continue
+			}
+			switch {
+			case dst.DeliverBroadcast != nil:
+				if bc == nil {
+					var berr error
+					if bc, berr = wire.NewBroadcast(bm.Ref, bm.OrigRef, bm.Op); berr != nil {
+						err = berr
+						return
+					}
+				}
+				bc.Retain()
+				dst.DeliverBroadcast(bc, bm.To, bm.TS)
+			case dst.Deliver != nil:
 				dst.Deliver(bm)
 			}
+		}
+		if bc != nil {
+			bc.Release()
 		}
 	}); derr != nil {
 		return derr

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sync"
 
 	"repro/internal/wire"
@@ -43,6 +45,36 @@ func (c *memConn) Send(m wire.Msg) error {
 	if err != nil {
 		return err
 	}
+	return c.deliver(decoded)
+}
+
+// SendFrame implements FrameConn: the blob is split back into frames and
+// every frame is decoded and delivered in order — the same byte-level
+// round-trip Send performs, so encoding bugs in the coalesced path surface
+// in-memory too.
+func (c *memConn) SendFrame(frames []byte) error {
+	for len(frames) > 0 {
+		size, n := binary.Uvarint(frames)
+		if n <= 0 || size > wire.MaxFrame {
+			return fmt.Errorf("transport: bad frame length: %w", wire.ErrCorrupt)
+		}
+		if size > uint64(len(frames)-n) {
+			return fmt.Errorf("transport: truncated frame: %w", wire.ErrCorrupt)
+		}
+		m, err := wire.Decode(frames[n : n+int(size)])
+		if err != nil {
+			return err
+		}
+		frames = frames[n+int(size):]
+		if err := c.deliver(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver enqueues a decoded message toward the peer, honoring closure.
+func (c *memConn) deliver(m wire.Msg) error {
 	// Checked first: the select below picks randomly among ready cases and
 	// the buffered channel usually has room even after a close.
 	select {
@@ -57,7 +89,7 @@ func (c *memConn) Send(m wire.Msg) error {
 		return ErrClosed
 	case <-c.peer.done:
 		return ErrClosed
-	case c.send <- decoded:
+	case c.send <- m:
 		return nil
 	}
 }

@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Sender serializes outbound messages onto a connection through an
+// unbounded FIFO queue drained by one writer goroutine. Enqueueing never
+// blocks, so engine mutexes are never held across a potentially blocking
+// network write — the classic recipe for distributed deadlock under
+// backpressure. Both the editor client and the notifier servers use it;
+// it is the single owner of its connection's write side.
+//
+// The writer drains by swapping the entire pending queue out under one
+// lock acquisition, then — on a FrameConn — assembles every drained
+// message into one blob of frames and hands it over in a single
+// SendFrame call: one buffered write, one flush, however deep the queue
+// got. Consecutive encode-once broadcasts in the drain coalesce into
+// TOpBatch frames, so a keystroke burst toward a slow reader amortizes
+// framing and syscalls instead of multiplying them.
+type Sender struct {
+	conn Conn
+	fc   FrameConn // non-nil when conn supports the pre-encoded fast path
+
+	// closedErr is what Enqueue returns after a clean Close; packages keep
+	// their own sentinel (repro.ErrClosed, server.ErrClosed).
+	closedErr error
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	q         []outItem
+	closed    bool
+	err       error
+	highWater int
+
+	done chan struct{}
+
+	// Writer-goroutine scratch, reused across drains so steady-state
+	// sending allocates nothing.
+	scratch []byte
+	items   []wire.FrameItem
+}
+
+// outItem is one queued message: either an ordinary Msg or one destination
+// of an encode-once broadcast (bc non-nil), never both.
+type outItem struct {
+	m  wire.Msg
+	bc *wire.Broadcast
+	to int
+	ts core.Timestamp
+}
+
+// NewSender starts the writer goroutine for conn. closedErr, when non-nil,
+// is returned by enqueues after Close (ErrClosed otherwise).
+func NewSender(conn Conn, closedErr error) *Sender {
+	if closedErr == nil {
+		closedErr = ErrClosed
+	}
+	fc, _ := conn.(FrameConn)
+	s := &Sender{conn: conn, fc: fc, closedErr: closedErr, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// Enqueue appends m to the outbound queue; messages leave in enqueue order.
+// After a write error it returns that sticky error instead.
+func (s *Sender) Enqueue(m wire.Msg) error {
+	return s.push(outItem{m: m})
+}
+
+// EnqueueBroadcast queues one destination of an encode-once broadcast. It
+// always consumes one reference to bc: the caller Retains before calling,
+// and the sender Releases after the bytes are written — or right here when
+// the enqueue is refused.
+func (s *Sender) EnqueueBroadcast(bc *wire.Broadcast, to int, ts core.Timestamp) error {
+	if err := s.push(outItem{bc: bc, to: to, ts: ts}); err != nil {
+		bc.Release()
+		return err
+	}
+	return nil
+}
+
+func (s *Sender) push(it outItem) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if s.err != nil {
+			return s.err
+		}
+		return s.closedErr
+	}
+	s.q = append(s.q, it)
+	if len(s.q) > s.highWater {
+		s.highWater = len(s.q)
+	}
+	s.cond.Signal()
+	return nil
+}
+
+// Err returns the sticky write error, if any.
+func (s *Sender) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// HighWater reports the deepest the pending queue has ever been — the
+// backpressure a slow reader exerted. It only grows.
+func (s *Sender) HighWater() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.highWater
+}
+
+// Close drains what is already queued (best effort) and stops the writer.
+func (s *Sender) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+func (s *Sender) run() {
+	defer close(s.done)
+	var batch []outItem
+	for {
+		s.mu.Lock()
+		for len(s.q) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.q) == 0 {
+			s.mu.Unlock()
+			return // closed and drained
+		}
+		// Swap the whole pending queue out under this one acquisition;
+		// the freshly cleared previous batch becomes the next queue.
+		batch, s.q = s.q, batch[:0]
+		s.mu.Unlock()
+
+		err := s.write(batch)
+		for i := range batch {
+			if batch[i].bc != nil {
+				batch[i].bc.Release()
+			}
+			batch[i] = outItem{}
+		}
+		if err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}
+
+// fail records the sticky error and releases anything queued behind the
+// failed write; later enqueues see the error immediately.
+func (s *Sender) fail(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.closed = true
+	rest := s.q
+	s.q = nil
+	s.mu.Unlock()
+	for i := range rest {
+		if rest[i].bc != nil {
+			rest[i].bc.Release()
+		}
+	}
+}
+
+// write sends one drained batch: a single coalesced SendFrame on the fast
+// path, message-by-message Sends on the compatibility path.
+func (s *Sender) write(batch []outItem) error {
+	if s.fc == nil {
+		for _, it := range batch {
+			m := it.m
+			if it.bc != nil {
+				m = it.bc.ServerOp(it.to, it.ts)
+			}
+			if err := s.conn.Send(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s.scratch = s.scratch[:0]
+	for i := 0; i < len(batch); {
+		if batch[i].bc == nil {
+			var err error
+			if s.scratch, err = wire.AppendFrame(s.scratch, batch[i].m); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		s.items = s.items[:0]
+		for ; i < len(batch) && batch[i].bc != nil; i++ {
+			s.items = append(s.items, wire.FrameItem{B: batch[i].bc, To: batch[i].to, TS: batch[i].ts})
+		}
+		s.scratch = wire.AppendFrames(s.scratch, s.items)
+		for j := range s.items {
+			s.items[j] = wire.FrameItem{}
+		}
+	}
+	return s.fc.SendFrame(s.scratch)
+}

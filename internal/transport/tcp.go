@@ -4,64 +4,136 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
+
+// Process-wide write-side counters for the TCP transport. The broadcast
+// benchmark reads them to report wire bytes and flushes per operation;
+// they are monotone, so callers measure with deltas.
+var (
+	tcpBytesSent atomic.Uint64
+	tcpFlushes   atomic.Uint64
+)
+
+// TCPBytesSent returns the total frame bytes written by all TCP conns.
+func TCPBytesSent() uint64 { return tcpBytesSent.Load() }
+
+// TCPFlushes returns the total bufio flushes performed by all TCP conns.
+func TCPFlushes() uint64 { return tcpFlushes.Load() }
+
+// DefaultBufferSize is the per-direction bufio size of a TCP conn. Large
+// enough that a full drain of a busy outbound queue usually needs one
+// syscall, small enough to be irrelevant against per-connection memory.
+const DefaultBufferSize = 32 << 10
+
+// TCPOption configures a TCP connection.
+type TCPOption func(*tcpConfig)
+
+type tcpConfig struct{ bufSize int }
+
+// WithBufferSize sets the bufio reader/writer size (default
+// DefaultBufferSize; values below 1 fall back to the default).
+func WithBufferSize(n int) TCPOption {
+	return func(c *tcpConfig) { c.bufSize = n }
+}
 
 // tcpConn frames wire messages over a TCP stream. TCP's in-order delivery
 // provides the FIFO property the clock scheme depends on (§2.2).
 type tcpConn struct {
 	c net.Conn
 	r *bufio.Reader
+	// rbuf is the Recv frame scratch; Recv is single-goroutine by the Conn
+	// contract, so reusing it across frames is race-free.
+	rbuf []byte
 
 	wmu sync.Mutex
 	w   *bufio.Writer
 }
 
-// NewTCPConn wraps an established net.Conn.
-func NewTCPConn(c net.Conn) Conn {
-	return &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+// NewTCPConn wraps an established net.Conn. Nagle's algorithm is disabled
+// explicitly so batching policy lives in one place — the senders' drain
+// coalescing and bufio sizing decide when bytes leave, not the kernel's
+// delayed-ACK timer.
+func NewTCPConn(c net.Conn, opts ...TCPOption) Conn {
+	cfg := tcpConfig{bufSize: DefaultBufferSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.bufSize < 1 {
+		cfg.bufSize = DefaultBufferSize
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{
+		c: c,
+		r: bufio.NewReaderSize(c, cfg.bufSize),
+		w: bufio.NewWriterSize(c, cfg.bufSize),
+	}
 }
 
 // DialTCP connects to a notifier at addr.
-func DialTCP(addr string) (Conn, error) {
+func DialTCP(addr string, opts ...TCPOption) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewTCPConn(c), nil
+	return NewTCPConn(c, opts...), nil
 }
 
-// Send implements Conn.
+// Send implements Conn: encode, write, flush — one message per flush. The
+// coalescing path is SendFrame.
 func (t *tcpConn) Send(m wire.Msg) error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	if _, err := wire.WriteFrame(t.w, m); err != nil {
+	n, err := wire.WriteFrame(t.w, m)
+	if err != nil {
 		return err
 	}
+	tcpBytesSent.Add(uint64(n))
+	tcpFlushes.Add(1)
+	return t.w.Flush()
+}
+
+// SendFrame implements FrameConn: one buffered write and one flush for the
+// whole blob, however many frames it carries.
+func (t *tcpConn) SendFrame(frames []byte) error {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if _, err := t.w.Write(frames); err != nil {
+		return err
+	}
+	tcpBytesSent.Add(uint64(len(frames)))
+	tcpFlushes.Add(1)
 	return t.w.Flush()
 }
 
 // Recv implements Conn.
 func (t *tcpConn) Recv() (wire.Msg, error) {
-	return wire.ReadFrame(t.r)
+	m, buf, err := wire.ReadFrameReuse(t.r, t.rbuf)
+	t.rbuf = buf
+	return m, err
 }
 
 // Close implements Conn.
 func (t *tcpConn) Close() error { return t.c.Close() }
 
-// tcpListener adapts net.Listener.
+// tcpListener adapts net.Listener, applying its options to accepted conns.
 type tcpListener struct {
-	l net.Listener
+	l    net.Listener
+	opts []TCPOption
 }
 
-// ListenTCP starts a TCP listener on addr (e.g. "127.0.0.1:0").
-func ListenTCP(addr string) (Listener, error) {
+// ListenTCP starts a TCP listener on addr (e.g. "127.0.0.1:0"); opts apply
+// to every accepted connection.
+func ListenTCP(addr string, opts ...TCPOption) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, opts: opts}, nil
 }
 
 // Accept implements Listener.
@@ -70,7 +142,7 @@ func (t *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewTCPConn(c), nil
+	return NewTCPConn(c, t.opts...), nil
 }
 
 // Close implements Listener.

@@ -30,6 +30,18 @@ type Conn interface {
 	Close() error
 }
 
+// FrameConn is the pre-encoded fast path of a Conn. SendFrame writes a blob
+// holding one or more complete length-prefixed frames in a single buffered
+// write with a single flush — the callee must not re-encode, split, or
+// reorder them. Both built-in transports implement it; Send(Msg) remains
+// the compatibility path for third-party Conns, which simply miss the
+// coalescing. Like Send, SendFrame may block on backpressure and is safe
+// for concurrent use; the blob is not retained after the call returns.
+type FrameConn interface {
+	Conn
+	SendFrame(frames []byte) error
+}
+
 // Listener accepts inbound connections at the notifier.
 type Listener interface {
 	// Accept blocks for the next inbound connection.

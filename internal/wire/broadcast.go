@@ -1,0 +1,126 @@
+// Encode-once broadcast fan-out.
+//
+// When the notifier relays one transformed operation to N-1 destinations,
+// the payloads differ only in the head — the destination site and its
+// compressed 2-integer timestamp (§6). The refs and the operation itself
+// are byte-identical for everyone. A Broadcast therefore encodes that
+// shared tail exactly once into a pooled buffer; each connection writes its
+// own few-byte head in front of it. The bytes on the wire are identical to
+// encoding a full ServerOp per destination — old decoders cannot tell the
+// difference — but the notifier does O(1) encoding work per connection
+// instead of O(op size), and steady-state sends allocate nothing.
+package wire
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/causal"
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+// Broadcast is the shared, destination-independent body of one relayed
+// operation, encoded once and fanned out read-only to every destination.
+//
+// Lifetime is reference-counted because the senders consuming it run
+// asynchronously: NewBroadcast returns it with one reference (the
+// creator's); each enqueue to a destination takes one more via Retain and
+// the sender Releases it after the bytes leave. When the count reaches
+// zero the buffer returns to a pool, so a steady stream of broadcasts
+// reuses a handful of buffers instead of allocating per operation.
+type Broadcast struct {
+	// Ref, OrigRef and Op are the decoded fields, kept so transports
+	// without the frame fast path can still materialize a ServerOp.
+	Ref     causal.OpRef
+	OrigRef causal.OpRef
+	Op      *op.Op
+
+	tail []byte // appendServerOpTail output, shared read-only
+	refs atomic.Int32
+}
+
+var broadcastPool = sync.Pool{New: func() any { return new(Broadcast) }}
+
+// NewBroadcast encodes the shared body once and returns it with one
+// reference held by the caller.
+func NewBroadcast(ref, origRef causal.OpRef, o *op.Op) (*Broadcast, error) {
+	bc := broadcastPool.Get().(*Broadcast)
+	tail, err := appendServerOpTail(bc.tail[:0], ref, origRef, o)
+	if err != nil {
+		broadcastPool.Put(bc)
+		return nil, err
+	}
+	bc.Ref, bc.OrigRef, bc.Op, bc.tail = ref, origRef, o, tail
+	bc.refs.Store(1)
+	return bc, nil
+}
+
+// Retain adds a reference; pair every Retain with exactly one Release.
+func (bc *Broadcast) Retain() { bc.refs.Add(1) }
+
+// Release drops a reference; the last one returns the buffer to the pool.
+func (bc *Broadcast) Release() {
+	if bc.refs.Add(-1) == 0 {
+		bc.Op = nil
+		broadcastPool.Put(bc)
+	}
+}
+
+// ServerOp materializes the per-destination message — the compatibility
+// path for connections that do not implement the pre-encoded fast path.
+// It costs a fresh body encode when sent, like any other Msg.
+func (bc *Broadcast) ServerOp(to int, ts core.Timestamp) ServerOp {
+	return ServerOp{To: to, TS: ts, Ref: bc.Ref, OrigRef: bc.OrigRef, Op: bc.Op}
+}
+
+// WireSize returns the encoded payload size of this broadcast toward one
+// destination (type byte + head + shared tail, without the length prefix).
+func (bc *Broadcast) WireSize(to int, ts core.Timestamp) int {
+	return 1 + UvarintLen(uint64(to)) + TimestampSize(ts) + len(bc.tail)
+}
+
+// FrameItem is one destination's slot in a coalesced write: which shared
+// body to send, to whom, under which per-destination timestamp.
+type FrameItem struct {
+	B  *Broadcast
+	To int
+	TS core.Timestamp
+}
+
+// AppendFrames appends complete length-prefixed frames for items onto dst
+// and returns the extended slice. A single item becomes an ordinary
+// TServerOp frame — byte-identical to encoding the ServerOp directly — and
+// a longer run becomes TOpBatch frames of up to MaxBatchOps operations
+// each. No body is re-encoded: every frame shares the items' tails.
+func AppendFrames(dst []byte, items []FrameItem) []byte {
+	for len(items) > 0 {
+		run := items
+		if len(run) > MaxBatchOps {
+			run = run[:MaxBatchOps]
+		}
+		items = items[len(run):]
+		if len(run) == 1 {
+			it := run[0]
+			body := 1 + UvarintLen(uint64(it.To)) + TimestampSize(it.TS) + len(it.B.tail)
+			dst = binary.AppendUvarint(dst, uint64(body))
+			dst = append(dst, byte(TServerOp))
+			dst = appendServerOpHead(dst, it.To, it.TS)
+			dst = append(dst, it.B.tail...)
+			continue
+		}
+		body := 1 + UvarintLen(uint64(len(run)))
+		for _, it := range run {
+			body += UvarintLen(uint64(it.To)) + TimestampSize(it.TS) + len(it.B.tail)
+		}
+		dst = binary.AppendUvarint(dst, uint64(body))
+		dst = append(dst, byte(TOpBatch))
+		dst = binary.AppendUvarint(dst, uint64(len(run)))
+		for _, it := range run {
+			dst = appendServerOpHead(dst, it.To, it.TS)
+			dst = append(dst, it.B.tail...)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+func testOp(t testing.TB) *op.Op {
+	t.Helper()
+	o, err := op.NewInsert(10, 3, "héllo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func testServerOp(t testing.TB, to int) ServerOp {
+	return ServerOp{
+		To:      to,
+		TS:      core.Timestamp{T1: 7, T2: 3},
+		Ref:     causal.OpRef{Site: 0, Seq: 9},
+		OrigRef: causal.OpRef{Site: 4, Seq: 2},
+		Op:      testOp(t),
+	}
+}
+
+// TestOpBatchRoundTrip encodes a batch and decodes it back field-for-field.
+func TestOpBatchRoundTrip(t *testing.T) {
+	batch := OpBatch{Ops: []ServerOp{testServerOp(t, 1), testServerOp(t, 2), testServerOp(t, 5)}}
+	batch.Ops[1].TS = core.Timestamp{T1: 1, T2: 300}
+	b, err := Append(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.(OpBatch)
+	if !ok {
+		t.Fatalf("decoded %T, want OpBatch", m)
+	}
+	if len(got.Ops) != 3 {
+		t.Fatalf("decoded %d ops, want 3", len(got.Ops))
+	}
+	for i, so := range got.Ops {
+		want := batch.Ops[i]
+		if so.To != want.To || so.TS != want.TS || so.Ref != want.Ref || so.OrigRef != want.OrigRef {
+			t.Errorf("op %d: got %+v, want %+v", i, so, want)
+		}
+		if so.Op.String() != want.Op.String() {
+			t.Errorf("op %d: op %v, want %v", i, so.Op, want.Op)
+		}
+	}
+}
+
+// TestOpBatchRejectsEmpty: a zero-op batch neither encodes nor decodes.
+func TestOpBatchRejectsEmpty(t *testing.T) {
+	if _, err := Append(nil, OpBatch{}); err == nil {
+		t.Fatal("empty batch encoded")
+	}
+	if _, err := Decode([]byte{byte(TOpBatch), 0}); err == nil {
+		t.Fatal("empty batch decoded")
+	}
+}
+
+// TestAppendFramesSingleByteIdentical: one broadcast destination produces a
+// frame byte-identical to WriteFrame of the equivalent ServerOp — the old
+// wire format is preserved exactly.
+func TestAppendFramesSingleByteIdentical(t *testing.T) {
+	so := testServerOp(t, 3)
+	bc, err := NewBroadcast(so.Ref, so.OrigRef, so.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Release()
+	got := AppendFrames(nil, []FrameItem{{B: bc, To: so.To, TS: so.TS}})
+
+	var want bytes.Buffer
+	if _, err := WriteFrame(&want, so); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("single-item frame differs:\n got %x\nwant %x", got, want.Bytes())
+	}
+}
+
+// TestAppendFramesBatchDecodes: a run decodes to the same operations that a
+// frame-per-op stream would deliver, and splits at MaxBatchOps.
+func TestAppendFramesBatchDecodes(t *testing.T) {
+	so := testServerOp(t, 0)
+	bc, err := NewBroadcast(so.Ref, so.OrigRef, so.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Release()
+	const n = MaxBatchOps + 3
+	items := make([]FrameItem, n)
+	for i := range items {
+		items[i] = FrameItem{B: bc, To: i + 1, TS: core.Timestamp{T1: uint64(i), T2: 1}}
+	}
+	blob := AppendFrames(nil, items)
+
+	r := bufio.NewReader(bytes.NewReader(blob))
+	var got []ServerOp
+	frames := 0
+	for {
+		m, err := ReadFrame(r)
+		if err != nil {
+			break
+		}
+		frames++
+		switch v := m.(type) {
+		case ServerOp:
+			got = append(got, v)
+		case OpBatch:
+			got = append(got, v.Ops...)
+		default:
+			t.Fatalf("unexpected %T", m)
+		}
+	}
+	// MaxBatchOps in the first frame, the remaining 3 in a second batch.
+	if frames != 2 {
+		t.Fatalf("got %d frames, want 2", frames)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d ops, want %d", len(got), n)
+	}
+	for i, so := range got {
+		if so.To != i+1 || so.TS.T1 != uint64(i) {
+			t.Fatalf("op %d out of order: to=%d ts=%v", i, so.To, so.TS)
+		}
+	}
+}
+
+// TestBroadcastEncodeOnce: however many destinations a broadcast reaches,
+// the body is encoded exactly once.
+func TestBroadcastEncodeOnce(t *testing.T) {
+	so := testServerOp(t, 0)
+	before := ServerOpEncodes()
+	bc, err := NewBroadcast(so.Ref, so.OrigRef, so.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	for i := 1; i <= 64; i++ {
+		bc.Retain()
+		blob = AppendFrames(blob, []FrameItem{{B: bc, To: i, TS: so.TS}})
+		bc.Release()
+	}
+	bc.Release()
+	if d := ServerOpEncodes() - before; d != 1 {
+		t.Fatalf("64-destination broadcast performed %d body encodes, want 1", d)
+	}
+	if len(blob) == 0 {
+		t.Fatal("no frames produced")
+	}
+}
+
+// TestBroadcastCompatServerOp: the compatibility materialization carries the
+// same fields and costs one more encode when actually sent.
+func TestBroadcastCompatServerOp(t *testing.T) {
+	so := testServerOp(t, 8)
+	bc, err := NewBroadcast(so.Ref, so.OrigRef, so.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Release()
+	got := bc.ServerOp(so.To, so.TS)
+	a, err := Append(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Append(nil, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("compat ServerOp encodes differently from the original")
+	}
+}
+
+// TestReadFrameReuse: the scratch buffer round-trips frames of any size,
+// including ones beyond the retention cap.
+func TestReadFrameReuse(t *testing.T) {
+	big := JoinResp{Site: 1, Text: string(make([]rune, reuseCap))} // > reuseCap bytes encoded
+	small := Leave{Site: 2}
+	var stream bytes.Buffer
+	for _, m := range []Msg{small, big, small} {
+		if _, err := WriteFrame(&stream, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&stream)
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		m, nbuf, err := ReadFrameReuse(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = nbuf
+		if i == 1 {
+			if jr, ok := m.(JoinResp); !ok || len(jr.Text) != reuseCap {
+				t.Fatalf("frame 1: got %T", m)
+			}
+		} else if l, ok := m.(Leave); !ok || l.Site != 2 {
+			t.Fatalf("frame %d: got %#v", i, m)
+		}
+	}
+	if cap(buf) > reuseCap {
+		t.Fatalf("retained scratch of %d bytes, cap is %d", cap(buf), reuseCap)
+	}
+}

@@ -22,6 +22,12 @@ func FuzzDecode(f *testing.F) {
 		ClientOp{From: 2, TS: core.Timestamp{T1: 9, T2: 4}, Ref: causal.OpRef{Site: 2, Seq: 4}, Op: o},
 		ServerOp{To: 1, TS: core.Timestamp{T1: 3, T2: 1}, Ref: causal.OpRef{Site: 0, Seq: 2},
 			OrigRef: causal.OpRef{Site: 2, Seq: 1}, Op: o},
+		OpBatch{Ops: []ServerOp{
+			{To: 1, TS: core.Timestamp{T1: 3, T2: 1}, Ref: causal.OpRef{Site: 0, Seq: 2},
+				OrigRef: causal.OpRef{Site: 2, Seq: 1}, Op: o},
+			{To: 4, TS: core.Timestamp{T1: 9, T2: 0}, Ref: causal.OpRef{Site: 0, Seq: 3},
+				OrigRef: causal.OpRef{Site: 1, Seq: 7}, Op: o},
+		}},
 	}
 	for _, m := range seeds {
 		b, err := Append(nil, m)
@@ -32,6 +38,10 @@ func FuzzDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x01, 0x02})
+	// Malformed batches: zero count, count beyond the body, truncated op.
+	f.Add([]byte{byte(TOpBatch), 0})
+	f.Add([]byte{byte(TOpBatch), 0xFF, 0xFF, 0x03})
+	f.Add([]byte{byte(TOpBatch), 2, 1, 1, 1})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/causal"
 	"repro/internal/core"
@@ -61,7 +63,14 @@ const (
 	// TSessionJoinReq asks a multi-session notifier to admit a site into a
 	// named document session.
 	TSessionJoinReq MsgType = 8
+	// TOpBatch carries several consecutive notifier → client operations in
+	// one frame, amortizing framing and flushes across a keystroke burst.
+	TOpBatch MsgType = 9
 )
+
+// MaxBatchOps caps how many operations one TOpBatch frame may carry, keeping
+// every batch frame far below MaxFrame regardless of queue depth.
+const MaxBatchOps = 256
 
 // Msg is a decoded protocol message.
 type Msg interface{ msgType() MsgType }
@@ -86,6 +95,16 @@ type ServerOp struct {
 }
 
 func (ServerOp) msgType() MsgType { return TServerOp }
+
+// OpBatch carries several consecutive ServerOps in one frame. Semantically it
+// is exactly the sequence of its operations in order; the batch exists only
+// so bursts amortize the length prefix, the type byte, and — decisive on the
+// TCP path — the per-frame flush and syscall.
+type OpBatch struct {
+	Ops []ServerOp
+}
+
+func (OpBatch) msgType() MsgType { return TOpBatch }
 
 // JoinReq asks for admission. Site 0 requests automatic id assignment.
 // ReadOnly admits the site as a viewer: it receives every operation and may
@@ -162,11 +181,21 @@ func Append(b []byte, m Msg) ([]byte, error) {
 		b = appendRef(b, v.Ref)
 		return AppendOp(b, v.Op)
 	case ServerOp:
-		b = binary.AppendUvarint(b, uint64(v.To))
-		b = appendTimestamp(b, v.TS)
-		b = appendRef(b, v.Ref)
-		b = appendRef(b, v.OrigRef)
-		return AppendOp(b, v.Op)
+		b = appendServerOpHead(b, v.To, v.TS)
+		return appendServerOpTail(b, v.Ref, v.OrigRef, v.Op)
+	case OpBatch:
+		if len(v.Ops) == 0 {
+			return nil, fmt.Errorf("wire: empty batch: %w", ErrCorrupt)
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Ops)))
+		var err error
+		for _, so := range v.Ops {
+			b = appendServerOpHead(b, so.To, so.TS)
+			if b, err = appendServerOpTail(b, so.Ref, so.OrigRef, so.Op); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
 	case JoinReq:
 		b = binary.AppendUvarint(b, uint64(v.Site))
 		return append(b, boolByte(v.ReadOnly)), nil
@@ -213,11 +242,23 @@ func Decode(body []byte) (Msg, error) {
 		return m, d.finish()
 	case TServerOp:
 		m := ServerOp{}
-		m.To = int(d.uvarint())
-		m.TS = d.timestamp()
-		m.Ref = d.ref()
-		m.OrigRef = d.ref()
-		m.Op = d.op()
+		d.serverOp(&m)
+		return m, d.finish()
+	case TOpBatch:
+		n := d.uvarint()
+		if d.err == nil && (n == 0 || n > uint64(len(d.b))) {
+			d.fail() // each op costs well over one byte
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		m := OpBatch{Ops: make([]ServerOp, n)}
+		for i := range m.Ops {
+			d.serverOp(&m.Ops[i])
+			if d.err != nil {
+				return nil, d.err
+			}
+		}
 		return m, d.finish()
 	case TJoinReq:
 		m := JoinReq{Site: int(d.uvarint())}
@@ -255,44 +296,116 @@ func Decode(body []byte) (Msg, error) {
 	}
 }
 
-// WriteFrame encodes m as a length-prefixed frame onto w.
-func WriteFrame(w io.Writer, m Msg) (int, error) {
-	body, err := Append(nil, m)
-	if err != nil {
-		return 0, err
+// encodeBuf is a reusable encode scratch buffer; pooled so steady-state
+// framing allocates nothing.
+type encodeBuf struct{ b []byte }
+
+var encodePool = sync.Pool{New: func() any { return new(encodeBuf) }}
+
+// AppendFrame encodes m as a complete length-prefixed frame appended onto
+// dst. The body is staged through a pooled scratch buffer (its length must
+// precede it), so the only growth is dst itself.
+func AppendFrame(dst []byte, m Msg) ([]byte, error) {
+	eb := encodePool.Get().(*encodeBuf)
+	body, err := Append(eb.b[:0], m)
+	if err == nil {
+		dst = binary.AppendUvarint(dst, uint64(len(body)))
+		dst = append(dst, body...)
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(body)))
-	if _, err := w.Write(hdr[:n]); err != nil {
-		return 0, err
-	}
-	if _, err := w.Write(body); err != nil {
-		return 0, err
-	}
-	return n + len(body), nil
+	eb.b = body[:0]
+	encodePool.Put(eb)
+	return dst, err
 }
 
-// ReadFrame reads one length-prefixed frame from r and decodes it. r must be
-// an io.ByteReader as well (e.g. *bufio.Reader).
-func ReadFrame(r interface {
+// WriteFrame encodes m as a length-prefixed frame onto w.
+func WriteFrame(w io.Writer, m Msg) (int, error) {
+	eb := encodePool.Get().(*encodeBuf)
+	frame, err := AppendFrame(eb.b[:0], m)
+	if err == nil {
+		_, err = w.Write(frame)
+	}
+	n := len(frame)
+	eb.b = frame[:0]
+	encodePool.Put(eb)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// frameReader is the stream a frame is read from (e.g. *bufio.Reader).
+type frameReader interface {
 	io.Reader
 	io.ByteReader
-}) (Msg, error) {
+}
+
+// ReadFrame reads one length-prefixed frame from r and decodes it.
+func ReadFrame(r frameReader) (Msg, error) {
+	m, _, err := ReadFrameReuse(r, nil)
+	return m, err
+}
+
+// reuseCap bounds how large a receive scratch buffer is kept across calls;
+// the rare oversized frame gets a one-off allocation instead of pinning
+// megabytes on every connection.
+const reuseCap = 64 << 10
+
+// ReadFrameReuse is ReadFrame with a caller-kept scratch buffer: the frame
+// body is read into buf when it fits, and the (possibly grown) scratch is
+// returned for the next call. Decode copies everything it keeps, so the
+// scratch is free for reuse as soon as the call returns. A connection whose
+// Recv loop is single-goroutine (all of ours) reads frames allocation-free.
+func ReadFrameReuse(r frameReader, buf []byte) (Msg, []byte, error) {
 	size, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	if size > MaxFrame {
-		return nil, fmt.Errorf("wire: %d bytes: %w", size, ErrFrameTooLarge)
+		return nil, buf, fmt.Errorf("wire: %d bytes: %w", size, ErrFrameTooLarge)
 	}
-	body := make([]byte, size)
+	var body []byte
+	switch {
+	case size <= uint64(cap(buf)):
+		body = buf[:size]
+	case size <= reuseCap:
+		buf = make([]byte, reuseCap)
+		body = buf[:size]
+	default:
+		body = make([]byte, size)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
-	return Decode(body)
+	m, err := Decode(body)
+	return m, buf, err
 }
 
 // --- field codecs ---------------------------------------------------------
+
+// serverOpEncodes counts ServerOp body (tail) encodings process-wide. The
+// broadcast benchmarks and tests read it to verify the encode-once property:
+// one Receive fanning out to N destinations must raise it by exactly 1.
+var serverOpEncodes atomic.Uint64
+
+// ServerOpEncodes returns the process-wide count of ServerOp body encodings.
+func ServerOpEncodes() uint64 { return serverOpEncodes.Load() }
+
+// appendServerOpHead encodes the per-destination part of a ServerOp payload:
+// the destination site and its compressed 2-integer timestamp (§6).
+func appendServerOpHead(b []byte, to int, ts core.Timestamp) []byte {
+	b = binary.AppendUvarint(b, uint64(to))
+	return appendTimestamp(b, ts)
+}
+
+// appendServerOpTail encodes the destination-independent part — refs and the
+// operation itself. On a broadcast this is identical for every destination,
+// which is what makes the encode-once fan-out (Broadcast) possible.
+func appendServerOpTail(b []byte, ref, origRef causal.OpRef, o *op.Op) ([]byte, error) {
+	serverOpEncodes.Add(1)
+	b = appendRef(b, ref)
+	b = appendRef(b, origRef)
+	return AppendOp(b, o)
+}
 
 func appendTimestamp(b []byte, ts core.Timestamp) []byte {
 	b = binary.AppendUvarint(b, ts.T1)
@@ -451,6 +564,15 @@ func (d *decoder) str() string {
 	s := string(d.b[:n])
 	d.b = d.b[n:]
 	return s
+}
+
+// serverOp parses one ServerOp payload (head + tail) into m.
+func (d *decoder) serverOp(m *ServerOp) {
+	m.To = int(d.uvarint())
+	m.TS = d.timestamp()
+	m.Ref = d.ref()
+	m.OrigRef = d.ref()
+	m.Op = d.op()
 }
 
 func (d *decoder) boolByte() bool {

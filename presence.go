@@ -31,7 +31,7 @@ func (e *Editor) ShareSelection() error {
 		anchor, head, active = e.sel.Anchor, e.sel.Head, true
 	}
 	pm := e.client.Presence(anchor, head, active)
-	err := e.snd.enqueue(wire.Presence{
+	err := e.snd.Enqueue(wire.Presence{
 		From: pm.From, TS: pm.TS, Anchor: pm.Anchor, Head: pm.Head, Active: pm.Active,
 	})
 	e.mu.Unlock()

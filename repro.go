@@ -46,7 +46,7 @@ var ErrReadOnly = errors.New("repro: read-only viewer")
 // peer is the notifier's view of one connected editor.
 type peer struct {
 	conn     transport.Conn
-	snd      *sender
+	snd      *transport.Sender
 	readOnly bool
 }
 
@@ -193,7 +193,7 @@ func (n *Notifier) handle(conn transport.Conn) {
 			}
 		}
 		n.mu.Unlock()
-		p.snd.close()
+		p.snd.Close()
 		_ = conn.Close()
 	}()
 	for {
@@ -264,9 +264,9 @@ func (n *Notifier) admit(conn transport.Conn) (int, *peer, error) {
 			return 0, nil, err
 		}
 	}
-	p := &peer{conn: conn, snd: newSender(conn), readOnly: req.ReadOnly}
+	p := &peer{conn: conn, snd: transport.NewSender(conn, ErrClosed), readOnly: req.ReadOnly}
 	n.peers[site] = p
-	if err := p.snd.enqueue(wire.JoinResp{Site: snap.Site, Text: snap.Text, LocalOps: snap.LocalOps}); err != nil {
+	if err := p.snd.Enqueue(wire.JoinResp{Site: snap.Site, Text: snap.Text, LocalOps: snap.LocalOps}); err != nil {
 		delete(n.peers, site)
 		_ = n.srv.Leave(site)
 		return 0, nil, err
@@ -290,7 +290,7 @@ func (n *Notifier) relayPresence(m wire.Presence) error {
 		if !ok {
 			continue
 		}
-		_ = p.snd.enqueue(wire.ServerPresence{
+		_ = p.snd.Enqueue(wire.ServerPresence{
 			To: o.To, From: o.From, Anchor: o.Anchor, Head: o.Head, Active: o.Active,
 		})
 	}
@@ -317,6 +317,16 @@ func (n *Notifier) receive(m wire.ClientOp) error {
 	if err != nil {
 		return err
 	}
+	if len(bcast) == 0 {
+		return nil
+	}
+	// Encode-once fan-out: every destination shares the same refs and
+	// operation (only To and the 2-integer timestamp differ — §3.3), so the
+	// body is serialized exactly once and each sender writes its own head.
+	bc, err := wire.NewBroadcast(bcast[0].Ref, bcast[0].OrigRef, bcast[0].Op)
+	if err != nil {
+		return err
+	}
 	for _, bm := range bcast {
 		p, ok := n.peers[bm.To]
 		if !ok {
@@ -324,7 +334,23 @@ func (n *Notifier) receive(m wire.ClientOp) error {
 		}
 		// A broken peer's own handler cleans it up; its failure must not
 		// abort everyone else's broadcast.
-		_ = p.snd.enqueue(wire.ServerOp{To: bm.To, TS: bm.TS, Ref: bm.Ref, OrigRef: bm.OrigRef, Op: bm.Op})
+		bc.Retain()
+		_ = p.snd.EnqueueBroadcast(bc, bm.To, bm.TS)
 	}
+	bc.Release()
 	return nil
+}
+
+// QueueHighWater reports the deepest any peer's outbound queue has been —
+// how much backpressure the slowest connected client has exerted.
+func (n *Notifier) QueueHighWater() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var hw int
+	for _, p := range n.peers {
+		if d := p.snd.HighWater(); d > hw {
+			hw = d
+		}
+	}
+	return hw
 }

@@ -19,16 +19,22 @@ trap 'rm -f "$tmp"' EXIT
 echo "== go test -bench (benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench '^BenchmarkServerReceive$' -benchmem -benchtime "$BENCHTIME" ./internal/core | tee -a "$tmp" >&2
 go test -run '^$' -bench '^(BenchmarkE6SessionScaling|BenchmarkE6MultiSession)$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$tmp" >&2
+go test -run '^$' -bench '^BenchmarkBroadcastTCP$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$tmp" >&2
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 goversion="$(go env GOVERSION)"
 cpus="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-# Seed baselines, measured at commit a92b2e7 (before the allocation-lean
-# receive path and delta-encoded history buffer) on the same class of
-# machine: allocs/op per benchmark. Used to report the improvement the
-# acceptance criterion asks for (>= 30% fewer allocs/op).
+# Seed baselines: allocs/op per benchmark, measured on the same class of
+# machine before the corresponding optimization landed (ServerReceive/E6 at
+# commit a92b2e7, before the allocation-lean receive path; BroadcastTCP at
+# commit ff0b141, before encode-once fan-out and coalesced writes). Used to
+# report the improvement the acceptance criteria ask for.
+#
+# Benchmark lines carry custom ReportMetric columns in alphabetical order, so
+# fields are located by unit name (ns/op, B/op, allocs/op, ...), never by
+# position.
 awk -v out="$OUT" -v commit="$commit" -v gover="$goversion" \
     -v cpus="$cpus" -v date="$date" -v benchtime="$BENCHTIME" '
 BEGIN {
@@ -38,15 +44,23 @@ BEGIN {
     base["BenchmarkE6SessionScaling/N=2"]  = 127
     base["BenchmarkE6SessionScaling/N=8"]  = 343
     base["BenchmarkE6SessionScaling/N=32"] = 1023
+    base["BenchmarkBroadcastTCP/N=8"]      = 118
+    base["BenchmarkBroadcastTCP/N=32"]     = 455
+    base["BenchmarkBroadcastTCP/N=128"]    = 1797
     n = 0
 }
 /^Benchmark/ && /allocs\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     names[n] = name
-    ns[n] = $3; bytes[n] = $5; allocs[n] = $7
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]/, "_", unit)
+        m[n, unit] = $i
+    }
     n++
 }
+function field(i, unit) { return ((i, unit) in m) ? m[i, unit] : "" }
 END {
     printf "{\n" > out
     printf "  \"generated\": \"%s\",\n", date >> out
@@ -54,13 +68,20 @@ END {
     printf "  \"go\": \"%s\",\n", gover >> out
     printf "  \"cpus\": %d,\n", cpus >> out
     printf "  \"benchtime\": \"%s\",\n", benchtime >> out
-    printf "  \"note\": \"Baselines measured at seed commit a92b2e7. BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs — on a 1-CPU runner it reduces to actor-queue overhead.\",\n" >> out
+    printf "  \"note\": \"ServerReceive/E6 baselines measured at seed commit a92b2e7; BroadcastTCP allocs baselines at ff0b141 (pre encode-once, when ns/op at matched 2700 iterations was ~1.9ms for N=128 vs ~1.4ms after). BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs. BenchmarkBroadcastTCP per-op cost grows with b.N (history-buffer ack lag under the pipelined writer), so cross-version ns/op comparisons must use matched iteration counts (-benchtime Nx); allocs/op and encodes/broadcast are iteration-stable.\",\n" >> out
     printf "  \"benchmarks\": {\n" >> out
     for (i = 0; i < n; i++) {
-        printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", names[i], ns[i], bytes[i], allocs[i] >> out
+        printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", \
+            names[i], field(i, "ns_op"), field(i, "B_op"), field(i, "allocs_op") >> out
+        if (field(i, "encodes_broadcast") != "")
+            printf ", \"encodes_broadcast\": %s", field(i, "encodes_broadcast") >> out
+        if (field(i, "flushes_op") != "")
+            printf ", \"flushes_op\": %s", field(i, "flushes_op") >> out
+        if (field(i, "wireB_op") != "")
+            printf ", \"wire_b_op\": %s", field(i, "wireB_op") >> out
         if (names[i] in base) {
             printf ", \"baseline_allocs_op\": %d, \"allocs_change_pct\": %.1f", \
-                base[names[i]], 100 * (allocs[i] - base[names[i]]) / base[names[i]] >> out
+                base[names[i]], 100 * (field(i, "allocs_op") - base[names[i]]) / base[names[i]] >> out
         }
         printf "}%s\n", (i < n-1 ? "," : "") >> out
     }

@@ -23,8 +23,8 @@ go run ./cmd/cvclint ./...
 step "go test ./..."
 go test ./...
 
-step "go test -race (engine, transport, server, sim, root)"
-go test -race ./internal/core ./internal/transport ./internal/server ./internal/sim .
+step "go test -race (engine, wire, transport, server, sim, root)"
+go test -race ./internal/core ./internal/wire ./internal/transport ./internal/server ./internal/sim .
 
 step "bench smoke (benchtime=10x)"
 BENCHTIME=10x bash scripts/bench.sh /tmp/bench_smoke.$$.json >/dev/null 2>&1 \

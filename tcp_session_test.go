@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// runBurstScenario drives one deterministic session: sites take turns firing
+// bursts of edits back to back (so receivers see coalesced TOpBatch frames),
+// with exact quiescence between bursts (so the outcome is transport- and
+// timing-independent). It returns the converged text after asserting every
+// editor's replica is byte-identical to the notifier's.
+func runBurstScenario(t *testing.T, ln transport.Listener, dial func() (transport.Conn, error), sites, rounds, burst int) string {
+	t.Helper()
+	nt, err := Serve(ln, "seed text.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	eds := make([]*Editor, sites)
+	for i := range eds {
+		conn, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed, err := Connect(conn, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ed.Close()
+		eds[i] = ed
+	}
+
+	// generated[i] = ops editor i produced so far; after quiescence editor i
+	// must have received total-generated[i] from the server (the notifier
+	// relays every op to everyone but its originator).
+	generated := make([]int, sites)
+	total := 0
+	quiesce := func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			settled := true
+			for i, ed := range eds {
+				fromServer, _ := ed.SV()
+				if int(fromServer) != total-generated[i] {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("session never quiesced")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		site := r % sites
+		ed := eds[site]
+		// A burst from one site, fired without waiting: the notifier relays
+		// the ops back to back and the receivers' senders coalesce them.
+		for k := 0; k < burst; k++ {
+			pos := (r*31 + k*7) % (ed.Len() + 1)
+			if (r+k)%5 == 4 && pos < ed.Len() {
+				if err := ed.Delete(pos, 1); err != nil {
+					t.Fatalf("round %d edit %d delete: %v", r, k, err)
+				}
+			} else {
+				if err := ed.Insert(pos, fmt.Sprintf("%d.%d;", r, k)); err != nil {
+					t.Fatalf("round %d edit %d insert: %v", r, k, err)
+				}
+			}
+		}
+		generated[site] += burst
+		total += burst
+		quiesce()
+	}
+
+	text := nt.Text()
+	for i, ed := range eds {
+		if err := ed.Err(); err != nil {
+			t.Fatalf("site %d error: %v", i+1, err)
+		}
+		if got := ed.Text(); got != text {
+			t.Fatalf("site %d diverged:\n got %q\nwant %q", i+1, got, text)
+		}
+	}
+	if hw := nt.QueueHighWater(); hw < 1 {
+		t.Fatalf("queue high-water %d; bursts should have queued", hw)
+	}
+	return text
+}
+
+// TestTCPSessionConvergence runs the burst scenario over loopback TCP with 8
+// clients and again over the in-memory transport, asserting byte-identical
+// convergence across both — the coalesced TCP framing must be semantically
+// invisible. It also verifies the encode-once property end to end: one
+// ServerOp body encode per generated operation despite 7 destinations each.
+func TestTCPSessionConvergence(t *testing.T) {
+	const sites, rounds, burst = 8, 16, 6
+
+	encodesBefore := wire.ServerOpEncodes()
+	tln, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpText := runBurstScenario(t, tln, func() (transport.Conn, error) {
+		return transport.DialTCP(tln.Addr())
+	}, sites, rounds, burst)
+	tcpEncodes := wire.ServerOpEncodes() - encodesBefore
+
+	mln := transport.NewMemListener()
+	memText := runBurstScenario(t, mln, func() (transport.Conn, error) {
+		return mln.Dial()
+	}, sites, rounds, burst)
+
+	if tcpText != memText {
+		t.Fatalf("transports disagree:\n tcp %q\n mem %q", tcpText, memText)
+	}
+	if totalOps := uint64(rounds * burst); tcpEncodes != totalOps {
+		t.Errorf("TCP run: %d body encodes for %d broadcasts, want exactly one each", tcpEncodes, totalOps)
+	}
+}
