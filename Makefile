@@ -16,7 +16,7 @@ lint:
 	$(GO) run ./cmd/cvclint ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/transport ./internal/server ./internal/sim .
+	$(GO) test -race ./internal/core ./internal/transport ./internal/server ./internal/obs ./internal/sim .
 
 # bench refreshes BENCH_notifier.json, the committed hot-path trajectory
 # point; see scripts/bench.sh.

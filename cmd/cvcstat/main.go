@@ -1,0 +1,138 @@
+// Command cvcstat renders live observability snapshots from a running
+// reducesrv -debug endpoint: per-session tables (sites, ops, history-buffer
+// length, clock words, receive latency) plus the process-wide wire and
+// transport counters.
+//
+//	cvcstat -addr 127.0.0.1:7468              # refresh every 2s
+//	cvcstat -addr 127.0.0.1:7468 -once        # one snapshot and exit
+//
+// The clock-words column is EXPERIMENTS.md E4 live: with compaction running
+// it stays near sites+2 words however many operations flow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:7468", "debug endpoint address (reducesrv -debug)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	flag.Parse()
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/metricz?format=json"
+
+	for {
+		snap, err := fetch(url)
+		if err != nil {
+			log.Fatalf("cvcstat: %v", err)
+		}
+		var out strings.Builder
+		render(&out, snap)
+		if !*once {
+			// Clear between refreshes so the table reads like a live top(1).
+			fmt.Print("\033[H\033[2J")
+		}
+		os.Stdout.WriteString(out.String())
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetch pulls one JSON snapshot from the debug endpoint.
+func fetch(url string) (obs.Snapshot, error) {
+	client := http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return s, nil
+}
+
+// render writes the live tables for one snapshot. Split from main so the
+// integration test can drive it against a recorded snapshot.
+func render(w io.Writer, s obs.Snapshot) {
+	fmt.Fprintf(w, "%s @ %s\n\n", s.Name, time.Now().Format(time.TimeOnly))
+
+	// Per-session table. Single-session servers mount their metrics on the
+	// root registry; treat that as one anonymous session row.
+	sessions := s.Children
+	if len(sessions) == 0 && (len(s.Gauges) > 0 || len(s.Hists) > 0) {
+		sessions = []obs.Snapshot{s}
+	}
+	var t stats.Table
+	t.Header("session", "sites", "ops", "doc", "hb", "clock_words", "checks", "transforms", "recv p50", "recv p99")
+	for _, c := range sessions {
+		name := c.Name
+		if name == "" || c.Name == s.Name {
+			name = "(default)"
+		}
+		h := c.Hists[obs.HReceiveNs]
+		t.Row(name,
+			c.Gauges[obs.GSites], c.Gauges[obs.GOpsRecv], c.Gauges[obs.GDocRunes],
+			c.Gauges[obs.GHBLen], c.Gauges[obs.GClockWords],
+			c.Counters["checks.total"], c.Counters["ot.transforms"],
+			durStr(h.Quantile(0.5)), durStr(h.Quantile(0.99)))
+	}
+	fmt.Fprintln(w, t.String())
+
+	// Process-wide counters: wire and transport traffic, queue pressure.
+	var p stats.Table
+	p.Header("counter", "value")
+	for _, k := range sortedKeys(s.Counters) {
+		p.Row(k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		p.Row(k, s.Gauges[k])
+	}
+	if qh, ok := s.Hists[obs.HQueueDepth]; ok {
+		p.Row("conn.queue.depth p50", qh.Quantile(0.5))
+		p.Row("conn.queue.depth max", qh.Max)
+	}
+	fmt.Fprintln(w, p.String())
+}
+
+// durStr renders nanoseconds compactly.
+func durStr(ns uint64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

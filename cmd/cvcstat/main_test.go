@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+// TestLiveSnapshotRendering is the end-to-end check of the observability
+// path: a multi-session server on loopback TCP with real editors, the debug
+// endpoint served over HTTP, cvcstat's fetch+render against it, and the
+// decision trace dumped as JSONL.
+func TestLiveSnapshotRendering(t *testing.T) {
+	reg := obs.NewRegistry("reducesrv")
+	ring := obs.NewDecisionRing(256)
+	ring.SetEnabled(true)
+
+	ln, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := server.NewManager(
+		server.WithInitialText("base"),
+		server.WithObservability(reg),
+		server.WithDecisionRing(ring),
+	)
+	svc := server.Serve(ln, mgr)
+	defer mgr.Close()
+	defer svc.Close()
+
+	debug := httptest.NewServer(server.DebugHandler(reg, ring))
+	defer debug.Close()
+
+	join := func(session string) *repro.Editor {
+		t.Helper()
+		conn, err := transport.DialTCP(ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed, err := repro.ConnectSession(conn, session, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ed
+	}
+	e1, e2 := join("docs/a"), join("docs/a")
+	defer e1.Close()
+	defer e2.Close()
+	if err := e1.Insert(4, " one"); err != nil {
+		t.Fatal(err)
+	}
+	waitText(t, e2, "base one")
+	if err := e2.Insert(8, " two"); err != nil {
+		t.Fatal(err)
+	}
+	waitText(t, e1, "base one two")
+
+	snap, err := fetch(debug.URL + "/metricz?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, ok := snap.Child("docs/a")
+	if !ok {
+		t.Fatalf("snapshot has no docs/a child: %+v", snap)
+	}
+	if sess.Gauges[obs.GSites] != 2 {
+		t.Errorf("sites gauge = %d, want 2", sess.Gauges[obs.GSites])
+	}
+	if sess.Gauges[obs.GOpsRecv] != 2 || sess.Counters["ops.integrated"] != 2 {
+		t.Errorf("ops: gauge=%d counter=%d, want 2/2",
+			sess.Gauges[obs.GOpsRecv], sess.Counters["ops.integrated"])
+	}
+	if sess.Gauges[obs.GClockWords] < 3 {
+		t.Errorf("clock_words gauge = %d, want >= 3", sess.Gauges[obs.GClockWords])
+	}
+	if h := sess.Hists[obs.HReceiveNs]; h.Count != 2 || h.Max == 0 {
+		t.Errorf("receive.ns = %+v, want 2 nonzero observations", h)
+	}
+	if snap.Counters["wire.frames.server_op"] == 0 {
+		t.Errorf("wire.frames.server_op = 0; frame counting is not wired")
+	}
+	if snap.Counters["sender.msgs"] == 0 || snap.Counters["tcp.flushes"] == 0 {
+		t.Errorf("transport counters missing: %v", snap.Counters)
+	}
+	if qh, ok := snap.Hists[obs.HQueueDepth]; !ok || qh.Count == 0 {
+		t.Errorf("conn.queue.depth histogram empty: %+v ok=%v", qh, ok)
+	}
+
+	// The table cvcstat would print for this snapshot.
+	var out strings.Builder
+	render(&out, snap)
+	text := out.String()
+	for _, want := range []string{"docs/a", "session", "clock_words", "sender.msgs", "wire.frames.server_op"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The decision ring saw the server-side formula-(7) work, labeled by
+	// session, and dumps as parseable JSONL.
+	resp, err := http.Get(debug.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var integrates int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var d obs.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if d.Kind == obs.DServerIntegrate {
+			integrates++
+			if d.Session != "docs/a" {
+				t.Errorf("decision session = %q, want docs/a", d.Session)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if integrates != 2 {
+		t.Errorf("trace has %d server.integrate records, want 2", integrates)
+	}
+}
+
+func waitText(t *testing.T, ed *repro.Editor, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for ed.Text() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("editor stuck at %q, want %q (err=%v)", ed.Text(), want, ed.Err())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -5,19 +5,26 @@
 //	reducesrv -listen :7467 -text "initial document"
 //
 // Editors connect with cmd/reducecli (or any client of the wire protocol).
+// With -debug the process also serves a live introspection endpoint
+// (/metricz, /tracez, pprof, expvar; poll it with cmd/cvcstat):
+//
+//	reducesrv -listen :7467 -debug 127.0.0.1:7468
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -30,6 +37,8 @@ func main() {
 	status := flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
 	journalPath := flag.String("journal", "", "persist the session to this journal file (recovers from it on restart)")
 	multi := flag.Bool("multi", false, "serve many independent documents (clients pick one by session name; see internal/server)")
+	debug := flag.String("debug", "", "serve /metricz, /tracez, pprof and expvar on this address (empty disables)")
+	traceOn := flag.Bool("trace", false, "start with causality-decision tracing enabled (needs -debug; toggle later via POST /tracez?enable=)")
 	flag.Parse()
 
 	initial := *text
@@ -51,14 +60,29 @@ func main() {
 		log.Printf("WARNING: relay mode — operations are not transformed; divergence expected")
 	}
 
+	// Observability is opt-in: without -debug no registry or ring exists and
+	// the engines run exactly the uninstrumented hot path.
+	var reg *obs.Registry
+	var ring *obs.DecisionRing
+	if *debug != "" {
+		reg = obs.NewRegistry("reducesrv")
+		ring = obs.NewDecisionRing(obs.DefaultRingCapacity)
+		ring.SetEnabled(*traceOn)
+	} else if *traceOn {
+		log.Fatalf("reducesrv: -trace needs -debug")
+	}
+
 	if *multi {
 		if *journalPath != "" {
 			log.Fatalf("reducesrv: -journal is not supported with -multi (per-session journals are not implemented)")
 		}
-		runMulti(ln, initial, *status, opts)
+		runMulti(ln, initial, *status, *debug, reg, ring, opts)
 		return
 	}
 
+	if reg != nil {
+		opts = append(opts, core.WithServerMetrics(trace.MetricsOn(reg)), core.WithServerDecisionRing(ring, ""))
+	}
 	var nt *repro.Notifier
 	if *journalPath != "" {
 		nt, err = repro.ServeWithJournal(ln, initial, *journalPath, opts...)
@@ -72,17 +96,15 @@ func main() {
 		log.Fatalf("reducesrv: %v", err)
 	}
 	log.Printf("reducesrv: notifier listening on %s (%d bytes of initial text)", nt.Addr(), len(initial))
+	if reg != nil {
+		nt.Observe(reg)
+		serveDebug(*debug, reg, ring)
+	}
 
 	if *status > 0 {
 		go func() {
 			for range time.Tick(*status) {
-				received, _ := nt.Counts()
-				var total uint64
-				for _, c := range received {
-					total += c
-				}
-				log.Printf("status: %d sites joined, %d ops executed, doc %d bytes",
-					len(nt.Sites()), total, len(nt.Text()))
+				log.Printf("status: %s", nt)
 			}
 		}()
 	}
@@ -98,25 +120,26 @@ func main() {
 // runMulti serves many documents concurrently: each session name maps to an
 // independent notifier engine on its own goroutine (internal/server), so
 // unrelated documents scale across cores instead of sharing one lock.
-func runMulti(ln transport.Listener, initial string, status time.Duration, opts []core.ServerOption) {
-	mgr := server.NewManager(
+func runMulti(ln transport.Listener, initial string, status time.Duration, debug string, reg *obs.Registry, ring *obs.DecisionRing, opts []core.ServerOption) {
+	mopts := []server.ManagerOption{
 		server.WithInitialText(initial),
 		server.WithEngineOptions(opts...),
-	)
+	}
+	if reg != nil {
+		mopts = append(mopts, server.WithObservability(reg), server.WithDecisionRing(ring))
+	}
+	mgr := server.NewManager(mopts...)
 	svc := server.Serve(ln, mgr)
 	log.Printf("reducesrv: multi-session notifier listening on %s (%d bytes of initial text per new session)",
 		svc.Addr(), len(initial))
+	if reg != nil {
+		serveDebug(debug, reg, ring)
+	}
 
 	if status > 0 {
 		go func() {
 			for range time.Tick(status) {
-				var sites int
-				var ops uint64
-				for _, st := range mgr.Stats() {
-					sites += st.Sites
-					ops += st.Ops
-				}
-				log.Printf("status: %d sessions, %d sites joined, %d ops executed", mgr.Len(), sites, ops)
+				log.Printf("status: %s", svc)
 			}
 		}()
 	}
@@ -130,4 +153,16 @@ func runMulti(ln transport.Listener, initial string, status time.Duration, opts 
 	}
 	_ = svc.Close()
 	_ = mgr.Close()
+}
+
+// serveDebug mounts the introspection endpoint in the background. Debug HTTP
+// failing must not take the notifier down — it logs and moves on.
+func serveDebug(addr string, reg *obs.Registry, ring *obs.DecisionRing) {
+	h := server.DebugHandler(reg, ring)
+	log.Printf("reducesrv: debug endpoint on http://%s/metricz (tracing %v)", addr, ring.Enabled())
+	go func() {
+		if err := http.ListenAndServe(addr, h); err != nil {
+			log.Printf("reducesrv: debug endpoint: %v", err)
+		}
+	}()
 }

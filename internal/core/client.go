@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/causal"
 	"repro/internal/doc"
+	"repro/internal/obs"
 	"repro/internal/op"
 	"repro/internal/trace"
 )
@@ -60,6 +61,11 @@ type Client struct {
 	// metrics, when non-nil, receives engine counters (trace package
 	// names).
 	metrics *trace.Metrics
+
+	// decisions, when non-nil and enabled, records every formula-(5)
+	// verdict and a per-Integrate summary (WithClientDecisionRing).
+	decisions     *obs.DecisionRing
+	decisionLabel string
 }
 
 type pendingLocal struct {
@@ -97,6 +103,16 @@ func WithClientResume(localOps uint64) ClientOption {
 // operations, concurrency checks, and transformations.
 func WithClientMetrics(m *trace.Metrics) ClientOption {
 	return func(c *Client) { c.metrics = m }
+}
+
+// WithClientDecisionRing streams every formula-(5) concurrency verdict and a
+// per-Integrate summary into ring, labeled with session. While the ring is
+// disabled the cost is one atomic load per Integrate.
+func WithClientDecisionRing(ring *obs.DecisionRing, session string) ClientOption {
+	return func(c *Client) {
+		c.decisions = ring
+		c.decisionLabel = session
+	}
 }
 
 // WithClientCheckTrace records every per-entry concurrency verdict into
@@ -230,20 +246,19 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 	// per buffered operation; allocation-free unless the check trace is on.
 	entries := c.hb.Entries()
 	res := IntegrationResult{CheckCount: len(entries)}
-	if c.checkTrace {
-		res.Checks = make([]Check, 0, len(entries))
-	}
-	for _, e := range entries {
-		conc := ConcurrentClient(m.TS, e.TS, e.Origin == OriginServer)
-		if conc {
-			res.ConcurrentCount++
-		}
-		if c.checkTrace {
-			res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
+	tracing := c.decisions.Enabled()
+	if c.checkTrace || tracing {
+		res.ConcurrentCount, res.Checks = c.tracedChecks(m, entries, tracing)
+	} else {
+		for _, e := range entries {
+			if ConcurrentClient(m.TS, e.TS, e.Origin == OriginServer) {
+				res.ConcurrentCount++
+			}
 		}
 	}
 
 	exec := m.Op
+	transforms := 0
 	switch c.mode {
 	case ModeTransform:
 		// Acknowledgement: T2 is how many of our operations the notifier
@@ -267,7 +282,8 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 				return IntegrationResult{}, fmt.Errorf("core: client transform: %w", err)
 			}
 		}
-		c.count(trace.CTransforms, int64(len(c.pending)))
+		transforms = len(c.pending)
+		c.count(trace.CTransforms, int64(transforms))
 		if err := doc.Apply(c.buf, exec); err != nil {
 			return IntegrationResult{}, fmt.Errorf("core: client apply: %w", err)
 		}
@@ -283,15 +299,59 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 	c.count(trace.COpsIntegrated, 1)
 	c.count(trace.CConcurrencyChecks, int64(res.CheckCount))
 	c.count(trace.CConcurrentPairs, int64(res.ConcurrentCount))
+	if tracing {
+		c.recordIntegrate(m, res.CheckCount, res.ConcurrentCount, transforms)
+	}
 
 	if c.compactEvery > 0 && c.undo == nil {
 		c.sinceCompact++
 		if c.sinceCompact >= c.compactEvery {
 			c.sinceCompact = 0
-			c.hb.Compact(m.TS.T2)
+			c.compactWith(m.TS.T2)
 		}
 	}
 	return res, nil
+}
+
+// tracedChecks is the cold variant of Integrate's formula-(5) scan, run only
+// when the check trace or decision tracing is on. Keeping it out of
+// Integrate (and not inlined) leaves the hot loop free of trace branches and
+// Decision literals — same reasoning as Server.tracedVisit.
+//
+//go:noinline
+func (c *Client) tracedChecks(m ServerMsg, entries []ClientEntry, tracing bool) (conc int, checks []Check) {
+	if c.checkTrace {
+		checks = make([]Check, 0, len(entries))
+	}
+	for i, e := range entries {
+		cc := ConcurrentClient(m.TS, e.TS, e.Origin == OriginServer)
+		if cc {
+			conc++
+		}
+		if c.checkTrace {
+			checks = append(checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: cc})
+		}
+		if tracing {
+			c.decisions.Record(obs.Decision{
+				Kind: obs.DClientCheck, Session: c.decisionLabel,
+				Site: c.site, T1: m.TS.T1, T2: m.TS.T2,
+				Index: i, Concurrent: cc,
+			})
+		}
+	}
+	return conc, checks
+}
+
+// recordIntegrate emits the per-Integrate summary trace record; see
+// recordCheck for why it is not inlined.
+//
+//go:noinline
+func (c *Client) recordIntegrate(m ServerMsg, checkCount, concCount, transforms int) {
+	c.decisions.Record(obs.Decision{
+		Kind: obs.DClientIntegrate, Session: c.decisionLabel,
+		Site: c.site, T1: m.TS.T1, T2: m.TS.T2, Index: -1,
+		Checks: checkCount, NConc: concCount, Transforms: transforms,
+	})
 }
 
 // Compact forces history-buffer garbage collection using the latest
@@ -304,5 +364,13 @@ func (c *Client) Compact() int {
 			acked = e.TS.T2
 		}
 	}
-	return c.hb.Compact(acked)
+	return c.compactWith(acked)
+}
+
+// compactWith runs one compaction round and counts it.
+func (c *Client) compactWith(acked uint64) int {
+	removed := c.hb.Compact(acked)
+	c.count(trace.CCompactions, 1)
+	c.count(trace.CCompacted, int64(removed))
+	return removed
 }

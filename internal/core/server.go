@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/causal"
 	"repro/internal/doc"
+	"repro/internal/obs"
 	"repro/internal/op"
 	"repro/internal/trace"
 )
@@ -50,6 +51,12 @@ type Server struct {
 
 	// metrics, when non-nil, receives engine counters.
 	metrics *trace.Metrics
+
+	// decisions, when non-nil and enabled, records every formula-(7)
+	// verdict and a per-Receive summary (WithServerDecisionRing). Disabled
+	// rings cost one atomic load per Receive.
+	decisions     *obs.DecisionRing
+	decisionLabel string
 }
 
 // destRef pairs a joined site with its state so the broadcast loop does no
@@ -106,6 +113,18 @@ func WithServerMetrics(m *trace.Metrics) ServerOption {
 	return func(s *Server) { s.metrics = m }
 }
 
+// WithServerDecisionRing streams every formula-(7) concurrency verdict and a
+// per-Receive integration summary into ring, labeled with session (the
+// /tracez source). Unlike WithServerCheckTrace this shares one bounded ring
+// across engines and can be toggled at runtime; while the ring is disabled
+// the engine skips record construction entirely.
+func WithServerDecisionRing(ring *obs.DecisionRing, session string) ServerOption {
+	return func(s *Server) {
+		s.decisions = ring
+		s.decisionLabel = session
+	}
+}
+
 // WithServerCheckTrace records every per-entry concurrency verdict into
 // IntegrationResult.Checks. Validation harnesses need the trace to replay
 // verdicts against the ground-truth oracle; production servers should leave
@@ -143,6 +162,9 @@ func (s *Server) Mode() Mode { return s.mode }
 
 // Text returns the notifier's copy of the document.
 func (s *Server) Text() string { return s.buf.String() }
+
+// DocLen returns the current document length in runes.
+func (s *Server) DocLen() int { return s.buf.Len() }
 
 // SV returns a copy-backed view of the full state vector.
 func (s *Server) SV() *ServerSV { return s.sv }
@@ -273,17 +295,17 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 	// delta-encoded Σ TS and TS[x]); the scan allocates nothing unless the
 	// check trace is on.
 	res := IntegrationResult{CheckCount: s.hb.Len()}
-	if s.checkTrace {
-		res.Checks = make([]Check, 0, s.hb.Len())
-		res.ConcurrentCount = s.hb.checkArrival(m.TS, m.From, st.baseline,
-			func(i int, e *ServerEntry, conc bool) {
-				res.Checks = append(res.Checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
-			})
+	tracing := s.decisions.Enabled()
+	if s.checkTrace || tracing {
+		checks, visit := s.tracedVisit(m, tracing)
+		res.ConcurrentCount = s.hb.checkArrival(m.TS, m.From, st.baseline, visit)
+		res.Checks = *checks
 	} else {
 		res.ConcurrentCount = s.hb.checkArrival(m.TS, m.From, st.baseline, nil)
 	}
 
 	exec := m.Op
+	transforms := 0
 	if s.mode == ModeTransform {
 		// Prune the bridge with the client's acknowledgement, then walk
 		// the operation into server context.
@@ -299,7 +321,8 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 				return nil, IntegrationResult{}, fmt.Errorf("core: server transform: %w", err)
 			}
 		}
-		s.count(trace.CTransforms, int64(len(st.bridge)))
+		transforms = len(st.bridge)
+		s.count(trace.CTransforms, int64(transforms))
 		if err := doc.Apply(s.buf, exec); err != nil {
 			return nil, IntegrationResult{}, fmt.Errorf("core: server apply: %w", err)
 		}
@@ -325,6 +348,9 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 	s.count(trace.COpsIntegrated, 1)
 	s.count(trace.CConcurrencyChecks, int64(res.CheckCount))
 	s.count(trace.CConcurrentPairs, int64(res.ConcurrentCount))
+	if tracing {
+		s.recordIntegrate(m, res.CheckCount, res.ConcurrentCount, transforms)
+	}
 
 	// Broadcast to everyone except the originator, each with its own
 	// compressed timestamp (formulas 1–2) — the operation itself is
@@ -360,6 +386,45 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 	return out, res, nil
 }
 
+// tracedVisit builds the per-entry callback for the cold tracing paths and
+// the Checks slice it fills (nil unless the check trace is on). Kept out of
+// Receive — and not inlined, taking no pointers into Receive's locals — so
+// the closure machinery and Decision literals never enlarge the hot path's
+// frame or force its result to escape; reverting this costs ~4% and one
+// alloc/op on BenchmarkServerReceive with tracing off.
+//
+//go:noinline
+func (s *Server) tracedVisit(m ClientMsg, tracing bool) (*[]Check, func(i int, e *ServerEntry, conc bool)) {
+	checks := new([]Check)
+	if s.checkTrace {
+		*checks = make([]Check, 0, s.hb.Len())
+	}
+	return checks, func(i int, e *ServerEntry, conc bool) {
+		if s.checkTrace {
+			*checks = append(*checks, Check{Arriving: m.Ref, Buffered: e.Ref, Concurrent: conc})
+		}
+		if tracing {
+			s.decisions.Record(obs.Decision{
+				Kind: obs.DServerCheck, Session: s.decisionLabel,
+				Site: m.From, T1: m.TS.T1, T2: m.TS.T2,
+				Index: i, Concurrent: conc,
+			})
+		}
+	}
+}
+
+// recordIntegrate emits the per-Receive summary trace record; see
+// tracedVisit for why it is not inlined.
+//
+//go:noinline
+func (s *Server) recordIntegrate(m ClientMsg, checkCount, concCount, transforms int) {
+	s.decisions.Record(obs.Decision{
+		Kind: obs.DServerIntegrate, Session: s.decisionLabel,
+		Site: m.From, T1: m.TS.T1, T2: m.TS.T2, Index: -1,
+		Checks: checkCount, NConc: concCount, Transforms: transforms,
+	})
+}
+
 // Compact garbage-collects the history buffer using the latest
 // acknowledgements from all joined sites; returns entries removed.
 func (s *Server) Compact() int {
@@ -372,7 +437,10 @@ func (s *Server) Compact() int {
 		acked[id] = st.acked
 		baselines[id] = st.baseline
 	}
-	return s.hb.Compact(acked, baselines)
+	removed := s.hb.Compact(acked, baselines)
+	s.count(trace.CCompactions, 1)
+	s.count(trace.CCompacted, int64(removed))
+	return removed
 }
 
 // checkInvariants verifies internal bookkeeping identities; test-only (via

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // LockSend flags a sync.Mutex/RWMutex held across a channel send or a
@@ -20,9 +21,16 @@ import (
 // unlock keeps the region open to the end of the function. Function
 // literals are analyzed separately with an empty region (a goroutine body
 // does not run under the spawner's lock).
+//
+// The same held-region machinery also polices the observability layer:
+// internal/obs splits its API into lock-free recording (Counter.Add,
+// Histogram.Record, DecisionRing.Enabled — safe anywhere) and lock-taking
+// registry/ring maintenance (Registry.Counter, .Snapshot, DecisionRing.Dump,
+// …). Only the lock-free half may run under an engine mutex; resolve
+// registry objects up front (as Notifier.Observe does) and call them inside.
 var LockSend = &Analyzer{
 	Name: "locksend",
-	Doc:  "mutex held across a channel send or blocking transport call",
+	Doc:  "mutex held across a channel send, blocking transport call, or lock-taking obs call",
 	Run:  runLockSend,
 }
 
@@ -31,6 +39,21 @@ var LockSend = &Analyzer{
 // write serialization and is analyzed like everyone else — it passes
 // because its internal mutexes guard buffered writers, not Conn calls.
 var lockSendBlocking = map[string]bool{"Send": true, "SendFrame": true, "Recv": true, "Accept": true}
+
+// lockSendObs names the internal/obs methods that take the registry or ring
+// mutex (or allocate on a miss path). Deliberately absent: Counter.Add/Inc/
+// Load, Histogram.Record/RecordInt/Since, Registry.LoadCounter/CounterNames,
+// DecisionRing.Enabled/SetEnabled — those are atomic-only and are exactly
+// what hot paths are meant to call while locked.
+var lockSendObs = map[string]map[string]bool{
+	"Registry": {
+		"Counter": true, "Histogram": true, "Gauge": true, "CounterFunc": true,
+		"Child": true, "DropChild": true, "Snapshot": true,
+	},
+	"DecisionRing": {
+		"Record": true, "Total": true, "Dump": true, "WriteJSONL": true, "Reset": true,
+	},
+}
 
 func runLockSend(pass *Pass) {
 	for _, f := range pass.Files {
@@ -190,9 +213,12 @@ func (w *lockWalker) scan(e ast.Expr) {
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if fn := calleeFunc(w.pass.Info, call); fn != nil &&
-				funcPkgPath(fn) == "repro/internal/transport" && lockSendBlocking[fn.Name()] {
+			fn := calleeFunc(w.pass.Info, call)
+			switch {
+			case fn != nil && funcPkgPath(fn) == "repro/internal/transport" && lockSendBlocking[fn.Name()]:
 				w.reportIfHeld(call.Pos(), "blocking transport."+fn.Name())
+			case fn != nil && funcPkgPath(fn) == "repro/internal/obs" && lockSendObs[recvTypeName(fn)][fn.Name()]:
+				w.reportIfHeld(call.Pos(), "lock-taking obs."+recvTypeName(fn)+"."+fn.Name())
 			}
 		}
 		return true
@@ -200,11 +226,29 @@ func (w *lockWalker) scan(e ast.Expr) {
 }
 
 func (w *lockWalker) reportIfHeld(pos token.Pos, what string) {
+	advice := "enqueue instead — a blocked peer must not stall the engine"
+	if strings.HasPrefix(what, "lock-taking obs.") {
+		advice = "resolve the counter/histogram before locking and record through it — registry maintenance must not run under an engine lock"
+	}
 	for key, lockPos := range w.held {
-		w.pass.Reportf(pos, "%s while %s is held (locked at %s); enqueue instead — a blocked peer must not stall the engine",
-			what, key, w.pass.Fset.Position(lockPos))
+		w.pass.Reportf(pos, "%s while %s is held (locked at %s); %s",
+			what, key, w.pass.Fset.Position(lockPos), advice)
 		return // one report per site is enough
 	}
+}
+
+// recvTypeName returns the name of a method's receiver type (behind any
+// pointer), or "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	n := namedType(recv.Type())
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	return n.Obj().Name()
 }
 
 // lockOp recognizes mu.Lock / mu.RLock / mu.Unlock / mu.RUnlock calls on

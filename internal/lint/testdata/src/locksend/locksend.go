@@ -5,6 +5,7 @@ package fixture
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -14,6 +15,11 @@ type notifier struct {
 	rw   sync.RWMutex
 	ch   chan wire.Msg
 	conn transport.Conn
+
+	reg  *obs.Registry
+	ops  *obs.Counter
+	lat  *obs.Histogram
+	ring *obs.DecisionRing
 }
 
 func (n *notifier) deferHeld(m wire.Msg) error {
@@ -77,4 +83,51 @@ func (n *notifier) lockScopedToLoopBody(msgs []wire.Msg) error {
 		}
 	}
 	return nil
+}
+
+// registryLookupHeld: Registry.Counter locks the registry on a miss — the
+// counter must be resolved before taking the engine lock.
+func (n *notifier) registryLookupHeld() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg.Counter("ops.received").Inc() // want "lock-taking obs.Registry.Counter while n.mu is held"
+}
+
+// snapshotHeld: Snapshot walks the registry under its own mutex and invokes
+// gauge closures that may want this very lock.
+func (n *notifier) snapshotHeld() obs.Snapshot {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	return n.reg.Snapshot() // want "lock-taking obs.Registry.Snapshot while n.rw is held"
+}
+
+// ringRecordHeld: DecisionRing.Record takes the ring mutex.
+func (n *notifier) ringRecordHeld() {
+	n.mu.Lock()
+	n.ring.Record(obs.Decision{Kind: obs.DServerCheck}) // want "lock-taking obs.DecisionRing.Record while n.mu is held"
+	n.mu.Unlock()
+}
+
+// lockFreeRecordingAllowed: the atomic half of the obs API is exactly what
+// hot paths are meant to call while locked.
+func (n *notifier) lockFreeRecordingAllowed(depth int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ops.Inc()
+	n.ops.Add(2)
+	n.lat.RecordInt(depth)
+	if n.ring.Enabled() {
+		_ = n.reg.CounterNames()
+	}
+}
+
+// resolveThenRecord: the blessed shape — registry lookups before the lock,
+// recording inside it.
+func (n *notifier) resolveThenRecord() {
+	c := n.reg.Counter("ops.received")
+	h := n.reg.Histogram("receive.ns")
+	n.mu.Lock()
+	c.Inc()
+	h.Record(1)
+	n.mu.Unlock()
 }

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the number of independent cache lines a Counter spreads
+// its increments over. A power of two so the shard pick is a mask, sized for
+// the handful of writer goroutines a busy notifier actually runs (per-session
+// engine goroutines plus connection writers), not for thousands.
+const counterShards = 16
+
+// cshard is one cache-line-sized slot of a Counter. The padding keeps
+// neighbouring shards out of each other's cache line, which is the whole
+// point of sharding: without it, 16 atomics in one array false-share exactly
+// like a single contended word.
+type cshard struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotone (or signed-delta) counter whose increments scale
+// across goroutines: each Add lands on one of counterShards cache lines,
+// picked from the caller's stack address, so concurrent writers almost never
+// collide on a line. Add is lock-free, allocation-free, and a few
+// nanoseconds; Load sums the shards and is intended for snapshots, not hot
+// loops. The zero value is ready to use.
+type Counter struct {
+	shards [counterShards]cshard
+}
+
+// shardIndex picks a shard from the address of a caller stack slot.
+// Goroutine stacks come from distinct allocations, so distinct goroutines
+// hash to well-spread shards, while a single goroutine keeps hitting the
+// same few lines (good locality). The uintptr conversion is one-way — no
+// pointer is ever rebuilt from it — so it is safe under the Go memory model
+// and vet's unsafeptr check.
+func shardIndex() uintptr {
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe))
+	// Stack slot addresses share low bits (frame alignment) and high bits
+	// (arena); fold the middle bits, where stacks actually differ.
+	p ^= p >> 17
+	return (p >> 6) & (counterShards - 1)
+}
+
+// Add adds delta to the counter. Safe for concurrent use; never allocates.
+func (c *Counter) Add(delta int64) {
+	c.shards[shardIndex()].n.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value: the sum over all shards. It is atomic per
+// shard, not across shards — concurrent adds may or may not be included,
+// which is the usual (and sufficient) counter-snapshot semantics.
+func (c *Counter) Load() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of fixed power-of-two buckets: bucket 0 holds
+// the value 0 and bucket i (1..64) holds [2^(i-1), 2^i). The top bucket's
+// range runs to MaxUint64, so it doubles as the overflow bucket — nothing is
+// ever dropped.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two histogram for latencies, queue
+// depths, and sizes. Record is lock-free and allocation-free (three or four
+// uncontended atomic operations), so it is safe on hot paths; Snapshot copies
+// the buckets out into a mergeable value. Use NewHistogram — the zero value
+// has an unset minimum.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // MaxUint64 until the first Record
+	max     atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+// bucketOf maps a value to its bucket index: 0 for 0, else bits.Len64 —
+// the position of the highest set bit, i.e. ⌈log2(v+1)⌉.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// bucketLe returns the inclusive upper bound of bucket i.
+func bucketLe(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Record adds one observation. Safe for concurrent use; never allocates.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.min.Load()
+		if v >= old || h.min.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// RecordInt records a non-negative integer observation; negatives clamp to 0.
+func (h *Histogram) RecordInt(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.Record(uint64(v))
+}
+
+// Since records the nanoseconds elapsed from start — the idiom for latency
+// instrumentation: start := time.Now(); ...; h.Since(start).
+func (h *Histogram) Since(start time.Time) {
+	d := time.Since(start)
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Snapshot copies the current state out. Per-bucket atomic, not globally
+// consistent — an observation recorded during the copy may straddle the
+// count and the sum, which snapshot consumers tolerate by construction.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Min: h.min.Load(), Max: h.max.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketLe(i), N: n})
+			s.Count += n
+		}
+	}
+	if s.Count == 0 {
+		s.Min, s.Max, s.Sum = 0, 0, 0
+	}
+	return s
+}
+
+// Bucket is one non-empty histogram bucket: N observations with value
+// <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, carrying only the
+// non-empty buckets. Snapshots merge associatively and commutatively —
+// bucket bounds are fixed by the power-of-two scheme, so merging is
+// bucket-wise addition — which is what lets per-session shards aggregate
+// into one process view in any order.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Merge returns the combination of s and o, as if every observation behind
+// both had been recorded into one histogram.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := HistSnapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	// Both bucket lists are sorted by Le; merge like sorted sequences.
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Le < o.Buckets[j].Le):
+			out.Buckets = append(out.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Le < s.Buckets[i].Le:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Le: s.Buckets[i].Le, N: s.Buckets[i].N + o.Buckets[j].N})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0..1) as the upper bound of the
+// bucket the rank falls in, clamped to the observed min/max. Power-of-two
+// buckets bound the error to 2x, which is the usual precision traded for a
+// fixed-size lock-free histogram.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.N
+		if seen >= rank {
+			v := b.Le
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zeroed: %+v", s)
+	}
+	if len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot has buckets: %+v", s.Buckets)
+	}
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty stats nonzero: mean=%v p50=%v", s.Mean(), s.Quantile(0.5))
+	}
+	if got := s.Merge(HistSnapshot{}); got.Count != 0 {
+		t.Fatalf("empty merge empty = %+v", got)
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 7; i++ {
+		h.Record(5) // bucket [4,8) -> Le 7
+	}
+	s := h.Snapshot()
+	if s.Count != 7 || s.Sum != 35 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != 7 || s.Buckets[0].N != 7 {
+		t.Fatalf("bad buckets: %+v", s.Buckets)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// All ranks land in the only bucket; quantiles clamp to the observed value.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 5 {
+			t.Fatalf("Quantile(%v) = %d, want 5", q, got)
+		}
+	}
+}
+
+func TestHistogramZeroValueBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(0)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != 0 || s.Buckets[0].N != 2 {
+		t.Fatalf("value 0 not in bucket 0: %+v", s.Buckets)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Record(math.MaxUint64)
+	h.Record(1 << 63) // smallest value of the top bucket
+	s := h.Snapshot()
+	if s.Count != 2 || s.Max != math.MaxUint64 || s.Min != 1<<63 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != math.MaxUint64 || s.Buckets[0].N != 2 {
+		t.Fatalf("extremes not in overflow bucket: %+v", s.Buckets)
+	}
+	if got := s.Quantile(1); got != math.MaxUint64 {
+		t.Fatalf("p100 = %d, want MaxUint64", got)
+	}
+}
+
+func TestHistogramRecordIntClampsNegative(t *testing.T) {
+	h := NewHistogram()
+	h.RecordInt(-3)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("negative not clamped to 0: %+v", s)
+	}
+}
+
+// TestHistogramConcurrent exercises Record and Snapshot concurrently; run
+// under -race this is the data-race gate, and the final snapshot must account
+// for every observation exactly once.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const writers, perWriter = 8, 2000
+	var wWG, rWG sync.WaitGroup
+	stop := make(chan struct{})
+	rWG.Add(1)
+	go func() { // concurrent reader
+		defer rWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var n uint64
+				for _, b := range s.Buckets {
+					n += b.N
+				}
+				if n != s.Count {
+					t.Errorf("snapshot bucket sum %d != count %d", n, s.Count)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wWG.Add(1)
+		go func(w int) {
+			defer wWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(uint64(w*perWriter + i))
+			}
+		}(w)
+	}
+	wWG.Wait()
+	close(stop)
+	rWG.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	if s.Min != 0 || s.Max != writers*perWriter-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", s.Min, s.Max, writers*perWriter-1)
+	}
+}
+
+// TestHistogramMergeAssociative splits one stream of observations across
+// three shards and checks that every merge order reproduces the single-shard
+// snapshot — the property that makes per-session aggregation order-free.
+func TestHistogramMergeAssociative(t *testing.T) {
+	whole := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	vals := []uint64{0, 1, 2, 3, 7, 8, 100, 1023, 1024, 1 << 40, math.MaxUint64}
+	for i, v := range vals {
+		whole.Record(v)
+		parts[i%3].Record(v)
+	}
+	want := whole.Snapshot()
+	a, b, c := parts[0].Snapshot(), parts[1].Snapshot(), parts[2].Snapshot()
+
+	orders := map[string]HistSnapshot{
+		"(a+b)+c": a.Merge(b).Merge(c),
+		"a+(b+c)": a.Merge(b.Merge(c)),
+		"(c+a)+b": c.Merge(a).Merge(b),
+		"c+(b+a)": c.Merge(b.Merge(a)),
+	}
+	for name, got := range orders {
+		if !histEqual(got, want) {
+			t.Errorf("%s = %+v, want %+v", name, got, want)
+		}
+	}
+	// Merging an empty snapshot is the identity.
+	if !histEqual(want.Merge(HistSnapshot{}), want) || !histEqual(HistSnapshot{}.Merge(want), want) {
+		t.Errorf("empty merge is not identity")
+	}
+}
+
+func histEqual(a, b HistSnapshot) bool {
+	if a.Count != b.Count || a.Sum != b.Sum || a.Min != b.Min || a.Max != b.Max || len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHistogramQuantileAcrossBuckets(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Record(10) // bucket Le=15
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1000) // bucket Le=1023
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 = %d, want 15", got)
+	}
+	if got := s.Quantile(0.95); got != 1000 { // clamped to Max
+		t.Fatalf("p95 = %d, want 1000 (bucket Le clamped to max)", got)
+	}
+}

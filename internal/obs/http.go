@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// NewHandler builds the debug endpoint a server mounts behind -debug:
+//
+//	/metricz  current Snapshot; plain text by default, JSON with
+//	          ?format=json (cvcstat's poll target)
+//	/tracez   GET dumps the causality-decision ring as JSONL (?limit=N);
+//	          POST ?enable=true|false toggles recording
+//	/debug/pprof/*  net/http/pprof profiles
+//	/debug/vars     expvar, including the snapshot under the key "cvc"
+//
+// snap is called per request and must be safe for concurrent use; ring may be
+// nil, which turns /tracez into a 404.
+func NewHandler(snap func() Snapshot, ring *DecisionRing) http.Handler {
+	publishExpvar(snap)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, req *http.Request) {
+		s := snap()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var b strings.Builder
+		writeSnapshotText(&b, s, "")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, req *http.Request) {
+		if ring == nil {
+			http.NotFound(w, req)
+			return
+		}
+		switch req.Method {
+		case http.MethodPost:
+			on, err := strconv.ParseBool(req.URL.Query().Get("enable"))
+			if err != nil {
+				http.Error(w, "tracez: POST needs ?enable=true|false", http.StatusBadRequest)
+				return
+			}
+			ring.SetEnabled(on)
+			fmt.Fprintf(w, "trace enabled=%v total=%d\n", ring.Enabled(), ring.Total())
+		default:
+			limit := 0
+			if q := req.URL.Query().Get("limit"); q != "" {
+				n, err := strconv.Atoi(q)
+				if err != nil || n < 0 {
+					http.Error(w, "tracez: bad limit", http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			_ = ring.WriteJSONL(w, limit)
+		}
+	})
+	// The default-mux pprof handlers, mounted explicitly so this handler works
+	// on any mux without importing for side effects.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "cvc debug endpoints:\n  /metricz (?format=json)\n  /tracez (?limit=N; POST ?enable=bool)\n  /debug/pprof/\n  /debug/vars\n")
+	})
+	return mux
+}
+
+// expvar.Publish panics on duplicate names and has no Unpublish, so the "cvc"
+// var is published once per process and indirects through an atomic holding
+// the most recent handler's snapshot func.
+var (
+	expvarOnce sync.Once
+	expvarSnap atomic.Value // func() Snapshot
+)
+
+func publishExpvar(snap func() Snapshot) {
+	expvarSnap.Store(snap)
+	expvarOnce.Do(func() {
+		expvar.Publish("cvc", expvar.Func(func() any {
+			return expvarSnap.Load().(func() Snapshot)()
+		}))
+	})
+}
+
+// writeSnapshotText renders a snapshot as indented "name value" lines —
+// the human side of /metricz.
+func writeSnapshotText(b *strings.Builder, s Snapshot, indent string) {
+	name := s.Name
+	if name == "" {
+		name = "(root)"
+	}
+	fmt.Fprintf(b, "%s# %s\n", indent, name)
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(b, "%s%-28s %d\n", indent, k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(b, "%s%-28s %d\n", indent, k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Hists) {
+		h := s.Hists[k]
+		fmt.Fprintf(b, "%s%-28s count=%d mean=%.1f min=%d p50=%d p99=%d max=%d\n",
+			indent, k, h.Count, h.Mean(), h.Min, h.Quantile(0.5), h.Quantile(0.99), h.Max)
+	}
+	for _, c := range s.Children {
+		writeSnapshotText(b, c, indent+"  ")
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestHandler(t *testing.T) (*Registry, *DecisionRing, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry("notifier")
+	reg.Counter("sender.msgs").Add(12)
+	reg.Gauge("conn.queue.highwater", func() int64 { return 3 })
+	reg.Child("doc").Counter("ops.integrated").Add(5)
+	reg.Child("doc").Histogram("receive.ns").Record(1500)
+	ring := NewDecisionRing(16)
+	srv := httptest.NewServer(NewHandler(reg.Snapshot, ring))
+	t.Cleanup(srv.Close)
+	return reg, ring, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetriczText(t *testing.T) {
+	_, _, srv := newTestHandler(t)
+	code, body := get(t, srv.URL+"/metricz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"# notifier", "sender.msgs", "12", "conn.queue.highwater", "# doc", "ops.integrated", "receive.ns", "count=1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetriczJSON(t *testing.T) {
+	_, _, srv := newTestHandler(t)
+	code, body := get(t, srv.URL+"/metricz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if s.Name != "notifier" || s.Counters["sender.msgs"] != 12 || s.Gauges["conn.queue.highwater"] != 3 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	doc, ok := s.Child("doc")
+	if !ok || doc.Counters["ops.integrated"] != 5 || doc.Hists["receive.ns"].Count != 1 {
+		t.Fatalf("doc child = %+v ok=%v", doc, ok)
+	}
+}
+
+func TestTracezToggleAndDump(t *testing.T) {
+	_, ring, srv := newTestHandler(t)
+
+	// Initially disabled; a record is dropped.
+	ring.Record(Decision{Site: 1})
+
+	resp, err := http.Post(srv.URL+"/tracez?enable=true", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ring.Enabled() {
+		t.Fatal("POST enable=true did not enable")
+	}
+	ring.Record(Decision{Kind: DServerCheck, Site: 4, T1: 10, T2: 2, Index: 0, Concurrent: true})
+	ring.Record(Decision{Kind: DServerIntegrate, Site: 4, T1: 10, T2: 2, Index: -1, Checks: 1, NConc: 1, Transforms: 1})
+
+	code, body := get(t, srv.URL+"/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	var n int
+	for sc.Scan() {
+		var d Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d trace lines, want 2:\n%s", n, body)
+	}
+
+	if code, body := get(t, srv.URL+"/tracez?limit=1"); code != http.StatusOK || strings.Count(body, "\n") != 1 {
+		t.Fatalf("limit=1: code=%d body=%q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/tracez?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit accepted: %d", code)
+	}
+
+	resp, err = http.Post(srv.URL+"/tracez?enable=false", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ring.Enabled() {
+		t.Fatal("POST enable=false did not disable")
+	}
+	if resp, err := http.Post(srv.URL+"/tracez", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST without enable: %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestTracezNilRing(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry("x").Snapshot, nil))
+	defer srv.Close()
+	if code, _ := get(t, srv.URL+"/tracez"); code != http.StatusNotFound {
+		t.Fatalf("nil-ring /tracez = %d, want 404", code)
+	}
+}
+
+func TestDebugVarsAndPprof(t *testing.T) {
+	_, _, srv := newTestHandler(t)
+	code, body := get(t, srv.URL+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "\"cvc\"") {
+		t.Fatalf("/debug/vars code=%d, cvc published=%v", code, strings.Contains(body, "\"cvc\""))
+	}
+	if code, body := get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ code=%d", code)
+	}
+	if code, _ := get(t, srv.URL+"/"); code != http.StatusOK {
+		t.Fatalf("index code=%d", code)
+	}
+	if code, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path code=%d", code)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+// Canonical metric names. DESIGN.md §12 is the catalogue (units and
+// semantics); TestMetricsCatalog in internal/server asserts that a fully
+// wired notifier exposes exactly these names, so renames must touch both.
+//
+// Naming scheme: lowercase dotted paths, "component.metric[.detail]".
+// Engine counters recorded through trace.Metrics keep their historical names
+// (ops.generated, checks.total, ...) declared in internal/trace.
+const (
+	// HReceiveNs is the per-session histogram of notifier engine latency in
+	// nanoseconds: one Receive from arrival through formula-(7) checks,
+	// transformation, execution, and broadcast fan-out enqueue.
+	HReceiveNs = "receive.ns"
+
+	// HQueueDepth is the histogram of outbound writer-queue depth observed
+	// at every enqueue across all connections — the live distribution behind
+	// the QueueHighWater maximum.
+	HQueueDepth = "conn.queue.depth"
+
+	// GQueueHighWater is the deepest any live connection's outbound queue
+	// has ever been (Sender.HighWater maximum over connections).
+	GQueueHighWater = "conn.queue.highwater"
+
+	// Per-session engine gauges, evaluated on the session goroutine.
+	GSites      = "sites"          // currently joined sites
+	GOpsRecv    = "ops.received"   // operations received over the lifetime
+	GDocRunes   = "doc.runes"      // document length in runes
+	GHBLen      = "hb.len"         // history-buffer entries alive
+	GClockWords = "hb.clock_words" // clock words kept to timestamp the HB (E4)
+
+	// Process-wide sender counters (internal/transport): coalescing ratio is
+	// sender.msgs / sender.flushes.
+	CSenderMsgs    = "sender.msgs"    // messages drained from writer queues
+	CSenderFlushes = "sender.flushes" // write+flush rounds those drains took
+
+	// Process-wide TCP write-side counters (internal/transport).
+	CTCPBytes   = "tcp.bytes_sent" // frame bytes written to TCP conns
+	CTCPFlushes = "tcp.flushes"    // bufio flushes on TCP conns
+
+	// Process-wide wire encode counters (internal/wire). Per-type frame and
+	// byte counters are named wire.frames.<type> / wire.bytes.<type> with
+	// the type names in wire.TypeName.
+	CWireEncodes = "wire.serverop_encodes" // ServerOp tail encodes (1 per broadcast)
+	CWireOps     = "wire.ops_sent"         // server ops framed toward destinations (a K-op batch counts K)
+)

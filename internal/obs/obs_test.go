@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero counter = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.Add(-2)
+	if got := c.Load(); got != 40 {
+		t.Fatalf("counter = %d, want 40", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, per = 16, 10000
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if got := c.Load(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry("test")
+	r.Counter("a").Add(3)
+	r.Counter("a").Add(4) // same counter
+	if c, ok := r.LoadCounter("a"); !ok || c.Load() != 7 {
+		t.Fatalf("LoadCounter(a) = %v ok=%v", c, ok)
+	}
+	if _, ok := r.LoadCounter("missing"); ok {
+		t.Fatalf("LoadCounter created a counter")
+	}
+	r.Gauge("g", func() int64 { return 11 })
+	r.CounterFunc("cf", func() int64 { return 5 })
+	r.Histogram("h").Record(9)
+	s := r.Snapshot()
+	if s.Name != "test" || s.Counters["a"] != 7 || s.Counters["cf"] != 5 || s.Gauges["g"] != 11 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	if s.Hists["h"].Count != 1 || s.Hists["h"].Max != 9 {
+		t.Fatalf("bad hist snapshot: %+v", s.Hists["h"])
+	}
+}
+
+func TestRegistryChildren(t *testing.T) {
+	r := NewRegistry("root")
+	a := r.Child("a")
+	if r.Child("a") != a {
+		t.Fatalf("Child not idempotent")
+	}
+	a.Counter("x").Inc()
+	r.Child("b").Counter("x").Add(2)
+
+	s := r.Snapshot()
+	if len(s.Children) != 2 || s.Children[0].Name != "a" || s.Children[1].Name != "b" {
+		t.Fatalf("children = %+v", s.Children)
+	}
+	if ca, ok := s.Child("a"); !ok || ca.Counters["x"] != 1 {
+		t.Fatalf("child a = %+v ok=%v", ca, ok)
+	}
+
+	agg := s.Aggregate()
+	if agg.Counters["x"] != 3 {
+		t.Fatalf("aggregate x = %d, want 3", agg.Counters["x"])
+	}
+
+	r.DropChild("a")
+	if got := len(r.Snapshot().Children); got != 1 {
+		t.Fatalf("after drop, %d children", got)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry("n")
+	a.Counter("c").Add(1)
+	a.Histogram("h").Record(4)
+	a.Child("s1").Counter("c").Add(10)
+	b := NewRegistry("n")
+	b.Counter("c").Add(2)
+	b.Histogram("h").Record(8)
+	b.Child("s1").Counter("c").Add(20)
+	b.Child("s2").Counter("c").Add(100)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["c"] != 3 {
+		t.Fatalf("merged c = %d", m.Counters["c"])
+	}
+	if m.Hists["h"].Count != 2 || m.Hists["h"].Min != 4 || m.Hists["h"].Max != 8 {
+		t.Fatalf("merged h = %+v", m.Hists["h"])
+	}
+	s1, _ := m.Child("s1")
+	s2, _ := m.Child("s2")
+	if s1.Counters["c"] != 30 || s2.Counters["c"] != 100 {
+		t.Fatalf("merged children: s1=%+v s2=%+v", s1, s2)
+	}
+}
+
+// TestFastPathAllocFree is the check-gate for the ISSUE's core promise: every
+// hot-path recording primitive performs zero allocations per operation.
+// testing.AllocsPerRun is deterministic, unlike nanosecond thresholds, so it
+// can gate CI; the <50ns/op target is reported by the benchmarks below.
+func TestFastPathAllocFree(t *testing.T) {
+	r := NewRegistry("alloc")
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	ring := NewDecisionRing(8) // disabled: the hot-path state
+	start := time.Now()
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Counter.Load", func() { _ = c.Load() }},
+		{"Registry.Counter(hit)", func() { r.Counter("c").Inc() }},
+		{"Histogram.Record", func() { h.Record(123) }},
+		{"Histogram.RecordInt", func() { h.RecordInt(7) }},
+		{"Histogram.Since", func() { h.Since(start) }},
+		{"Registry.Histogram(hit)", func() { r.Histogram("h").Record(1) }},
+		{"DecisionRing.Enabled", func() { _ = ring.Enabled() }},
+		{"DecisionRing.Record(disabled)", func() { ring.Record(Decision{Site: 1}) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.fn); n != 0 {
+			t.Errorf("%s allocates %.1f allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+	if c.Load() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	if c.Load() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint64
+		for pb.Next() {
+			i++
+			h.Record(i)
+		}
+	})
+}
+
+func BenchmarkRingDisabledRecord(b *testing.B) {
+	ring := NewDecisionRing(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ring.Enabled() {
+			ring.Record(Decision{Site: i})
+		}
+	}
+}

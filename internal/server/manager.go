@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // registry is the immutable session table the Manager publishes. Readers
@@ -20,6 +21,13 @@ type Manager struct {
 	initial func(name string) string
 	engine  []core.ServerOption
 	queue   int
+
+	// obsReg, when non-nil, receives one child registry per session
+	// (engine counters, receive latency, size gauges); dropped sessions
+	// drop their child. ring, when non-nil, is shared by every session's
+	// engine for causality-decision tracing.
+	obsReg *obs.Registry
+	ring   *obs.DecisionRing
 
 	reg atomic.Value // registry
 
@@ -44,6 +52,22 @@ func WithInitialTextFunc(fn func(name string) string) ManagerOption {
 // WithEngineOptions passes options to every session's core.Server.
 func WithEngineOptions(opts ...core.ServerOption) ManagerOption {
 	return func(m *Manager) { m.engine = opts }
+}
+
+// WithObservability mounts every session's metrics as a child of reg: the
+// engine's trace counters, the receive.ns latency histogram, and live size
+// gauges (sites, hb.len, hb.clock_words, ...) all appear under the session's
+// name in reg.Snapshot(). The manager owns only its children — process-wide
+// counters (wire, transport) are registered by DebugHandler.
+func WithObservability(reg *obs.Registry) ManagerOption {
+	return func(m *Manager) { m.obsReg = reg }
+}
+
+// WithDecisionRing shares ring across every session's engine: each concurrency
+// check and integration summary is recorded (when the ring is enabled) with
+// the session's name as its label.
+func WithDecisionRing(ring *obs.DecisionRing) ManagerOption {
+	return func(m *Manager) { m.ring = ring }
 }
 
 // WithQueueDepth sets each session's command-queue buffer (default 64).
@@ -89,7 +113,7 @@ func (m *Manager) GetOrCreate(name string) (*Session, error) {
 	if s, ok := old[name]; ok { // lost the creation race
 		return s, nil
 	}
-	s := newSession(name, m.initial(name), m.queue, m.engine...)
+	s := newSession(name, m.initial(name), m.queue, m.sessionChild(name), m.ring, m.engine...)
 	next := make(registry, len(old)+1)
 	for k, v := range old {
 		next[k] = v
@@ -117,7 +141,31 @@ func (m *Manager) Drop(name string) {
 	m.mu.Unlock()
 	if ok {
 		_ = s.Close()
+		if m.obsReg != nil {
+			m.obsReg.DropChild(sessionChildName(name))
+		}
 	}
+}
+
+// Registry returns the observability registry the manager mounts session
+// children on (nil when WithObservability was not used).
+func (m *Manager) Registry() *obs.Registry { return m.obsReg }
+
+// sessionChild returns the session's observability child registry, or nil.
+func (m *Manager) sessionChild(name string) *obs.Registry {
+	if m.obsReg == nil {
+		return nil
+	}
+	return m.obsReg.Child(sessionChildName(name))
+}
+
+// sessionChildName maps a session name to its registry child name; the
+// default session "" gets a printable one.
+func sessionChildName(name string) string {
+	if name == "" {
+		return "(default)"
+	}
+	return name
 }
 
 // Names returns the running session names, sorted.
@@ -156,8 +204,11 @@ func (m *Manager) Close() error {
 	reg := m.reg.Load().(registry)
 	m.reg.Store(registry{})
 	m.mu.Unlock()
-	for _, s := range reg {
+	for name, s := range reg {
 		_ = s.Close()
+		if m.obsReg != nil {
+			m.obsReg.DropChild(sessionChildName(name))
+		}
 	}
 	return nil
 }

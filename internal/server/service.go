@@ -2,9 +2,11 @@ package server
 
 import (
 	"fmt"
+	"net/http"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -19,6 +21,10 @@ type Service struct {
 	ln  transport.Listener
 	mgr *Manager
 
+	// queueHist, when observability is mounted, receives every connection's
+	// enqueue-time queue depth (obs.HQueueDepth on the manager's registry).
+	queueHist *obs.Histogram
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[transport.Conn]*transport.Sender
@@ -31,6 +37,13 @@ type Service struct {
 // so one manager can serve several listeners.
 func Serve(ln transport.Listener, mgr *Manager) *Service {
 	s := &Service{ln: ln, mgr: mgr, conns: make(map[transport.Conn]*transport.Sender)}
+	if reg := mgr.Registry(); reg != nil {
+		// Live connection-queue metrics for /metricz. One gauge per manager:
+		// a second Serve on the same manager takes the name over, which is
+		// harmless — both report the same kind of maximum.
+		s.queueHist = reg.Histogram(obs.HQueueDepth)
+		reg.Gauge(obs.GQueueHighWater, func() int64 { return int64(s.QueueHighWater()) })
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -55,6 +68,26 @@ func (s *Service) QueueHighWater() int {
 
 // Addr returns the listener's address.
 func (s *Service) Addr() string { return s.ln.Addr() }
+
+// String summarizes the service for status logs: address, live connections,
+// session count, and the queue high-water mark.
+func (s *Service) String() string {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	return fmt.Sprintf("service addr=%s conns=%d sessions=%d queue_highwater=%d",
+		s.ln.Addr(), conns, s.mgr.Len(), s.QueueHighWater())
+}
+
+// DebugHandler assembles the HTTP introspection endpoint for a server built
+// around reg: it registers the process-wide wire and transport counters on
+// reg and returns the obs handler serving /metricz, /tracez (when ring is
+// non-nil), pprof, and expvar. Both reducesrv modes and tests mount it.
+func DebugHandler(reg *obs.Registry, ring *obs.DecisionRing) http.Handler {
+	wire.RegisterMetrics(reg)
+	transport.RegisterMetrics(reg)
+	return obs.NewHandler(reg.Snapshot, ring)
+}
 
 // Close stops accepting, closes every connection, and waits for the
 // connection handlers to finish.
@@ -175,6 +208,9 @@ func (s *Service) admit(conn transport.Conn) (*Session, int, bool, *transport.Se
 	// never blocks on a peer's network backpressure, and its drains
 	// coalesce bursts into batched frames with one flush each.
 	snd := transport.NewSender(conn, ErrClosed)
+	if s.queueHist != nil {
+		snd.SetQueueHistogram(s.queueHist)
+	}
 	s.mu.Lock()
 	if _, ok := s.conns[conn]; ok {
 		s.conns[conn] = snd

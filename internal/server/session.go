@@ -15,8 +15,11 @@ package server
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -82,6 +85,10 @@ type Session struct {
 	quit chan struct{}
 	done chan struct{}
 
+	// recvNs, when non-nil, observes the full Receive latency: queue wait,
+	// formula-(7) checks, transformation, execution, and fan-out enqueue.
+	recvNs *obs.Histogram
+
 	// Engine state below is owned by the session goroutine exclusively.
 	srv      *core.Server
 	subs     map[int]*Subscriber
@@ -89,7 +96,18 @@ type Session struct {
 	received uint64
 }
 
-func newSession(name, initial string, queue int, opts ...core.ServerOption) *Session {
+// newSession starts one document's notifier goroutine. child, when non-nil,
+// is the session's observability registry: engine counters are recorded
+// into it (trace.MetricsOn), receive latency lands in its receive.ns
+// histogram, and live size gauges are registered on it. ring, when non-nil,
+// streams the engine's causality decisions under the session's name.
+func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.DecisionRing, opts ...core.ServerOption) *Session {
+	if child != nil {
+		opts = append(opts[:len(opts):len(opts)], core.WithServerMetrics(trace.MetricsOn(child)))
+	}
+	if ring != nil {
+		opts = append(opts[:len(opts):len(opts)], core.WithServerDecisionRing(ring, name))
+	}
 	s := &Session{
 		name:     name,
 		cmds:     make(chan cmd, queue),
@@ -98,6 +116,38 @@ func newSession(name, initial string, queue int, opts ...core.ServerOption) *Ses
 		srv:      core.NewServer(initial, opts...),
 		subs:     make(map[int]*Subscriber),
 		nextSite: 1,
+	}
+	if child != nil {
+		s.recvNs = child.Histogram(obs.HReceiveNs)
+		// Gauges round-trip through the session goroutine (Registry.Snapshot
+		// invokes them with no lock held). A closed session reports its last
+		// consistent value semantics as zero — the child is usually dropped
+		// alongside anyway.
+		child.Gauge(obs.GSites, func() int64 {
+			var v int64
+			_ = s.do(func() { v = int64(len(s.subs)) })
+			return v
+		})
+		child.Gauge(obs.GOpsRecv, func() int64 {
+			var v int64
+			_ = s.do(func() { v = int64(s.received) })
+			return v
+		})
+		child.Gauge(obs.GDocRunes, func() int64 {
+			var v int64
+			_ = s.do(func() { v = int64(s.srv.DocLen()) })
+			return v
+		})
+		child.Gauge(obs.GHBLen, func() int64 {
+			var v int64
+			_ = s.do(func() { v = int64(s.srv.History().Len()) })
+			return v
+		})
+		child.Gauge(obs.GClockWords, func() int64 {
+			var v int64
+			_ = s.do(func() { v = int64(s.srv.History().ClockWords()) })
+			return v
+		})
 	}
 	go s.run()
 	return s
@@ -200,6 +250,10 @@ func (s *Session) Leave(site int) error {
 // Receive integrates one client operation and fans the broadcasts out to the
 // subscribed destinations. Operations from viewers are rejected.
 func (s *Session) Receive(m core.ClientMsg) error {
+	var start time.Time
+	if s.recvNs != nil {
+		start = time.Now()
+	}
 	var err error
 	if derr := s.do(func() {
 		sub := s.subs[m.From]
@@ -242,6 +296,9 @@ func (s *Session) Receive(m core.ClientMsg) error {
 		}
 	}); derr != nil {
 		return derr
+	}
+	if s.recvNs != nil {
+		s.recvNs.Since(start)
 	}
 	return err
 }
@@ -288,7 +345,7 @@ func (s *Session) Stats() Stats {
 	_ = s.do(func() {
 		st.Sites = len(s.subs)
 		st.Ops = s.received
-		st.Doc = len([]rune(s.srv.Text()))
+		st.Doc = s.srv.DocLen()
 	})
 	return st
 }

@@ -1,0 +1,27 @@
+package trace
+
+import "testing"
+
+// BenchmarkMetricsParallel hammers one Metrics bag from all cores — the
+// contention shape of a notifier whose sessions share a metrics sink.
+func BenchmarkMetricsParallel(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Inc(COpsIntegrated, 1)
+		}
+	})
+	if got := m.Get(COpsIntegrated); got != int64(b.N) {
+		b.Fatalf("lost increments: %d != %d", got, b.N)
+	}
+}
+
+// BenchmarkMetricsInc is the single-goroutine baseline.
+func BenchmarkMetricsInc(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Inc(COpsIntegrated, 1)
+	}
+}

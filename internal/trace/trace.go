@@ -2,50 +2,60 @@
 // and byte counters per link, concurrency-detection counts, and
 // transformation counts. The benchmark harness (cmd/cvcbench and
 // bench_test.go) reads these to print the experiment tables.
+//
+// Metrics is a thin naming layer over internal/obs: every counter is an
+// obs.Counter (sharded, lock-free, allocation-free to increment), and a
+// Metrics bag can be mounted on a caller-owned obs.Registry with MetricsOn so
+// engine counters appear in that registry's /metricz snapshots for free.
 package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
+
+	"repro/internal/obs"
 )
 
-// Metrics is a thread-safe bag of named counters and samples.
+// Metrics is a thread-safe bag of named counters. Incrementing is lock-free
+// and allocation-free; the zero cost makes it safe to leave attached to
+// production engines, not just benchmarks.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64
+	reg *obs.Registry
 }
 
-// NewMetrics returns an empty metrics bag.
+// NewMetrics returns an empty metrics bag backed by a private registry.
 func NewMetrics() *Metrics {
-	return &Metrics{counters: make(map[string]int64)}
+	return MetricsOn(obs.NewRegistry(""))
 }
+
+// MetricsOn returns a metrics bag that stores its counters in reg — the
+// bridge between engine counting (this package's names) and the
+// observability registry tree that serves /metricz. reg must be non-nil.
+func MetricsOn(reg *obs.Registry) *Metrics {
+	return &Metrics{reg: reg}
+}
+
+// Registry exposes the backing registry (for snapshotting alongside other
+// metrics).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Inc adds delta to the named counter.
 func (m *Metrics) Inc(name string, delta int64) {
-	m.mu.Lock()
-	m.counters[name] += delta
-	m.mu.Unlock()
+	m.reg.Counter(name).Add(delta)
 }
 
-// Get reads the named counter.
+// Get reads the named counter; names never incremented read 0 and are not
+// created.
 func (m *Metrics) Get(name string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
+	if c, ok := m.reg.LoadCounter(name); ok {
+		return c.Load()
+	}
+	return 0
 }
 
 // Names returns all counter names, sorted.
 func (m *Metrics) Names() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	names := make([]string, 0, len(m.counters))
-	for n := range m.counters {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return m.reg.CounterNames()
 }
 
 // String renders all counters, one per line, sorted by name.
@@ -75,4 +85,8 @@ const (
 	CConcurrentPairs = "checks.concurrent"
 	// CTransforms counts inclusion transformations performed.
 	CTransforms = "ot.transforms"
+	// CCompactions counts history-buffer compaction rounds.
+	CCompactions = "hb.compactions"
+	// CCompacted counts history-buffer entries removed by compaction.
+	CCompacted = "hb.compacted"
 )

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -35,6 +36,9 @@ type Sender struct {
 	closed    bool
 	err       error
 	highWater int
+	// queueHist, when non-nil, observes the queue depth at every enqueue.
+	// Histogram.Record is lock-free, so sampling under s.mu is safe.
+	queueHist *obs.Histogram
 
 	done chan struct{}
 
@@ -97,8 +101,21 @@ func (s *Sender) push(it outItem) error {
 	if len(s.q) > s.highWater {
 		s.highWater = len(s.q)
 	}
+	if s.queueHist != nil {
+		s.queueHist.RecordInt(len(s.q))
+	}
 	s.cond.Signal()
 	return nil
+}
+
+// SetQueueHistogram samples the pending-queue depth into h at every enqueue
+// (nil stops sampling). The live depth distribution complements HighWater:
+// the maximum says how bad backpressure ever got, the histogram says how
+// often.
+func (s *Sender) SetQueueHistogram(h *obs.Histogram) {
+	s.mu.Lock()
+	s.queueHist = h
+	s.mu.Unlock()
 }
 
 // Err returns the sticky write error, if any.
@@ -186,6 +203,8 @@ func (s *Sender) write(batch []outItem) error {
 			if err := s.conn.Send(m); err != nil {
 				return err
 			}
+			senderMsgs.Add(1)
+			senderFlushes.Add(1)
 		}
 		return nil
 	}
@@ -208,5 +227,11 @@ func (s *Sender) write(batch []outItem) error {
 			s.items[j] = wire.FrameItem{}
 		}
 	}
-	return s.fc.SendFrame(s.scratch)
+	if err := s.fc.SendFrame(s.scratch); err != nil {
+		return err
+	}
+	// One drain, one flush round — however many messages it carried.
+	senderMsgs.Add(uint64(len(batch)))
+	senderFlushes.Add(1)
+	return nil
 }

@@ -108,6 +108,8 @@ func AppendFrames(dst []byte, items []FrameItem) []byte {
 			dst = append(dst, byte(TServerOp))
 			dst = appendServerOpHead(dst, it.To, it.TS)
 			dst = append(dst, it.B.tail...)
+			countFrame(TServerOp, UvarintLen(uint64(body))+body)
+			encOps.Add(1)
 			continue
 		}
 		body := 1 + UvarintLen(uint64(len(run)))
@@ -121,6 +123,10 @@ func AppendFrames(dst []byte, items []FrameItem) []byte {
 			dst = appendServerOpHead(dst, it.To, it.TS)
 			dst = append(dst, it.B.tail...)
 		}
+		// A batch of K operations is K ops but one frame and one flush unit —
+		// the no-double-counting rule the coalescing ratio depends on.
+		countFrame(TOpBatch, UvarintLen(uint64(body))+body)
+		encOps.Add(uint64(len(run)))
 	}
 	return dst
 }

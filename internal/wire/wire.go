@@ -311,6 +311,13 @@ func AppendFrame(dst []byte, m Msg) ([]byte, error) {
 	if err == nil {
 		dst = binary.AppendUvarint(dst, uint64(len(body)))
 		dst = append(dst, body...)
+		countFrame(m.msgType(), UvarintLen(uint64(len(body)))+len(body))
+		switch v := m.(type) {
+		case ServerOp:
+			encOps.Add(1)
+		case OpBatch:
+			encOps.Add(uint64(len(v.Ops)))
+		}
 	}
 	eb.b = body[:0]
 	encodePool.Put(eb)

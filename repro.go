@@ -30,9 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -61,6 +64,13 @@ type Notifier struct {
 	nextSite int
 	closed   bool
 	jw       *journal.Writer // nil without persistence
+	// queueHist, when observability is mounted, samples every peer queue's
+	// enqueue-time depth (set under mu; peers pick it up at admit).
+	queueHist *obs.Histogram
+
+	// recvNs observes the receive→transform→broadcast latency. Atomic so
+	// the hot receive path reads it without n.mu ordering concerns.
+	recvNs atomic.Pointer[obs.Histogram]
 
 	wg sync.WaitGroup
 }
@@ -103,6 +113,68 @@ func ServeWithJournal(ln transport.Listener, initial, journalPath string, opts .
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
+}
+
+// Observe mounts the notifier's live metrics on reg: the receive.ns latency
+// histogram, the conn.queue.depth histogram fed by every peer's sender, and
+// gauges for joined sites, document size, history-buffer length, clock words
+// (E4 live), and queue high-water. Engine counters are attached separately at
+// construction (pass core.WithServerMetrics(trace.MetricsOn(reg)) to Serve);
+// process-wide wire/transport counters via server.DebugHandler.
+//
+// All lock-taking registry calls happen before the notifier lock is touched
+// and the gauges run with no registry lock held, so there is no ordering
+// between reg's mutex and n.mu.
+func (n *Notifier) Observe(reg *obs.Registry) {
+	recvNs := reg.Histogram(obs.HReceiveNs)
+	queueHist := reg.Histogram(obs.HQueueDepth)
+
+	n.mu.Lock()
+	n.queueHist = queueHist
+	for _, p := range n.peers {
+		p.snd.SetQueueHistogram(queueHist)
+	}
+	n.mu.Unlock()
+	n.recvNs.Store(recvNs)
+
+	reg.Gauge(obs.GSites, func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(len(n.srv.Sites()))
+	})
+	reg.Gauge(obs.GOpsRecv, func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.srv.SV().SumExcept(0))
+	})
+	reg.Gauge(obs.GDocRunes, func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.srv.DocLen())
+	})
+	reg.Gauge(obs.GHBLen, func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.srv.History().Len())
+	})
+	reg.Gauge(obs.GClockWords, func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.srv.History().ClockWords())
+	})
+	reg.Gauge(obs.GQueueHighWater, func() int64 { return int64(n.QueueHighWater()) })
+}
+
+// String summarizes the notifier for status logs.
+func (n *Notifier) String() string {
+	n.mu.Lock()
+	sites := len(n.srv.Sites())
+	doc := n.srv.DocLen()
+	hb := n.srv.History().Len()
+	words := n.srv.History().ClockWords()
+	n.mu.Unlock()
+	return fmt.Sprintf("notifier addr=%s sites=%d doc_runes=%d hb_len=%d clock_words=%d queue_highwater=%d",
+		n.ln.Addr(), sites, doc, hb, words, n.QueueHighWater())
 }
 
 // Addr returns the listener's address.
@@ -265,6 +337,9 @@ func (n *Notifier) admit(conn transport.Conn) (int, *peer, error) {
 		}
 	}
 	p := &peer{conn: conn, snd: transport.NewSender(conn, ErrClosed), readOnly: req.ReadOnly}
+	if n.queueHist != nil {
+		p.snd.SetQueueHistogram(n.queueHist)
+	}
 	n.peers[site] = p
 	if err := p.snd.Enqueue(wire.JoinResp{Site: snap.Site, Text: snap.Text, LocalOps: snap.LocalOps}); err != nil {
 		delete(n.peers, site)
@@ -299,6 +374,12 @@ func (n *Notifier) relayPresence(m wire.Presence) error {
 
 // receive integrates one client operation and fans the broadcasts out.
 func (n *Notifier) receive(m wire.ClientOp) error {
+	if h := n.recvNs.Load(); h != nil {
+		// Histogram recording is lock-free, so the deferred observation under
+		// n.mu is safe; it covers lock wait, formula (7), transformation,
+		// execution, and fan-out enqueue.
+		defer h.Since(time.Now())
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	cm := core.ClientMsg{From: m.From, Op: m.Op, TS: m.TS, Ref: m.Ref}

@@ -23,8 +23,13 @@ go run ./cmd/cvclint ./...
 step "go test ./..."
 go test ./...
 
-step "go test -race (engine, wire, transport, server, sim, root)"
-go test -race ./internal/core ./internal/wire ./internal/transport ./internal/server ./internal/sim .
+step "go test -race (engine, wire, transport, server, obs, sim, root)"
+go test -race ./internal/core ./internal/wire ./internal/transport ./internal/server ./internal/obs ./internal/sim .
+
+# The observability fast paths must stay allocation-free: a single alloc per
+# Record would show up on every integrated operation once -debug is on.
+step "obs zero-alloc gate"
+go test ./internal/obs -run='^TestFastPathAllocFree$' -count=1
 
 step "bench smoke (benchtime=10x)"
 BENCHTIME=10x bash scripts/bench.sh /tmp/bench_smoke.$$.json >/dev/null 2>&1 \
