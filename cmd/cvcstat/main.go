@@ -92,7 +92,7 @@ func render(w io.Writer, s obs.Snapshot) {
 		sessions = []obs.Snapshot{s}
 	}
 	var t stats.Table
-	t.Header("session", "sites", "ops", "doc", "hb", "clock_words", "checks", "transforms", "recv p50", "recv p99")
+	t.Header("session", "sites", "ops", "doc", "hb", "clock_words", "checks", "transforms", "tf/op", "cache hit%", "recv p50", "recv p99")
 	for _, c := range sessions {
 		name := c.Name
 		if name == "" || c.Name == s.Name {
@@ -103,6 +103,8 @@ func render(w io.Writer, s obs.Snapshot) {
 			c.Gauges[obs.GSites], c.Gauges[obs.GOpsRecv], c.Gauges[obs.GDocRunes],
 			c.Gauges[obs.GHBLen], c.Gauges[obs.GClockWords],
 			c.Counters["checks.total"], c.Counters["ot.transforms"],
+			ratioStr(c.Counters["ot.transforms"], c.Counters["ops.integrated"]),
+			pctStr(c.Counters["ot.cache.hits"], c.Counters["ot.cache.hits"]+c.Counters["ot.cache.misses"]),
 			durStr(h.Quantile(0.5)), durStr(h.Quantile(0.99)))
 	}
 	fmt.Fprintln(w, t.String())
@@ -126,6 +128,25 @@ func render(w io.Writer, s obs.Snapshot) {
 // durStr renders nanoseconds compactly.
 func durStr(ns uint64) string {
 	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// ratioStr renders num/den to two decimals, "-" when den is zero. Used for
+// the transforms-per-integrated-op column: with the composed-suffix cache
+// warm this sits near 1.00 however deep the bridge is (DESIGN.md §13).
+func ratioStr(num, den int64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(num)/float64(den))
+}
+
+// pctStr renders num/den as a percentage, "-" when den is zero. Used for the
+// composed-cache hit ratio (hits / lookups).
+func pctStr(num, den int64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
 }
 
 func sortedKeys(m map[string]int64) []string {

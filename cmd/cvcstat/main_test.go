@@ -95,11 +95,19 @@ func TestLiveSnapshotRendering(t *testing.T) {
 		t.Errorf("conn.queue.depth histogram empty: %+v ok=%v", qh, ok)
 	}
 
+	// The composed-cache counters are pre-created by the engine, so every
+	// session snapshot carries them even before the first lookup.
+	for _, k := range []string{"ot.cache.hits", "ot.cache.misses", "ot.cache.composes"} {
+		if _, ok := sess.Counters[k]; !ok {
+			t.Errorf("session counters missing %q: %v", k, sess.Counters)
+		}
+	}
+
 	// The table cvcstat would print for this snapshot.
 	var out strings.Builder
 	render(&out, snap)
 	text := out.String()
-	for _, want := range []string{"docs/a", "session", "clock_words", "sender.msgs", "wire.frames.server_op"} {
+	for _, want := range []string{"docs/a", "session", "clock_words", "tf/op", "cache hit%", "sender.msgs", "wire.frames.server_op"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("render output missing %q:\n%s", want, text)
 		}
@@ -132,6 +140,52 @@ func TestLiveSnapshotRendering(t *testing.T) {
 	if integrates != 2 {
 		t.Errorf("trace has %d server.integrate records, want 2", integrates)
 	}
+}
+
+// TestRenderCacheColumns pins the derived-column arithmetic against a
+// recorded snapshot: transforms/op is transforms over integrated ops, cache
+// hit% is hits over lookups, and both degrade to "-" when the denominator is
+// zero rather than dividing by it.
+func TestRenderCacheColumns(t *testing.T) {
+	snap := obs.Snapshot{
+		Name: "reducesrv",
+		Children: []obs.Snapshot{
+			{
+				Name: "docs/warm",
+				Counters: map[string]int64{
+					"ops.integrated":    4,
+					"ot.transforms":     6,
+					"ot.cache.hits":     3,
+					"ot.cache.misses":   1,
+					"ot.cache.composes": 2,
+				},
+			},
+			{
+				Name:     "docs/idle",
+				Counters: map[string]int64{"ops.integrated": 0},
+			},
+		},
+	}
+	var out strings.Builder
+	render(&out, snap)
+	text := out.String()
+	warm, idle := tableLine(text, "docs/warm"), tableLine(text, "docs/idle")
+	if !strings.Contains(warm, "1.50") || !strings.Contains(warm, "75%") {
+		t.Errorf("warm row missing tf/op=1.50 or hit%%=75%%: %q", warm)
+	}
+	if !strings.Contains(idle, "-") {
+		t.Errorf("idle row should render '-' for undefined ratios: %q", idle)
+	}
+}
+
+// tableLine returns the first rendered line containing key.
+func tableLine(text, key string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, key) {
+			return line
+		}
+	}
+	return ""
 }
 
 func waitText(t *testing.T, ed *repro.Editor, want string) {

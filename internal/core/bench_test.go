@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // BenchmarkGenerateLocal is the latency-critical path of paper §2
@@ -52,6 +54,126 @@ func BenchmarkServerReceive(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkLaggedCatchup measures the dominant cost the composed-suffix
+// transform cache removes: a site goes offline while another generates a
+// deep history (bridge depth 512/2048 toward the laggard), then the laggard
+// sends a burst of stale-context operations. Pairwise (composeDepth 0) every
+// burst op pays depth op.Transform calls; composed, the first op builds the
+// cache (depth−1 Compose calls, reported as composes/op) and every op
+// thereafter pays exactly one Transform — O(1) amortized. transforms/op is
+// read off the engine's ot.transforms counter, so the reported reduction is
+// the acceptance-criterion number, not an inference from ns/op.
+func BenchmarkLaggedCatchup(b *testing.B) {
+	for _, depth := range []int{512, 2048} {
+		for _, path := range []struct {
+			name         string
+			composeDepth int
+		}{{"composed", defaultComposeDepth}, {"pairwise", 0}} {
+			b.Run(fmt.Sprintf("depth=%d/path=%s", depth, path.name), func(b *testing.B) {
+				met := trace.NewMetrics()
+				srv := NewServer("seed", WithServerCompaction(0),
+					WithServerComposeDepth(path.composeDepth), WithServerMetrics(met))
+				var clients [2]*Client
+				for site := 1; site <= 2; site++ {
+					snap, err := srv.Join(site)
+					if err != nil {
+						b.Fatal(err)
+					}
+					clients[site-1] = NewClient(site, snap.Text, WithClientCompaction(0))
+				}
+				laggard, gen := clients[0], clients[1]
+				// Site 1 goes offline; site 2 generates the deep history.
+				// Its broadcasts toward the laggard are never delivered, so
+				// the bridge toward site 1 holds all depth entries.
+				for i := 0; i < depth; i++ {
+					m, err := gen.Insert(gen.DocLen(), "x")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := srv.Receive(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				t0, c0 := met.Get(trace.CTransforms), met.Get(trace.CComposes)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := laggard.Insert(laggard.DocLen(), "y")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := srv.Receive(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				n := float64(b.N)
+				b.ReportMetric(float64(met.Get(trace.CTransforms)-t0)/n, "transforms/op")
+				b.ReportMetric(float64(met.Get(trace.CComposes)-c0)/n, "composes/op")
+			})
+		}
+	}
+}
+
+// TestLaggedCatchupTransformReduction is the acceptance criterion as a
+// test: at bridge depth 512 the composed path must integrate a catch-up
+// burst with at least 5× fewer op.Transform calls per operation than the
+// pairwise walk, while producing a byte-identical server document.
+func TestLaggedCatchupTransformReduction(t *testing.T) {
+	const depth, burst = 512, 32
+	run := func(composeDepth int) (transformsPerOp float64, text string) {
+		met := trace.NewMetrics()
+		srv := NewServer("seed", WithServerCompaction(0),
+			WithServerComposeDepth(composeDepth), WithServerMetrics(met))
+		var clients [2]*Client
+		for site := 1; site <= 2; site++ {
+			snap, err := srv.Join(site)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients[site-1] = NewClient(site, snap.Text, WithClientCompaction(0))
+		}
+		laggard, gen := clients[0], clients[1]
+		for i := 0; i < depth; i++ {
+			m, err := gen.Insert(gen.DocLen(), "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := srv.Receive(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := met.Get(trace.CTransforms)
+		for i := 0; i < burst; i++ {
+			m, err := laggard.Insert(laggard.DocLen(), "y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := srv.Receive(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := srv.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(met.Get(trace.CTransforms)-before) / burst, srv.Text()
+	}
+	composed, composedText := run(defaultComposeDepth)
+	pairwise, pairwiseText := run(0)
+	if composedText != pairwiseText {
+		t.Fatalf("paths diverge: composed %q, pairwise %q", composedText, pairwiseText)
+	}
+	if pairwise < depth {
+		t.Fatalf("pairwise path spent %.1f transforms/op, expected >= %d (is the reference walk intact?)", pairwise, depth)
+	}
+	if composed*5 > pairwise {
+		t.Fatalf("composed path spent %.1f transforms/op vs pairwise %.1f — less than the required 5x reduction",
+			composed, pairwise)
+	}
+	t.Logf("transforms/op at depth %d: pairwise %.1f, composed %.2f (%.0fx reduction)",
+		depth, pairwise, composed, pairwise/composed)
 }
 
 // BenchmarkConcurrencyCheckClient: formula (5), the O(1) client-side check.

@@ -44,6 +44,26 @@ type Client struct {
 	// context bridge described in DESIGN.md §4.
 	pending []pendingLocal
 
+	// pcomp, when non-nil, is the composition of the entire pending list:
+	// one Transform against pcomp brings an arriving notifier operation
+	// into local context in O(1) instead of len(pending) pairwise
+	// transforms (DESIGN.md §13). Generate extends it per local operation
+	// (compose-on-append); an acknowledgement pruning pending drops it.
+	pcomp *op.Op
+	// punfolded records arrivals integrated through pcomp whose pairwise
+	// rebase of the individual pending entries is still owed; settled on
+	// the next pruning acknowledgement, skipped when the prune is total.
+	punfolded []deferredFold
+	// pcompHold suspends composition until the next acknowledgement
+	// advances the frontier: an arrival failed op.ComposedTransformSafe
+	// against this pending list, so rebuilding the cache every arrival
+	// would pay the compose cost without ever taking the fast path.
+	pcompHold bool
+
+	// composeDepth is the pending depth at which Integrate builds pcomp
+	// (defaultComposeDepth unless overridden; <= 0 disables composition).
+	composeDepth int
+
 	// compactEvery triggers history-buffer garbage collection after this
 	// many integrations; 0 disables automatic compaction.
 	compactEvery int
@@ -92,6 +112,14 @@ func WithClientCompaction(n int) ClientOption {
 	return func(c *Client) { c.compactEvery = n }
 }
 
+// WithClientComposeDepth sets the pending depth at which Integrate switches
+// from the pairwise transform walk to the composed-suffix cache (default
+// defaultComposeDepth). n <= 0 disables composition entirely — the naive
+// reference path the differential fuzz target compares against.
+func WithClientComposeDepth(n int) ClientOption {
+	return func(c *Client) { c.composeDepth = n }
+}
+
 // WithClientResume continues the local operation counter from localOps —
 // required when rejoining under a site id that generated operations before
 // (pass Snapshot.LocalOps).
@@ -137,10 +165,15 @@ func NewClient(site int, initial string, opts ...ClientOption) *Client {
 		//lint:allow nopanic — constructor precondition: site 0 is the notifier (§3.2); a violation is a caller bug
 		panic(fmt.Sprintf("core: client site must be >= 1, got %d", site))
 	}
-	c := &Client{site: site, compactEvery: 64}
+	c := &Client{site: site, compactEvery: 64, composeDepth: defaultComposeDepth}
 	for _, o := range opts {
 		o(c)
 	}
+	// Pre-create the cache counters so an attached registry exposes the
+	// full catalogue deterministically (see NewServer).
+	c.count(trace.CCacheHits, 0)
+	c.count(trace.CCacheMisses, 0)
+	c.count(trace.CComposes, 0)
 	if c.buf == nil {
 		c.buf = doc.NewRope(initial)
 	} else if c.buf.Len() > 0 || initial != "" {
@@ -203,6 +236,16 @@ func (c *Client) Generate(o *op.Op) (ClientMsg, error) {
 		}
 	}
 	if c.mode == ModeTransform {
+		if c.pcomp != nil {
+			// Compose-on-append keeps a warm cache covering the whole
+			// pending list: o's base is the pre-o document, which is
+			// exactly pcomp's target.
+			var err error
+			if c.pcomp, err = op.Compose(c.pcomp, o); err != nil {
+				return ClientMsg{}, fmt.Errorf("core: pending compose: %w", err)
+			}
+			c.count(trace.CComposes, 1)
+		}
 		c.pending = append(c.pending, pendingLocal{seq: c.sv.Local, op: o.Clone()})
 	}
 	c.count(trace.COpsGenerated, 1)
@@ -242,47 +285,27 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 			ErrBadMessage, m.TS.T1, c.sv.FromServer)
 	}
 
-	// Concurrency detection — the paper's formula (5), one O(1) comparison
-	// per buffered operation; allocation-free unless the check trace is on.
-	entries := c.hb.Entries()
-	res := IntegrationResult{CheckCount: len(entries)}
+	// Concurrency detection — the paper's formula (5). The hot path reads
+	// the count off the history buffer's boundary index in O(log HB)
+	// (ConcurrentCount); tracing forces the linear reference walk, which
+	// the differential tests hold to the same verdicts.
+	res := IntegrationResult{CheckCount: c.hb.Len()}
 	tracing := c.decisions.Enabled()
 	if c.checkTrace || tracing {
-		res.ConcurrentCount, res.Checks = c.tracedChecks(m, entries, tracing)
+		res.ConcurrentCount, res.Checks = c.tracedChecks(m, c.hb.Entries(), tracing)
 	} else {
-		for _, e := range entries {
-			if ConcurrentClient(m.TS, e.TS, e.Origin == OriginServer) {
-				res.ConcurrentCount++
-			}
-		}
+		res.ConcurrentCount = c.hb.ConcurrentCount(m.TS)
 	}
 
 	exec := m.Op
 	transforms := 0
 	switch c.mode {
 	case ModeTransform:
-		// Acknowledgement: T2 is how many of our operations the notifier
-		// had incorporated when it generated this one; those are no longer
-		// pending.
-		acked := m.TS.T2
-		i := 0
-		for i < len(c.pending) && c.pending[i].seq <= acked {
-			i++
-		}
-		c.pending = c.pending[i:]
-
-		// The remaining pending operations are exactly the buffered
-		// operations formula (5) just found concurrent (cross-checked by
-		// TestConcurrentSetEqualsPendingSet). Transform the arrival across
-		// them — notifier operations take tie-break priority everywhere.
 		var err error
-		for j := range c.pending {
-			exec, c.pending[j].op, err = op.Transform(exec, c.pending[j].op)
-			if err != nil {
-				return IntegrationResult{}, fmt.Errorf("core: client transform: %w", err)
-			}
+		exec, transforms, err = c.pendingWalk(m)
+		if err != nil {
+			return IntegrationResult{}, err
 		}
-		transforms = len(c.pending)
 		c.count(trace.CTransforms, int64(transforms))
 		if err := doc.Apply(c.buf, exec); err != nil {
 			return IntegrationResult{}, fmt.Errorf("core: client apply: %w", err)
@@ -292,6 +315,7 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 		// expected to diverge; that is the point of E8.
 		applyLoose(c.buf, exec)
 	}
+	res.Transforms = transforms
 
 	c.sv.FromServer++ // §3.2 rule 2
 	c.hb.Add(ClientEntry{Op: exec, TS: m.TS, Origin: OriginServer, Ref: m.Ref})
@@ -311,6 +335,136 @@ func (c *Client) Integrate(m ServerMsg) (IntegrationResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// pendingWalk brings one arriving notifier operation into local context —
+// the client mirror of Server.bridgeWalk. T2 acknowledges how many of our
+// operations the notifier had incorporated when it generated this one;
+// those leave the pending list, and the arrival is transformed across the
+// remaining (concurrent) suffix, through the composed cache when it is warm
+// or deep enough to build, pairwise otherwise. The remaining pending
+// operations are exactly the buffered operations formula (5) just found
+// concurrent (cross-checked by the session harness); notifier operations
+// take tie-break priority everywhere.
+func (c *Client) pendingWalk(m ServerMsg) (*op.Op, int, error) {
+	exec := m.Op
+	acked := m.TS.T2
+	i := 0
+	for i < len(c.pending) && c.pending[i].seq <= acked {
+		i++
+	}
+	transforms := 0
+	if i > 0 {
+		// The frontier moved: settle owed folds if any entries survive,
+		// then invalidate the cache. A total prune skips the replay.
+		if len(c.punfolded) > 0 && i < len(c.pending) {
+			t, err := foldPending(c.pending, c.punfolded)
+			transforms += t
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: client transform: %w", err)
+			}
+		}
+		clearFolds(&c.punfolded)
+		c.pcomp = nil
+		c.pcompHold = false
+		c.pending = c.pending[i:]
+	}
+	k := len(c.pending)
+	if k == 0 {
+		return exec, transforms, nil
+	}
+	if c.pcomp != nil {
+		if op.ComposedTransformSafe(c.pcomp, exec) {
+			var err error
+			exec, c.pcomp, err = op.Transform(exec, c.pcomp)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: client transform: %w", err)
+			}
+			transforms++
+			c.punfolded = append(c.punfolded, deferredFold{op: m.Op, maxSeq: c.pending[k-1].seq})
+			c.count(trace.CCacheHits, 1)
+			return exec, transforms, nil
+		}
+		// The arrival's inserts collide with a deleted region where the
+		// composed form no longer pins insert order (DESIGN.md §13).
+		// Settle what the cache deferred, drop it, and take the pairwise
+		// reference path below.
+		if len(c.punfolded) > 0 {
+			t, err := foldPending(c.pending, c.punfolded)
+			transforms += t
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: client transform: %w", err)
+			}
+		}
+		clearFolds(&c.punfolded)
+		c.pcomp = nil
+		c.pcompHold = true
+	}
+	if !c.pcompHold && c.composeDepth > 0 && k >= c.composeDepth {
+		comp, err := composePending(c.pending)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: pending compose: %w", err)
+		}
+		c.count(trace.CComposes, int64(k-1))
+		if op.ComposedTransformSafe(comp, exec) {
+			exec, c.pcomp, err = op.Transform(exec, comp)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: client transform: %w", err)
+			}
+			transforms++
+			c.punfolded = append(c.punfolded, deferredFold{op: m.Op, maxSeq: c.pending[k-1].seq})
+			c.count(trace.CCacheMisses, 1)
+			return exec, transforms, nil
+		}
+		c.pcompHold = true
+	}
+	var err error
+	for j := range c.pending {
+		exec, c.pending[j].op, err = op.Transform(exec, c.pending[j].op)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: client transform: %w", err)
+		}
+	}
+	transforms += k
+	c.count(trace.CCacheMisses, 1)
+	return exec, transforms, nil
+}
+
+// foldPending settles deferred folds on the client side: each arrival
+// integrated through pcomp is replayed pairwise across the pending entries
+// it still owes (seq <= maxSeq), in arrival order; the rebased arrival is
+// discarded — its composed equivalent already executed. See foldBridge.
+func foldPending(pending []pendingLocal, unfolded []deferredFold) (int, error) {
+	transforms := 0
+	for _, u := range unfolded {
+		uop := u.op
+		var err error
+		for j := range pending {
+			if pending[j].seq > u.maxSeq {
+				break
+			}
+			uop, pending[j].op, err = op.Transform(uop, pending[j].op)
+			if err != nil {
+				return transforms, err
+			}
+			transforms++
+		}
+	}
+	return transforms, nil
+}
+
+// composePending folds the pending list into a single operation, oldest
+// first.
+func composePending(pending []pendingLocal) (*op.Op, error) {
+	comp := pending[0].op
+	for j := 1; j < len(pending); j++ {
+		var err error
+		comp, err = op.Compose(comp, pending[j].op)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return comp, nil
 }
 
 // tracedChecks is the cold variant of Integrate's formula-(5) scan, run only

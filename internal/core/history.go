@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/causal"
 	"repro/internal/op"
 	"repro/internal/vclock"
@@ -39,13 +41,51 @@ type ClientEntry struct {
 }
 
 // ClientHB is the history buffer of a client site.
+//
+// Besides the entries it keeps a boundary index: the positions and keys of
+// the two origin subsequences. In any real execution the keys are strictly
+// increasing — local entries carry TS.T2 = SV_i[2] which §3.2 rule 3
+// increments per generation, server entries carry TS.T1 = SV_i[1] which
+// rule 2 increments per integration — so formula (5) is a monotone
+// predicate on each subsequence and the concurrent entries form two
+// suffixes locatable by binary search (ConcurrentCount, Boundary).
 type ClientHB struct {
 	entries []ClientEntry
 	dropped int
+
+	localPos  []int    // live indices of OriginLocal entries, ascending
+	localKey  []uint64 // their TS.T2 values, parallel to localPos
+	serverPos []int    // live indices of OriginServer entries, ascending
+	serverKey []uint64 // their TS.T1 values, parallel to serverPos
+
+	// unordered is set when a synthetic buffer (tests, replay tooling)
+	// appended keys out of order; the binary-search fast paths then fall
+	// back to the linear scan so verdicts never depend on the invariant.
+	unordered bool
 }
 
 // Add appends an executed operation.
-func (h *ClientHB) Add(e ClientEntry) { h.entries = append(h.entries, e) }
+func (h *ClientHB) Add(e ClientEntry) {
+	h.index(len(h.entries), e)
+	h.entries = append(h.entries, e)
+}
+
+// index records entry e (about to live at index i) in the boundary index.
+func (h *ClientHB) index(i int, e ClientEntry) {
+	if e.Origin == OriginLocal {
+		if n := len(h.localKey); n > 0 && e.TS.T2 <= h.localKey[n-1] {
+			h.unordered = true
+		}
+		h.localPos = append(h.localPos, i)
+		h.localKey = append(h.localKey, e.TS.T2)
+		return
+	}
+	if n := len(h.serverKey); n > 0 && e.TS.T1 <= h.serverKey[n-1] {
+		h.unordered = true
+	}
+	h.serverPos = append(h.serverPos, i)
+	h.serverKey = append(h.serverKey, e.TS.T1)
+}
 
 // Len returns the number of buffered operations.
 func (h *ClientHB) Len() int { return len(h.entries) }
@@ -59,7 +99,9 @@ func (h *ClientHB) Entries() []ClientEntry { return h.entries }
 
 // ConcurrentWith runs the simplified client check (formula 5) of a newly
 // arrived operation's timestamp against every buffered entry and returns the
-// concurrent ones, oldest first.
+// concurrent ones, oldest first. This is the linear reference walk; the
+// engines use ConcurrentCount, which the differential tests hold to the same
+// verdicts.
 func (h *ClientHB) ConcurrentWith(ta Timestamp) []ClientEntry {
 	var out []ClientEntry
 	for _, e := range h.entries {
@@ -68,6 +110,50 @@ func (h *ClientHB) ConcurrentWith(ta Timestamp) []ClientEntry {
 		}
 	}
 	return out
+}
+
+// ConcurrentCount returns how many buffered entries are concurrent with an
+// arrival timestamped ta under formula (5), in O(log HB): within each origin
+// subsequence the compared key is strictly increasing, so the concurrent
+// entries are a suffix found by binary search.
+func (h *ClientHB) ConcurrentCount(ta Timestamp) int {
+	if h.unordered {
+		n := 0
+		for _, e := range h.entries {
+			if ConcurrentClient(ta, e.TS, e.Origin == OriginServer) {
+				n++
+			}
+		}
+		return n
+	}
+	nl := len(h.localKey) - sort.Search(len(h.localKey), func(i int) bool { return h.localKey[i] > ta.T2 })
+	ns := len(h.serverKey) - sort.Search(len(h.serverKey), func(i int) bool { return h.serverKey[i] > ta.T1 })
+	return nl + ns
+}
+
+// Boundary returns the smallest live index i such that every buffered entry
+// concurrent with ta sits at index >= i — Len() when nothing is concurrent.
+// The two origin subsequences contribute one suffix head each; the boundary
+// is the earlier of the two. Entries at or after the boundary are not
+// necessarily all concurrent: causally-preceding entries of the other origin
+// may interleave with the concurrent suffix.
+func (h *ClientHB) Boundary(ta Timestamp) int {
+	if h.unordered {
+		for i, e := range h.entries {
+			if ConcurrentClient(ta, e.TS, e.Origin == OriginServer) {
+				return i
+			}
+		}
+		return len(h.entries)
+	}
+	b := len(h.entries)
+	if k := sort.Search(len(h.localKey), func(i int) bool { return h.localKey[i] > ta.T2 }); k < len(h.localPos) && h.localPos[k] < b {
+		b = h.localPos[k]
+	}
+	if k := sort.Search(len(h.serverKey), func(i int) bool { return h.serverKey[i] > ta.T1 }); k < len(h.serverPos) && h.serverPos[k] < b {
+		b = h.serverPos[k]
+	}
+	return b
 }
 
 // Compact garbage-collects entries that can never again be concurrent with a
@@ -95,6 +181,15 @@ func (h *ClientHB) Compact(ackedLocal uint64) int {
 	}
 	h.entries = kept
 	h.dropped += n
+	// Survivors moved to new indices: rebuild the boundary index (and
+	// re-derive orderedness — a previously poisoned synthetic buffer may
+	// have compacted back to a monotone one).
+	h.localPos, h.localKey = h.localPos[:0], h.localKey[:0]
+	h.serverPos, h.serverKey = h.serverPos[:0], h.serverKey[:0]
+	h.unordered = false
+	for i, e := range h.entries {
+		h.index(i, e)
+	}
 	return n
 }
 
@@ -136,6 +231,12 @@ type ServerHB struct {
 	tail    vclock.VC
 	counts  vclock.VC
 	tailSum uint64
+
+	// byOrigin[x] lists the absolute indices (live index + dropped) of the
+	// buffered entries with Origin == x, ascending. Boundary uses it as an
+	// O(log) oracle for "operations from x among the first i entries"; it
+	// always holds exactly counts[x] elements.
+	byOrigin [][]int
 }
 
 // Add appends an executed operation, advancing the tail snapshot by one unit
@@ -146,6 +247,7 @@ func (h *ServerHB) Add(e ServerEntry) {
 	h.tail[e.Origin]++
 	h.tailSum++
 	h.counts[e.Origin]++
+	h.byOrigin[e.Origin] = append(h.byOrigin[e.Origin], h.dropped+len(h.entries))
 	h.entries = append(h.entries, e)
 }
 
@@ -158,6 +260,7 @@ func (h *ServerHB) AddFull(e ServerEntry, ts vclock.VC) {
 	h.tailSum = ts.Sum()
 	h.grow(e.Origin)
 	h.counts[e.Origin]++
+	h.byOrigin[e.Origin] = append(h.byOrigin[e.Origin], h.dropped+len(h.entries))
 	h.entries = append(h.entries, e)
 }
 
@@ -172,6 +275,9 @@ func (h *ServerHB) grow(site int) {
 	}
 	for len(h.counts) <= site {
 		h.counts = append(h.counts, 0)
+	}
+	for len(h.byOrigin) <= site {
+		h.byOrigin = append(h.byOrigin, nil)
 	}
 }
 
@@ -207,17 +313,89 @@ func (h *ServerHB) Sum(i int) uint64 {
 // Reported by BenchmarkE4ClockMemory.
 func (h *ServerHB) ClockWords() int { return len(h.tail) + len(h.counts) + 1 }
 
+// ConcurrentCount returns how many buffered entries are concurrent (formula
+// 7) with an operation newly arrived from site x (timestamp ta, join
+// baseline baselineX), in O(1) from the delta invariant alone.
+//
+// Derivation: with n buffered entries, entry i has Σ TS_i = tailSum−(n−1−i)
+// and TS_i[x] = beforeX + seenX(i), beforeX = tail[x]−counts[x]. Writing
+// nonX(i) = i+1−seenX(i) (the 1-based rank of entry i among non-x entries
+// when Origin_i ≠ x),
+//
+//	Σ TS_i − TS_i[x] = (tailSum − n − beforeX) + nonX(i) = base + nonX(i)
+//
+// where base = Σ_{j≠x} (tail[j]−counts[j]) ≥ 0. Formula (7) — concurrent ⟺
+// Origin_i ≠ x ∧ Σ TS_i − TS_i[x] > ta.T1 + baselineX — is therefore
+// monotone in the non-x rank: exactly the non-x entries with rank above
+// (ta.T1 + baselineX) − base are concurrent, and counting them needs no
+// scan at all.
+func (h *ServerHB) ConcurrentCount(ta Timestamp, x int, baselineX uint64) int {
+	n := uint64(len(h.entries))
+	if n == 0 {
+		return 0
+	}
+	var tailX, totalX uint64
+	if x >= 0 && x < len(h.tail) {
+		tailX = h.tail[x]
+	}
+	if x >= 0 && x < len(h.counts) {
+		totalX = h.counts[x]
+	}
+	base := h.tailSum - n - (tailX - totalX)
+	totalNonX := n - totalX
+	rhs := ta.T1 + baselineX
+	if rhs <= base {
+		return int(totalNonX)
+	}
+	if covered := rhs - base; covered < totalNonX {
+		return int(totalNonX - covered)
+	}
+	return 0
+}
+
+// Boundary returns the smallest live index i such that every buffered entry
+// concurrent with an arrival from x (formula 7) sits at index >= i — Len()
+// when nothing is concurrent. Since concurrency is monotone in an entry's
+// non-x rank (see ConcurrentCount), the boundary is the position of the
+// first concurrent non-x entry, located by a binary search over live
+// indices with a nested search into byOrigin[x] supplying seenX — O(log²)
+// total, never touching the entries. Operations from x itself may
+// interleave after the boundary; they are never concurrent with x's own
+// arrival.
+func (h *ServerHB) Boundary(ta Timestamp, x int, baselineX uint64) int {
+	n := len(h.entries)
+	cc := h.ConcurrentCount(ta, x, baselineX)
+	if cc == 0 {
+		return n
+	}
+	var xs []int
+	if x >= 0 && x < len(h.byOrigin) {
+		xs = h.byOrigin[x]
+	}
+	r0 := (n - len(xs)) - cc + 1 // non-x rank of the first concurrent entry
+	return sort.Search(n, func(i int) bool {
+		abs := h.dropped + i
+		seenX := sort.Search(len(xs), func(j int) bool { return xs[j] > abs })
+		return i+1-seenX >= r0
+	})
+}
+
 // checkArrival runs the simplified server check (formula 7) of an operation
 // newly arrived from site x (timestamp ta, join baseline baselineX) against
-// every buffered entry, oldest first, and returns the number of concurrent
-// entries. When visit is non-nil it is called for every entry with the
-// verdict (used by the opt-in check trace); the scan itself allocates
-// nothing.
+// the buffer and returns the number of concurrent entries. With a nil visit
+// the count comes straight from the O(1) closed form (ConcurrentCount) —
+// the hot path never walks the buffer. A non-nil visit (the opt-in check
+// trace and decision ring) forces the linear reference walk, which doubles
+// as the naive oracle the differential tests compare the closed form
+// against; the scan itself allocates nothing.
 //
 // TS[x] and Σ TS per entry come from the delta invariant: a single forward
 // pass keeps a running count of buffered operations from x, so each check
 // stays O(1) as in the cached-sum formulation of ConcurrentServerSum.
 func (h *ServerHB) checkArrival(ta Timestamp, x int, baselineX uint64, visit func(i int, e *ServerEntry, conc bool)) int {
+	if visit == nil {
+		return h.ConcurrentCount(ta, x, baselineX)
+	}
 	n := len(h.entries)
 	if n == 0 {
 		return 0
@@ -323,6 +501,18 @@ scan:
 	}
 	for i := 0; i < cut; i++ {
 		h.counts[h.entries[i].Origin]--
+	}
+	// Drop the cut prefix from the per-origin index. Absolute indices are
+	// stable across compaction, so only the leading elements below the new
+	// dropped offset go; copying down (rather than re-slicing) keeps the
+	// backing arrays from accreting a dead prefix over a long session.
+	newDropped := h.dropped + cut
+	for x := range h.byOrigin {
+		lst := h.byOrigin[x]
+		k := sort.Search(len(lst), func(i int) bool { return lst[i] >= newDropped })
+		if k > 0 {
+			h.byOrigin[x] = lst[:copy(lst, lst[k:])]
+		}
 	}
 	kept := copy(h.entries, h.entries[cut:])
 	// Zero the vacated tail so dropped *op.Op values are not pinned against

@@ -91,4 +91,9 @@ type IntegrationResult struct {
 	// ConcurrentCount is the number of buffered operations found
 	// concurrent with the arrival.
 	ConcurrentCount int
+	// Transforms is the number of op.Transform calls spent bringing the
+	// operation into the executing replica's context (0 outside
+	// ModeTransform). With the composed-suffix cache warm this stays 1
+	// however deep the concurrent suffix is.
+	Transforms int
 }

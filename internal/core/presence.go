@@ -61,6 +61,14 @@ func (c *Client) Presence(anchor, head int, active bool) PresenceMsg {
 // coordinates, received in FIFO order) into local coordinates by walking it
 // through the pending local operations.
 func (c *Client) MapIncomingSelection(anchor, head int) (int, int) {
+	// The walk consults the individual pending entries, so any rebases the
+	// composed cache deferred must be settled first. Settling leaves pcomp
+	// valid: the entries then match exactly what it already composes.
+	if len(c.punfolded) > 0 {
+		if _, err := foldPending(c.pending, c.punfolded); err == nil {
+			clearFolds(&c.punfolded)
+		}
+	}
 	sel := op.Selection{Anchor: anchor, Head: head}
 	for _, p := range c.pending {
 		sel = op.TransformSelection(p.op, sel, false)
@@ -86,12 +94,26 @@ func (s *Server) RelayPresence(m PresenceMsg) ([]PresenceOut, error) {
 		return nil, fmt.Errorf("%w: site %d presence acknowledges %d broadcasts, only %d sent",
 			ErrBadMessage, m.From, m.TS.T1, st.sent)
 	}
-	// Prune by the acknowledgement, then walk into server context.
+	// Prune by the acknowledgement, then walk into server context. The walk
+	// consults the individual bridge entries, so any rebases the composed
+	// cache deferred must be settled first (skipped when the prune removes
+	// the whole bridge — nothing is consulted then); pruning in turn
+	// invalidates the cache, exactly as in Server.bridgeWalk.
 	i := 0
 	for i < len(st.bridge) && st.bridge[i].seq <= m.TS.T1 {
 		i++
 	}
-	st.bridge = st.bridge[i:]
+	if len(st.unfolded) > 0 && i < len(st.bridge) {
+		if _, err := foldBridge(st.bridge, st.unfolded); err != nil {
+			return nil, fmt.Errorf("core: presence transform: %w", err)
+		}
+	}
+	clearFolds(&st.unfolded)
+	if i > 0 {
+		st.comp = nil
+		st.compHold = false
+		st.bridge = st.bridge[i:]
+	}
 	if m.TS.T1 > st.acked {
 		st.acked = m.TS.T1
 	}

@@ -44,6 +44,11 @@ type Server struct {
 	compactEvery int
 	sinceCompact int
 
+	// composeDepth is the bridge depth at which Receive builds the
+	// composed-suffix cache (defaultComposeDepth unless overridden; <= 0
+	// disables composition, restoring the pairwise walk unconditionally).
+	composeDepth int
+
 	// checkTrace records per-entry Check verdicts into IntegrationResult
 	// (WithServerCheckTrace); off by default so the hot path performs zero
 	// per-check allocations.
@@ -80,7 +85,52 @@ type clientState struct {
 	// bridge holds broadcasts sent but not yet acknowledged, rebased so an
 	// incoming client operation can be walked into server context.
 	bridge []bridgeOp
+
+	// comp, when non-nil, is the composition of the entire bridge (oldest →
+	// newest): one Transform against comp brings an incoming operation into
+	// server context in O(1) instead of len(bridge) pairwise transforms.
+	// Receive keeps it covering the whole bridge by composing every new
+	// broadcast onto it (compose-on-append) and drops it whenever an
+	// acknowledgement prunes the bridge.
+	comp *op.Op
+	// unfolded records the operations integrated through comp whose
+	// pairwise rebase of the individual bridge entries is still owed;
+	// settling is deferred until the next acknowledgement forces a prune —
+	// and skipped entirely when the acknowledgement covers the whole
+	// bridge, which is where a lagged site's catch-up burst wins.
+	unfolded []deferredFold
+	// compHold suspends composition until the next acknowledgement
+	// advances the frontier: an arrival failed op.ComposedTransformSafe
+	// against this bridge, so rebuilding the cache every operation would
+	// pay the compose cost without ever taking the fast path.
+	compHold bool
 }
+
+// deferredFold is one incoming operation integrated via the composed cache
+// whose rebase of the individual bridge/pending entries was deferred. maxSeq
+// bounds the entries it owes: entries appended later already embed its
+// effect (they were executed on the post-integration document).
+type deferredFold struct {
+	op     *op.Op // the operation as received, pre-transform
+	maxSeq uint64 // newest bridge/pending seq at integration time
+}
+
+// clearFolds empties a fold list, zeroing entries so the dropped *op.Op
+// values are not pinned against the GC by the reused backing array.
+func clearFolds(list *[]deferredFold) {
+	for i := range *list {
+		(*list)[i] = deferredFold{}
+	}
+	*list = (*list)[:0]
+}
+
+// defaultComposeDepth is the bridge/pending depth at which the engines stop
+// walking entries pairwise and build the composed-suffix cache instead. A
+// build costs depth−1 Compose calls and pays off from the second operation
+// integrated at the same causal frontier, so the threshold keeps shallow
+// interactive sessions — where the pairwise walk is already cheap — off the
+// compose path and reserves it for genuinely lagged bridges.
+const defaultComposeDepth = 16
 
 type bridgeOp struct {
 	seq uint64 // broadcast index toward this client (1-based)
@@ -105,6 +155,14 @@ func WithServerMode(m Mode) ServerOption {
 // received operations (default 64; 0 disables).
 func WithServerCompaction(n int) ServerOption {
 	return func(s *Server) { s.compactEvery = n }
+}
+
+// WithServerComposeDepth sets the bridge depth at which Receive switches
+// from the pairwise transform walk to the composed-suffix cache (default
+// defaultComposeDepth). n <= 0 disables composition entirely — the naive
+// reference path the differential fuzz target compares against.
+func WithServerComposeDepth(n int) ServerOption {
+	return func(s *Server) { s.composeDepth = n }
 }
 
 // WithServerMetrics attaches a metrics sink counting received operations,
@@ -147,6 +205,7 @@ func NewServer(initial string, opts ...ServerOption) *Server {
 		sv:           NewServerSV(0),
 		clients:      make(map[int]*clientState),
 		compactEvery: 64,
+		composeDepth: defaultComposeDepth,
 	}
 	for _, o := range opts {
 		o(s)
@@ -154,6 +213,12 @@ func NewServer(initial string, opts ...ServerOption) *Server {
 	if s.buf == nil {
 		s.buf = doc.NewRope(initial)
 	}
+	// Pre-create the cache counters so an attached registry exposes the
+	// full catalogue deterministically, not only after the first deep
+	// bridge (TestMetricsCatalog locks the exact name set).
+	s.count(trace.CCacheHits, 0)
+	s.count(trace.CCacheMisses, 0)
+	s.count(trace.CComposes, 0)
 	return s
 }
 
@@ -221,6 +286,9 @@ func (s *Server) Join(site int) (Snapshot, error) {
 		st.sent = 0
 		st.acked = 0
 		st.bridge = nil
+		st.comp = nil
+		st.unfolded = nil
+		st.compHold = false
 		s.dests = nil
 		return Snapshot{Site: site, Text: s.buf.String(), LocalOps: s.sv.Of(site)}, nil
 	}
@@ -240,6 +308,9 @@ func (s *Server) Leave(site int) error {
 	}
 	st.joined = false
 	st.bridge = nil
+	st.comp = nil
+	st.unfolded = nil
+	st.compHold = false
 	s.dests = nil
 	return nil
 }
@@ -307,21 +378,11 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 	exec := m.Op
 	transforms := 0
 	if s.mode == ModeTransform {
-		// Prune the bridge with the client's acknowledgement, then walk
-		// the operation into server context.
-		i := 0
-		for i < len(st.bridge) && st.bridge[i].seq <= m.TS.T1 {
-			i++
-		}
-		st.bridge = st.bridge[i:]
 		var err error
-		for j := range st.bridge {
-			st.bridge[j].op, exec, err = op.Transform(st.bridge[j].op, exec)
-			if err != nil {
-				return nil, IntegrationResult{}, fmt.Errorf("core: server transform: %w", err)
-			}
+		exec, transforms, err = s.bridgeWalk(st, m)
+		if err != nil {
+			return nil, IntegrationResult{}, err
 		}
-		transforms = len(st.bridge)
 		s.count(trace.CTransforms, int64(transforms))
 		if err := doc.Apply(s.buf, exec); err != nil {
 			return nil, IntegrationResult{}, fmt.Errorf("core: server apply: %w", err)
@@ -329,6 +390,7 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 	} else {
 		applyLoose(s.buf, exec)
 	}
+	res.Transforms = transforms
 	if m.TS.T1 > st.acked {
 		st.acked = m.TS.T1
 	}
@@ -367,6 +429,16 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 		// Safe to share exec across bridges and the broadcast: engine code
 		// never mutates a built operation (Transform returns fresh ops).
 		d.st.bridge = append(d.st.bridge, bridgeOp{seq: d.st.sent, op: exec, ref: ref})
+		if d.st.comp != nil {
+			// Compose-on-append keeps a warm cache covering the whole
+			// bridge: exec's base is the pre-exec document, which is
+			// exactly comp's target.
+			var err error
+			if d.st.comp, err = op.Compose(d.st.comp, exec); err != nil {
+				return nil, IntegrationResult{}, fmt.Errorf("core: server compose: %w", err)
+			}
+			s.count(trace.CComposes, 1)
+		}
 		out = append(out, ServerMsg{
 			To:      d.site,
 			Op:      exec,
@@ -384,6 +456,156 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 		}
 	}
 	return out, res, nil
+}
+
+// bridgeWalk brings one incoming client operation into server context. It
+// settles any deferred folds the acknowledgement forces, prunes the
+// acknowledged bridge prefix, and transforms the operation across the
+// remaining (concurrent) suffix — through the composed cache when it is
+// warm or deep enough to build, pairwise otherwise. It returns the executed
+// form and the number of op.Transform calls spent.
+//
+// Correctness of the composed path rests on transform/compose
+// compatibility: transforming against Compose(b₁,…,b_k) yields the same
+// executed form as the sequential walk (DESIGN.md §13; enforced by
+// FuzzIntegrateEquivalence against the pairwise reference). The individual
+// bridge entries are left stale after a composed integration — the owed
+// rebase is recorded in st.unfolded and replayed only when a later partial
+// acknowledgement actually needs the individuals again, so the deferred
+// work never exceeds what the pairwise path would have spent up front.
+func (s *Server) bridgeWalk(st *clientState, m ClientMsg) (*op.Op, int, error) {
+	exec := m.Op
+	// Prune the bridge with the client's acknowledgement: entries with
+	// seq <= T1 are causally before the arrival and leave the concurrent
+	// suffix.
+	i := 0
+	for i < len(st.bridge) && st.bridge[i].seq <= m.TS.T1 {
+		i++
+	}
+	transforms := 0
+	if i > 0 {
+		// The frontier moved: the cache no longer matches the suffix. If
+		// any composed integrations still owe their pairwise rebase and
+		// some entries survive, settle them first; a full prune skips the
+		// replay — those entries are never consulted again.
+		if len(st.unfolded) > 0 && i < len(st.bridge) {
+			t, err := foldBridge(st.bridge, st.unfolded)
+			transforms += t
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: server transform: %w", err)
+			}
+		}
+		clearFolds(&st.unfolded)
+		st.comp = nil
+		st.compHold = false
+		st.bridge = st.bridge[i:]
+	}
+	k := len(st.bridge)
+	if k == 0 {
+		// Nothing concurrent; the operation executes as-is.
+		return exec, transforms, nil
+	}
+	if st.comp != nil {
+		if op.ComposedTransformSafe(st.comp, exec) {
+			// Warm cache: comp covers the whole bridge (compose-on-append
+			// maintains this), so one Transform does the entire walk.
+			var err error
+			st.comp, exec, err = op.Transform(st.comp, exec)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: server transform: %w", err)
+			}
+			transforms++
+			st.unfolded = append(st.unfolded, deferredFold{op: m.Op, maxSeq: st.bridge[k-1].seq})
+			s.count(trace.CCacheHits, 1)
+			return exec, transforms, nil
+		}
+		// The arrival's inserts collide with a deleted region where the
+		// composed form no longer pins insert order (DESIGN.md §13): the
+		// fast path could diverge from the pairwise walk. Settle what the
+		// cache deferred, drop it, and take the reference path below.
+		if len(st.unfolded) > 0 {
+			t, err := foldBridge(st.bridge, st.unfolded)
+			transforms += t
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: server transform: %w", err)
+			}
+		}
+		clearFolds(&st.unfolded)
+		st.comp = nil
+		st.compHold = true
+	}
+	if !st.compHold && s.composeDepth > 0 && k >= s.composeDepth {
+		// Cold cache over a deep bridge: fold the suffix into one composed
+		// operation, then integrate through it. The build is valid because
+		// no folds are outstanding here (unfolded non-empty implies comp
+		// non-nil), so the individual entries are current.
+		comp, err := composeBridge(st.bridge)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: server compose: %w", err)
+		}
+		s.count(trace.CComposes, int64(k-1))
+		if op.ComposedTransformSafe(comp, exec) {
+			st.comp, exec, err = op.Transform(comp, exec)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: server transform: %w", err)
+			}
+			transforms++
+			st.unfolded = append(st.unfolded, deferredFold{op: m.Op, maxSeq: st.bridge[k-1].seq})
+			s.count(trace.CCacheMisses, 1)
+			return exec, transforms, nil
+		}
+		st.compHold = true
+	}
+	// Shallow bridge (or composition on hold): the pairwise reference walk.
+	var err error
+	for j := range st.bridge {
+		st.bridge[j].op, exec, err = op.Transform(st.bridge[j].op, exec)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: server transform: %w", err)
+		}
+	}
+	transforms += k
+	s.count(trace.CCacheMisses, 1)
+	return exec, transforms, nil
+}
+
+// foldBridge settles deferred folds: each operation integrated through the
+// composed cache is replayed pairwise across the bridge entries it still
+// owes (seq <= maxSeq), in arrival order, bringing every individual entry up
+// to date; the rebased operation itself is discarded — the server already
+// executed its composed equivalent. This is exactly the work the pairwise
+// path would have done at arrival time, so deferring never costs more than
+// the cache saved. Returns the Transform calls spent.
+func foldBridge(bridge []bridgeOp, unfolded []deferredFold) (int, error) {
+	transforms := 0
+	for _, u := range unfolded {
+		uop := u.op
+		var err error
+		for j := range bridge {
+			if bridge[j].seq > u.maxSeq {
+				break
+			}
+			bridge[j].op, uop, err = op.Transform(bridge[j].op, uop)
+			if err != nil {
+				return transforms, err
+			}
+			transforms++
+		}
+	}
+	return transforms, nil
+}
+
+// composeBridge folds the bridge into a single operation, oldest first.
+func composeBridge(bridge []bridgeOp) (*op.Op, error) {
+	comp := bridge[0].op
+	for j := 1; j < len(bridge); j++ {
+		var err error
+		comp, err = op.Compose(comp, bridge[j].op)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return comp, nil
 }
 
 // tracedVisit builds the per-entry callback for the cold tracing paths and
@@ -457,6 +679,16 @@ func (s *Server) checkInvariants() error {
 		}
 		if uint64(len(st.bridge)) > st.sent {
 			return fmt.Errorf("core: site %d: bridge %d > sent %d", id, len(st.bridge), st.sent)
+		}
+		if st.comp == nil && len(st.unfolded) > 0 {
+			return fmt.Errorf("core: site %d: %d unsettled folds without a composed cache", id, len(st.unfolded))
+		}
+		if st.comp != nil && len(st.bridge) == 0 {
+			return fmt.Errorf("core: site %d: composed cache over an empty bridge", id)
+		}
+		if st.comp != nil && st.comp.TargetLen() != s.buf.Len() {
+			return fmt.Errorf("core: site %d: composed cache targets %d runes, document has %d (stale cache?)",
+				id, st.comp.TargetLen(), s.buf.Len())
 		}
 	}
 	return nil

@@ -195,17 +195,28 @@ func TestRejoinAfterGeneratingOps(t *testing.T) {
 }
 
 // TestRejoinCompactionAndDestinationCache drives the full lifecycle the
-// sorted-destination cache and the delta-encoded history buffer must agree
-// on: traffic with automatic compaction, a leave, more traffic (the cache
-// must drop the departed site at once), a rejoin (the cache must readmit
-// it; no broadcast generated before its snapshot may reach it), and edits
-// by the rejoiner. Engine invariants are re-checked after every step.
+// sorted-destination cache, the delta-encoded history buffer, and (since
+// PR 5) the composed-suffix transform cache must agree on: traffic with
+// automatic compaction, a leave, more traffic (the cache must drop the
+// departed site at once), a rejoin (the cache must readmit it; no broadcast
+// generated before its snapshot may reach it), edits by the rejoiner, and a
+// lagged catch-up burst. Engine invariants are re-checked after every step.
+// Depth 1 forces the composed cache onto every bridge walk; depth 0 is the
+// pairwise reference path.
 func TestRejoinCompactionAndDestinationCache(t *testing.T) {
-	srv := NewServer("", WithServerCompaction(2))
+	for _, depth := range []int{defaultComposeDepth, 1, 0} {
+		t.Run(fmt.Sprintf("composeDepth=%d", depth), func(t *testing.T) {
+			testRejoinLifecycle(t, depth)
+		})
+	}
+}
+
+func testRejoinLifecycle(t *testing.T, composeDepth int) {
+	srv := NewServer("", WithServerCompaction(2), WithServerComposeDepth(composeDepth))
 	clients := map[int]*Client{
-		1: join(t, srv, 1, WithClientCompaction(2)),
-		2: join(t, srv, 2, WithClientCompaction(2)),
-		3: join(t, srv, 3, WithClientCompaction(2)),
+		1: join(t, srv, 1, WithClientCompaction(2), WithClientComposeDepth(composeDepth)),
+		2: join(t, srv, 2, WithClientCompaction(2), WithClientComposeDepth(composeDepth)),
+		3: join(t, srv, 3, WithClientCompaction(2), WithClientComposeDepth(composeDepth)),
 	}
 	// step sends one insert from a site and checks the broadcast fan-out is
 	// exactly wantTo, in ascending order — the contract the cached
@@ -265,7 +276,8 @@ func TestRejoinCompactionAndDestinationCache(t *testing.T) {
 		t.Fatalf("rejoin snapshot %q, server %q", snap.Text, srv.Text())
 	}
 	clients[2] = NewClient(2, snap.Text,
-		WithClientResume(snap.LocalOps), WithClientCompaction(2))
+		WithClientResume(snap.LocalOps), WithClientCompaction(2),
+		WithClientComposeDepth(composeDepth))
 	if err := srv.CheckInvariants(); err != nil {
 		t.Fatalf("after rejoin: %v", err)
 	}
@@ -279,6 +291,52 @@ func TestRejoinCompactionAndDestinationCache(t *testing.T) {
 	// The rejoiner edits; the cache fans its op out to the others.
 	step(2, 0, "h", 1, 3)
 	step(3, 0, "i", 1, 2)
+
+	// Lagged catch-up: site 3 goes quiet while the others keep editing,
+	// building a deep bridge toward it; its stale-context edits must then
+	// integrate through the composed-suffix cache (depth permitting)
+	// exactly as the pairwise walk would, and the deferred folds must
+	// settle when the backlog finally acknowledges.
+	var backlog []ServerMsg
+	send := func(from, pos int, s string) {
+		t.Helper()
+		m, err := clients[from].Insert(pos, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcast, _, err := srv.Receive(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bm := range bcast {
+			if bm.To == 3 {
+				backlog = append(backlog, bm)
+				continue
+			}
+			if _, err := clients[bm.To].Integrate(bm); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := srv.CheckInvariants(); err != nil {
+			t.Fatalf("lagged phase, op from %d: %v", from, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		send(1, 0, "x")
+		send(2, 0, "y")
+	}
+	// Two stale-context edits from the laggard: the second rides the warm
+	// cache when composition is enabled.
+	send(3, clients[3].DocLen(), "z")
+	send(3, clients[3].DocLen(), "w")
+	for _, bm := range backlog {
+		if _, err := clients[3].Integrate(bm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatalf("after catch-up: %v", err)
+	}
 
 	for site, c := range clients {
 		if c.Text() != srv.Text() {

@@ -29,9 +29,18 @@ type harness struct {
 }
 
 func newHarness(t *testing.T, nClients int, initial string, mode Mode, compactEvery int) *harness {
+	return newHarnessDepth(t, nClients, initial, mode, compactEvery, defaultComposeDepth)
+}
+
+// newHarnessDepth builds a harness with an explicit composed-cache threshold:
+// depth 1 forces the compose path onto every multi-entry walk (the adversarial
+// setting for the cache bookkeeping), depth <= 0 disables composition (the
+// pairwise reference the differential fuzz target compares against).
+func newHarnessDepth(t *testing.T, nClients int, initial string, mode Mode, compactEvery, composeDepth int) *harness {
 	h := &harness{
-		t:        t,
-		srv:      NewServer(initial, WithServerMode(mode), WithServerCompaction(compactEvery), WithServerCheckTrace()),
+		t: t,
+		srv: NewServer(initial, WithServerMode(mode), WithServerCompaction(compactEvery),
+			WithServerCheckTrace(), WithServerComposeDepth(composeDepth)),
 		clients:  make(map[int]*Client),
 		toServer: make(map[int][]ClientMsg),
 		toClient: make(map[int][]ServerMsg),
@@ -44,7 +53,8 @@ func newHarness(t *testing.T, nClients int, initial string, mode Mode, compactEv
 			t.Fatal(err)
 		}
 		h.clients[site] = NewClient(site, snap.Text,
-			WithClientMode(mode), WithClientCompaction(compactEvery), WithClientCheckTrace())
+			WithClientMode(mode), WithClientCompaction(compactEvery),
+			WithClientCheckTrace(), WithClientComposeDepth(composeDepth))
 	}
 	return h
 }
@@ -269,16 +279,20 @@ func TestRandomSessionsConverge(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 5, 8} {
 		for seed := int64(0); seed < 6; seed++ {
 			for _, compact := range []int{0, 4} {
-				name := fmt.Sprintf("n=%d/seed=%d/compact=%d", n, seed, compact)
-				t.Run(name, func(t *testing.T) {
-					h := newHarness(t, n, "seed text", ModeTransform, compact)
-					h.checkBridgeInvariant = compact == 0
-					h.run(rand.New(rand.NewSource(seed)), 400)
-					h.converged()
-					if mm := h.validateChecks(); mm != 0 {
-						t.Fatalf("%d concurrency verdicts disagree with the oracle", mm)
-					}
-				})
+				// Depth 1 forces the composed cache onto every walk; the
+				// default threshold exercises the threshold crossover.
+				for _, depth := range []int{defaultComposeDepth, 1} {
+					name := fmt.Sprintf("n=%d/seed=%d/compact=%d/depth=%d", n, seed, compact, depth)
+					t.Run(name, func(t *testing.T) {
+						h := newHarnessDepth(t, n, "seed text", ModeTransform, compact, depth)
+						h.checkBridgeInvariant = compact == 0
+						h.run(rand.New(rand.NewSource(seed)), 400)
+						h.converged()
+						if mm := h.validateChecks(); mm != 0 {
+							t.Fatalf("%d concurrency verdicts disagree with the oracle", mm)
+						}
+					})
+				}
 			}
 		}
 	}

@@ -68,7 +68,7 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"opalias", "tscompare", "locksend", "errdrop", "nopanic"} {
+	for _, name := range []string{"opalias", "tscompare", "locksend", "errdrop", "nopanic", "cachemut"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			pkg, err := loader.LoadDir(dir, "lintfixture/"+name)

@@ -45,7 +45,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{OpAlias, TSCompare, LockSend, ErrDrop, NoPanic}
+	return []*Analyzer{OpAlias, TSCompare, LockSend, ErrDrop, NoPanic, CacheMut}
 }
 
 // ByName resolves a comma-separated analyzer list against the suite.

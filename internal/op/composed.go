@@ -1,0 +1,145 @@
+package op
+
+// ComposedTransformSafe reports whether transforming other against the
+// composed operation comp is guaranteed to reproduce the sequential pairwise
+// walk that comp summarizes — in either argument order: Transform(comp,
+// other) matches walking other across the composed chain one operation at a
+// time, and Transform(other, comp) matches the mirror walk.
+//
+// Why this can fail at all: composition is exact on documents (apply(d,
+// Compose(a,b)) == apply(apply(d,a), b)) but lossy for transformation. The
+// canonical component order stores an insert adjacent to a delete
+// insert-first, which moves the insert's anchor across the deleted runes;
+// the same reordering happens to the other operation's intermediate rebased
+// forms during a sequential walk when deletions close the gap between its
+// insert and a delete run. An insert's anchor is therefore only known up to
+// the maximal run of deleted base runes it touches, and when inserts from
+// both operations share such a run, their relative order depends on the
+// chain's decomposition — information the composition no longer carries.
+// Everything else Transform decides (retain/delete alignment, insert ties on
+// surviving runes, which resolve a-first in every walk) is forced by the
+// operations' contents, where the composed and sequential paths necessarily
+// agree.
+//
+// The predicate is thus: merge the delete intervals of both operations in
+// base coordinates into maximal runs; comp is safe against other unless some
+// run — including its two boundary positions — contains an insert anchor
+// from comp and one from other. The engines consult this before using the
+// composed-suffix cache and fall back to the pairwise walk on false; the
+// differential fuzz target FuzzIntegrateEquivalence in internal/core and
+// TestComposedTransformIdentity here hold the two paths to byte-identical
+// results.
+//
+// Cost: one pass over both component lists; allocation-free whenever either
+// operation is delete-free or insert-free (the lagged-catch-up fast path:
+// composed append bursts never allocate here).
+func ComposedTransformSafe(comp, other *Op) bool {
+	if !hasKind(comp, KDelete) && !hasKind(other, KDelete) {
+		return true
+	}
+	if !hasKind(comp, KInsert) || !hasKind(other, KInsert) {
+		return true
+	}
+	cd, od := deleteIntervals(comp), deleteIntervals(other)
+	ca, oa := insertAnchors(comp), insertAnchors(other)
+	ci, oi := 0, 0 // next delete interval of comp / other
+	ai, bi := 0, 0 // next insert anchor of comp / other
+	for ci < len(cd) || oi < len(od) {
+		// Start a merged run at the earlier remaining interval, then
+		// absorb every interval from either list that starts within it
+		// (touching intervals merge: deleted runes are contiguous).
+		var run ival
+		switch {
+		case oi >= len(od) || (ci < len(cd) && cd[ci].s <= od[oi].s):
+			run = cd[ci]
+			ci++
+		default:
+			run = od[oi]
+			oi++
+		}
+		for {
+			switch {
+			case ci < len(cd) && cd[ci].s <= run.e:
+				run.e = max(run.e, cd[ci].e)
+				ci++
+			case oi < len(od) && od[oi].s <= run.e:
+				run.e = max(run.e, od[oi].e)
+				oi++
+			default:
+				goto merged
+			}
+		}
+	merged:
+		// A maximal run [s, e) admits anchor migration across [s, e]
+		// inclusive; an anchor belongs to at most one run (runs are
+		// separated by at least one surviving rune), so consuming
+		// anchors <= run.e is safe.
+		if anchorTouches(ca, &ai, run) && anchorTouches(oa, &bi, run) {
+			return false
+		}
+	}
+	return true
+}
+
+// ival is a half-open interval [s, e) of base rune indices.
+type ival struct{ s, e int }
+
+func hasKind(o *Op, k Kind) bool {
+	for _, c := range o.comps {
+		if c.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// deleteIntervals returns o's delete runs in base coordinates, ascending.
+func deleteIntervals(o *Op) []ival {
+	var out []ival
+	base := 0
+	for _, c := range o.comps {
+		switch c.Kind {
+		case KDelete:
+			if n := len(out); n > 0 && out[n-1].e == base {
+				out[n-1].e += c.N
+			} else {
+				out = append(out, ival{s: base, e: base + c.N})
+			}
+			base += c.N
+		case KRetain:
+			base += c.N
+		}
+	}
+	return out
+}
+
+// insertAnchors returns the base positions of o's insert runs, ascending.
+func insertAnchors(o *Op) []int {
+	var out []int
+	base := 0
+	for _, c := range o.comps {
+		switch c.Kind {
+		case KInsert:
+			if n := len(out); n == 0 || out[n-1] != base {
+				out = append(out, base)
+			}
+		default:
+			base += c.N
+		}
+	}
+	return out
+}
+
+// anchorTouches advances *i past anchors before run.s and reports whether an
+// anchor lies in [run.s, run.e], consuming any it finds there.
+func anchorTouches(anchors []int, i *int, run ival) bool {
+	for *i < len(anchors) && anchors[*i] < run.s {
+		*i++
+	}
+	found := false
+	for *i < len(anchors) && anchors[*i] <= run.e {
+		found = true
+		*i++
+	}
+	return found
+}

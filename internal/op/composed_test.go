@@ -1,0 +1,200 @@
+package op
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randChainOp builds a random operation over a document of baseLen runes,
+// mixing retains, deletes, and (possibly multi-rune) inserts.
+func randChainOp(r *rand.Rand, baseLen int) *Op {
+	o := New()
+	pos := 0
+	for pos < baseLen {
+		switch r.Intn(4) {
+		case 0, 1:
+			n := 1 + r.Intn(baseLen-pos)
+			o.Retain(n)
+			pos += n
+		case 2:
+			n := 1 + r.Intn(baseLen-pos)
+			o.Delete(n)
+			pos += n
+		default:
+			o.Insert(randText(r, 1+r.Intn(3)))
+		}
+	}
+	if r.Intn(2) == 0 {
+		o.Insert(randText(r, 1+r.Intn(3)))
+	}
+	return o
+}
+
+func randText(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// TestComposedTransformIdentity is the foundation the composed-suffix
+// transform cache (internal/core) rests on: whenever ComposedTransformSafe
+// admits a pair, transforming against the composition of a chain must agree
+// byte-for-byte with the sequential pairwise walk — in both argument orders,
+// on both Transform outputs. The test drives random chains of 2–5 operations
+// against a random concurrent operation and checks every safe case; unsafe
+// cases are skipped (that is the predicate's contract — the engines fall
+// back to the pairwise walk there) but counted, so a predicate that starts
+// rejecting everything would show up in the logged rate.
+func TestComposedTransformIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const trials = 60000
+	safeA, safeB := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		baseLen := 1 + r.Intn(10)
+		depth := 2 + r.Intn(4)
+		chain := make([]*Op, depth)
+		bl := baseLen
+		for i := range chain {
+			chain[i] = randChainOp(r, bl)
+			bl = chain[i].TargetLen()
+		}
+		u := randChainOp(r, baseLen)
+		comp, err := ComposeAll(baseLen, chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Orientation A — the notifier's bridge walk: the chain is the
+		// priority (a) side. Sequential: walk u across the chain one
+		// operation at a time, rebasing each chain op as the walk goes.
+		if ComposedTransformSafe(comp, u) {
+			safeA++
+			seqU := u
+			rebased := make([]*Op, depth)
+			for i, b := range chain {
+				rebased[i], seqU, err = Transform(b, seqU)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			seqComp, err := ComposeAll(u.TargetLen(), rebased)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compP, uc, err := Transform(comp, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !uc.Equal(seqU) {
+				t.Fatalf("trial %d (a-side chain): executed form diverges\nchain=%v\nu=%v\nseq=%v\ncomposed=%v",
+					trial, chain, u, seqU, uc)
+			}
+			if !compP.Equal(seqComp) {
+				t.Fatalf("trial %d (a-side chain): rebased composition diverges\nchain=%v\nu=%v\nseq=%v\ncomposed=%v",
+					trial, chain, u, seqComp, compP)
+			}
+		}
+
+		// Orientation B — the client's pending walk: the chain is the
+		// non-priority (b) side.
+		if ComposedTransformSafe(comp, u) {
+			safeB++
+			seqU := u
+			rebased := make([]*Op, depth)
+			for i, b := range chain {
+				seqU, rebased[i], err = Transform(seqU, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			seqComp, err := ComposeAll(u.TargetLen(), rebased)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uc, compP, err := Transform(u, comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !uc.Equal(seqU) {
+				t.Fatalf("trial %d (b-side chain): executed form diverges\nchain=%v\nu=%v\nseq=%v\ncomposed=%v",
+					trial, chain, u, seqU, uc)
+			}
+			if !compP.Equal(seqComp) {
+				t.Fatalf("trial %d (b-side chain): rebased composition diverges\nchain=%v\nu=%v\nseq=%v\ncomposed=%v",
+					trial, chain, u, seqComp, compP)
+			}
+		}
+	}
+	t.Logf("safe rate: %.1f%% of %d adversarially dense trials", 100*float64(safeA)/float64(trials), trials)
+	if safeA == 0 {
+		t.Fatal("predicate admitted no trials — cache would never engage")
+	}
+}
+
+// TestComposedTransformSafeKnownCases pins the predicate's behavior on the
+// shapes the design discussion turns on (DESIGN.md §13).
+func TestComposedTransformSafeKnownCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		comp, othr *Op
+		want       bool
+	}{
+		{
+			// The motivating counterexample: compose(delete(1) retain(2)
+			// insert("s"), delete(2) retain(1) insert("f")) canonicalizes
+			// to insert("sf") delete(3); an insert at 0 ties ambiguously.
+			name: "insert into anchored-over-delete run",
+			comp: New().Insert("sf").Delete(3),
+			othr: New().Insert("kqkqb").Delete(3),
+			want: false,
+		},
+		{
+			name: "append-heavy: exact tie without adjacent delete is safe",
+			comp: New().Retain(4).Insert("xyz"),
+			othr: New().Retain(4).Insert("q"),
+			want: true,
+		},
+		{
+			name: "insert clear of the ambiguous interval",
+			comp: New().Retain(2).Insert("s").Delete(2),
+			othr: New().Insert("q").Retain(4),
+			want: true,
+		},
+		{
+			name: "insert at far edge of the ambiguous interval",
+			comp: New().Insert("s").Delete(2).Retain(2),
+			othr: New().Retain(2).Insert("q").Retain(2),
+			want: false,
+		},
+		{
+			// Emergent adjacency (DESIGN.md §13): the chain deletes the
+			// rune separating other's insert from its own delete run, so
+			// the sequential walk reanchors the insert across the merged
+			// deleted region [0,10) — where comp also inserts.
+			name: "merged deleted run hosting inserts from both sides",
+			comp: New().Insert("old").Retain(3).Delete(7),
+			othr: New().Delete(5).Retain(1).Insert("hey").Retain(4),
+			want: false,
+		},
+		{
+			name: "pure delete is always safe",
+			comp: New().Delete(2).Retain(2),
+			othr: New().Insert("q").Retain(4),
+			want: true,
+		},
+		{
+			name: "other without inserts is always safe",
+			comp: New().Insert("s").Delete(4),
+			othr: New().Delete(2).Retain(2),
+			want: true,
+		},
+	}
+	for _, tc := range cases {
+		if got := ComposedTransformSafe(tc.comp, tc.othr); got != tc.want {
+			t.Errorf("%s: ComposedTransformSafe(%v, %v) = %v, want %v",
+				tc.name, tc.comp, tc.othr, got, tc.want)
+		}
+	}
+}

@@ -77,6 +77,7 @@ func TestMetricsCatalog(t *testing.T) {
 	assertNames(t, "session counters", sess.Counters, []string{
 		trace.COpsIntegrated, trace.CConcurrencyChecks, trace.CConcurrentPairs,
 		trace.CTransforms, trace.CCompactions, trace.CCompacted,
+		trace.CCacheHits, trace.CCacheMisses, trace.CComposes,
 	})
 	assertNames(t, "session gauges", sess.Gauges, []string{
 		obs.GSites, obs.GOpsRecv, obs.GDocRunes, obs.GHBLen, obs.GClockWords,

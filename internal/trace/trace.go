@@ -85,6 +85,15 @@ const (
 	CConcurrentPairs = "checks.concurrent"
 	// CTransforms counts inclusion transformations performed.
 	CTransforms = "ot.transforms"
+	// CCacheHits counts integrations served by a warm composed-suffix
+	// transform cache (one Transform regardless of bridge depth).
+	CCacheHits = "ot.cache.hits"
+	// CCacheMisses counts integrations that had to walk or (re)build the
+	// composed suffix because the cache was cold or invalidated.
+	CCacheMisses = "ot.cache.misses"
+	// CComposes counts op.Compose calls spent building or extending the
+	// composed-suffix cache.
+	CComposes = "ot.cache.composes"
 	// CCompactions counts history-buffer compaction rounds.
 	CCompactions = "hb.compactions"
 	// CCompacted counts history-buffer entries removed by compaction.

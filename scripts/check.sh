@@ -23,8 +23,8 @@ go run ./cmd/cvclint ./...
 step "go test ./..."
 go test ./...
 
-step "go test -race (engine, wire, transport, server, obs, sim, root)"
-go test -race ./internal/core ./internal/wire ./internal/transport ./internal/server ./internal/obs ./internal/sim .
+step "go test -race (engine, op, wire, transport, server, obs, sim, root)"
+go test -race ./internal/core ./internal/op ./internal/wire ./internal/transport ./internal/server ./internal/obs ./internal/sim .
 
 # The observability fast paths must stay allocation-free: a single alloc per
 # Record would show up on every integrated operation once -debug is on.
@@ -42,5 +42,8 @@ go test ./internal/op -run='^$' -fuzz='^FuzzTransform$' -fuzztime="$FUZZTIME"
 
 step "fuzz smoke: FuzzCompose ($FUZZTIME)"
 go test ./internal/op -run='^$' -fuzz='^FuzzCompose$' -fuzztime="$FUZZTIME"
+
+step "fuzz smoke: FuzzIntegrateEquivalence ($FUZZTIME)"
+go test ./internal/core -run='^$' -fuzz='^FuzzIntegrateEquivalence$' -fuzztime="$FUZZTIME"
 
 step "all checks passed"
