@@ -12,8 +12,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs the analyzer suite (with a per-rule summary) and the
+# allocation-budget gate over lint/budget.json.
 lint:
-	$(GO) run ./cmd/cvclint ./...
+	$(GO) run ./cmd/cvclint -summary ./...
+	$(GO) run ./cmd/cvclint -budget
 
 race:
 	$(GO) test -race ./internal/core ./internal/transport ./internal/server ./internal/obs ./internal/sim .

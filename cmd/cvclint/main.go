@@ -6,10 +6,17 @@
 //	cvclint ./internal/core  # analyze specific directories
 //	cvclint -list            # describe the analyzer suite
 //	cvclint -only errdrop,opalias ./...
+//	cvclint -summary ./...   # append a per-analyzer findings count
+//	cvclint -budget          # allocation-budget gate (lint/budget.json)
 //
 // Exit codes: 0 clean, 1 findings, 2 load or type-check failure.
 //
-// Findings are suppressed by an inline `//lint:allow <analyzer> <reason>`
+// -budget replays `go build -gcflags='-m -m'` over the packages named in the
+// budget file (default lint/budget.json, override with -budget-file) and
+// fails if any guarded hot function gained a heap escape; see
+// internal/lint/budget.go for the workflow.
+//
+// Findings are suppressed by an inline `//lint:allow <analyzer>: <reason>`
 // comment on the offending line or the line above; -show-suppressed prints
 // those too (without affecting the exit code).
 package main
@@ -33,9 +40,16 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	showSuppressed := fs.Bool("show-suppressed", false, "also print findings silenced by //lint:allow")
+	summary := fs.Bool("summary", false, "print a per-analyzer findings count after the run")
+	budget := fs.Bool("budget", false, "run the allocation-budget gate instead of the analyzers")
+	budgetFile := fs.String("budget-file", "lint/budget.json", "budget spec, relative to the module root")
 	verbose := fs.Bool("v", false, "print each package as it is analyzed")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *budget {
+		return runBudget(*budgetFile)
 	}
 
 	analyzers := lint.All()
@@ -72,6 +86,8 @@ func run(args []string) int {
 
 	exit := 0
 	findings := 0
+	perRule := make(map[string]int)
+	suppressed := make(map[string]int)
 	for _, pkg := range pkgs {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "cvclint: analyzing %s\n", pkg.Path)
@@ -85,13 +101,20 @@ func run(args []string) int {
 		}
 		for _, d := range lint.Run(pkg, analyzers) {
 			if d.Suppressed {
+				suppressed[d.Analyzer]++
 				if *showSuppressed {
 					fmt.Printf("%s [suppressed]\n", d)
 				}
 				continue
 			}
 			fmt.Println(d)
+			perRule[d.Analyzer]++
 			findings++
+		}
+	}
+	if *summary {
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "cvclint: %-12s %d finding(s), %d suppressed\n", a.Name, perRule[a.Name], suppressed[a.Name])
 		}
 	}
 	if exit == 0 && findings > 0 {
@@ -101,6 +124,43 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "cvclint: %d finding(s)\n", findings)
 	}
 	return exit
+}
+
+// runBudget executes the allocation-budget gate against the module the
+// working directory belongs to.
+func runBudget(budgetFile string) int {
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvclint:", err)
+		return 2
+	}
+	if !filepath.IsAbs(budgetFile) {
+		budgetFile = filepath.Join(moduleDir, budgetFile)
+	}
+	b, err := lint.LoadBudget(budgetFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvclint: budget:", err)
+		return 2
+	}
+	violations, err := lint.CheckBudget(moduleDir, b, lint.GoBuildRunner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvclint: budget:", err)
+		return 2
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "cvclint: budget: %d new escape(s) in guarded functions\n", len(violations))
+		return 1
+	}
+	pkgs, funcs := 0, 0
+	for _, pb := range b.Packages {
+		pkgs++
+		funcs += len(pb.Funcs)
+	}
+	fmt.Fprintf(os.Stderr, "cvclint: budget: %d guarded function(s) across %d package(s) stay escape-free\n", funcs, pkgs)
+	return 0
 }
 
 // loadTargets resolves the command-line package patterns: no arguments or

@@ -28,7 +28,7 @@ func main() {
 
 	expect := func(what string, got core.Timestamp, t1, t2 uint64) {
 		marker := "ok"
-		//lint:allow tscompare — asserting the paper's published timestamp values, not deciding causality
+		//lint:allow tscompare: asserting the paper's published timestamp values, not deciding causality
 		if got.T1 != t1 || got.T2 != t2 {
 			marker = fmt.Sprintf("MISMATCH, paper says [%d,%d]", t1, t2)
 		}

@@ -63,7 +63,7 @@ func NewOracle() *Oracle {
 
 func (o *Oracle) addEvent(site int, extraPred int32) int32 {
 	if o.sealed {
-		//lint:allow nopanic — oracle contract: mutation after Seal is a bug in the test harness, not a runtime condition
+		//lint:allow nopanic: oracle contract — mutation after Seal is a bug in the test harness, not a runtime condition
 		panic("causal: oracle already sealed")
 	}
 	id := int32(len(o.preds))
@@ -83,7 +83,7 @@ func (o *Oracle) addEvent(site int, extraPred int32) int32 {
 // its origin site. Each op must be generated exactly once.
 func (o *Oracle) Generate(site int, id OpRef) {
 	if _, dup := o.genEvent[id]; dup {
-		//lint:allow nopanic — oracle contract: duplicate generation indicates a broken harness
+		//lint:allow nopanic: oracle contract — duplicate generation indicates a broken harness
 		panic(fmt.Sprintf("causal: duplicate generation of %v", id))
 	}
 	ev := o.addEvent(site, -1)
@@ -101,11 +101,11 @@ func (o *Oracle) Generate(site int, id OpRef) {
 // to site 2.
 func (o *Oracle) GenerateDerived(site int, id, orig OpRef) {
 	if _, ok := o.genEvent[orig]; !ok {
-		//lint:allow nopanic — oracle contract: deriving from an op the harness never generated
+		//lint:allow nopanic: oracle contract — deriving from an op the harness never generated
 		panic(fmt.Sprintf("causal: derivation from unknown op %v", orig))
 	}
 	if _, ok := o.origin[orig]; ok {
-		//lint:allow nopanic — oracle contract: the star topology derives each op at most once
+		//lint:allow nopanic: oracle contract — the star topology derives each op at most once
 		panic(fmt.Sprintf("causal: derivation chains are not allowed (%v is itself derived)", orig))
 	}
 	o.Generate(site, id)
@@ -117,7 +117,7 @@ func (o *Oracle) GenerateDerived(site int, id, orig OpRef) {
 func (o *Oracle) Execute(site int, id OpRef) {
 	gen, ok := o.genEvent[id]
 	if !ok {
-		//lint:allow nopanic — oracle contract: executing an op the harness never generated
+		//lint:allow nopanic: oracle contract — executing an op the harness never generated
 		panic(fmt.Sprintf("causal: execution of unknown op %v", id))
 	}
 	o.addEvent(site, gen)
@@ -152,17 +152,17 @@ func (o *Oracle) Seal() {
 // not sealed or an op is unknown.
 func (o *Oracle) HappenedBefore(a, b OpRef) bool {
 	if !o.sealed {
-		//lint:allow nopanic — oracle contract: querying before Seal is a harness bug
+		//lint:allow nopanic: oracle contract — querying before Seal is a harness bug
 		panic("causal: query before Seal")
 	}
 	ga, ok := o.genEvent[a]
 	if !ok {
-		//lint:allow nopanic — oracle contract: querying an op the harness never generated
+		//lint:allow nopanic: oracle contract — querying an op the harness never generated
 		panic(fmt.Sprintf("causal: unknown op %v", a))
 	}
 	gb, ok := o.genEvent[b]
 	if !ok {
-		//lint:allow nopanic — oracle contract: querying an op the harness never generated
+		//lint:allow nopanic: oracle contract — querying an op the harness never generated
 		panic(fmt.Sprintf("causal: unknown op %v", b))
 	}
 	if o.closure[gb].has(int(ga)) {

@@ -162,7 +162,7 @@ func (c *Client) count(name string, delta int64) {
 // with the snapshot text.
 func NewClient(site int, initial string, opts ...ClientOption) *Client {
 	if site < 1 {
-		//lint:allow nopanic — constructor precondition: site 0 is the notifier (§3.2); a violation is a caller bug
+		//lint:allow nopanic: constructor precondition — site 0 is the notifier (§3.2); a violation is a caller bug
 		panic(fmt.Sprintf("core: client site must be >= 1, got %d", site))
 	}
 	c := &Client{site: site, compactEvery: 64, composeDepth: defaultComposeDepth}
@@ -179,7 +179,7 @@ func NewClient(site int, initial string, opts ...ClientOption) *Client {
 	} else if c.buf.Len() > 0 || initial != "" {
 		// A caller-provided buffer must start out equal to the snapshot.
 		if c.buf.String() != initial {
-			//lint:allow nopanic — constructor precondition: a divergent injected buffer is a caller bug, not a runtime state
+			//lint:allow nopanic: constructor precondition — a divergent injected buffer is a caller bug, not a runtime state
 			panic("core: provided buffer disagrees with snapshot")
 		}
 	}

@@ -44,7 +44,7 @@ func Analyze(path, initial string) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer r.Close() //lint:allow errdrop — read-only analysis: every Next() is checked, close-after-read carries no information
+	defer r.Close() //lint:allow errdrop: read-only analysis — every Next() is checked, close-after-read carries no information
 
 	srv := core.NewServer(initial, core.WithServerCompaction(0))
 	oracle := causal.NewOracle()
@@ -121,7 +121,7 @@ func Analyze(path, initial string) (*Analysis, error) {
 			c := getCursor(site)
 			// Deliver the broadcasts the op's T1 says its site had
 			// executed at generation time.
-			//lint:allow tscompare — delivery replay: T1 is consumed as a broadcast count here, not as an ordering decision
+			//lint:allow tscompare: delivery replay — T1 is consumed as a broadcast count here, not as an ordering decision
 			for c.delivered < rec.Op.TS.T1 {
 				if c.idx >= len(serverOrder) {
 					return nil, fmt.Errorf("journal: analyze: site %d claims %d broadcasts, history has %d",

@@ -230,7 +230,7 @@ func replay(path, initial string, opts ...core.ServerOption) (*core.Server, int,
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	defer r.Close() //lint:allow errdrop — read-only replay: every Next() is checked, close-after-read carries no information
+	defer r.Close() //lint:allow errdrop: read-only replay — every Next() is checked, close-after-read carries no information
 	srv := core.NewServer(initial, opts...)
 	applied := 0
 	for {

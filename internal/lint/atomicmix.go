@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags mixed atomic/plain access to the same memory — the race
+// class the lock-free observability layer (internal/obs sharded counters,
+// histograms, copy-on-write registry) and the transport/wire metrics are
+// one plain `=` away from at all times. A field that any code touches
+// through sync/atomic is an atomic field everywhere: one plain read
+// tears under concurrent atomic writes, and one plain write (the
+// innocent-looking `c.n = 0` reset) races every atomic reader. The Go
+// race detector only catches the interleavings a test happens to run;
+// this analyzer catches the pattern statically.
+//
+// Two disciplines are enforced:
+//
+//   - Function-style atomics: a variable (struct field or package-level)
+//     whose address is passed to an atomic.AddInt64 / LoadUint64 /
+//     StoreInt32 / Swap / CompareAndSwap… call anywhere in the package
+//     must not be read or written plainly anywhere else.
+//   - Typed atomics (atomic.Int64, atomic.Uint64, atomic.Bool,
+//     atomic.Value, atomic.Pointer[T], …): the only legal operations on a
+//     value of these types are method calls (x.Load(), x.Store(…)),
+//     taking its address, indexing into an array of them, and ranging by
+//     index. Assigning one (`s.flag = atomic.Bool{}` — the non-atomic
+//     reset), copying one into a variable, or passing one by value
+//     bypasses the atomicity the type exists to guarantee.
+//
+// The owning constructor is exempt: before the value is published, plain
+// initialization is the idiom (NewHistogram's min seed would be the
+// textbook case were it not already a Store). A constructor is a
+// same-package function whose results include the owning type.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "field accessed both through sync/atomic and plainly (outside the owning constructor)",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncPrefixes match the sync/atomic package-level operation families
+// (AddInt64, LoadUint32, StorePointer, SwapUint64, CompareAndSwapInt32, …).
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func runAtomicMix(pass *Pass) {
+	m := &atomicMix{
+		pass:       pass,
+		atomicVars: make(map[*types.Var]token.Pos),
+		owners:     make(map[*types.Var]string),
+		sanctioned: make(map[ast.Expr]bool),
+	}
+	// Pass 1: find every variable whose address feeds a sync/atomic call.
+	for _, f := range pass.Files {
+		ast.Inspect(f, m.collect)
+	}
+	// Pass 2: flag plain accesses of those variables and non-method uses of
+	// typed atomic values.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fn.Body != nil {
+				m.checkFunc(fn)
+			}
+			return false
+		})
+	}
+}
+
+type atomicMix struct {
+	pass *Pass
+	// atomicVars maps a variable object to the position of one atomic
+	// access, proving the discipline it must keep everywhere.
+	atomicVars map[*types.Var]token.Pos
+	// owners maps a field to its owning struct type name ("" for
+	// package-level variables, which have no constructor exemption).
+	owners map[*types.Var]string
+	// sanctioned marks the &x arguments of atomic calls, so pass 2 does not
+	// flag the atomic accesses themselves.
+	sanctioned map[ast.Expr]bool
+}
+
+// collect records variables addressed by sync/atomic function calls.
+func (m *atomicMix) collect(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	fn := calleeFunc(m.pass.Info, call)
+	if fn == nil || funcPkgPath(fn) != "sync/atomic" || fn.Type().(*types.Signature).Recv() != nil {
+		return true
+	}
+	if !hasAtomicFuncPrefix(fn.Name()) {
+		return true
+	}
+	for _, a := range call.Args {
+		u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		target := ast.Unparen(u.X)
+		v := m.varOf(target)
+		if v == nil {
+			continue
+		}
+		if _, seen := m.atomicVars[v]; !seen {
+			m.atomicVars[v] = call.Pos()
+			m.owners[v] = m.ownerName(target)
+		}
+		m.sanctioned[target] = true
+	}
+	return true
+}
+
+func hasAtomicFuncPrefix(name string) bool {
+	for _, p := range atomicFuncPrefixes {
+		if len(name) > len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// varOf resolves a selector or identifier to its variable object when it is
+// a struct field or package-level variable.
+func (m *atomicMix) varOf(e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := m.pass.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Package-qualified identifier (pkg.Var).
+		if v, ok := m.pass.Info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := identObj(m.pass.Info, e).(*types.Var); ok && !v.IsField() &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// ownerName names the struct type a field selector is reached through.
+func (m *atomicMix) ownerName(e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tv, ok := m.pass.Info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	n := namedType(tv.Type)
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// constructorOf reports whether fn is a constructor of the named type: a
+// plain function whose results include the type (by value or pointer).
+func (m *atomicMix) constructorOf(fn *ast.FuncDecl, typeName string) bool {
+	if typeName == "" || fn.Recv != nil || fn.Type.Results == nil {
+		return false
+	}
+	for _, r := range fn.Type.Results.List {
+		tv, ok := m.pass.Info.Types[r.Type]
+		if !ok {
+			continue
+		}
+		if n := namedType(tv.Type); n != nil && n.Obj() != nil && n.Obj().Name() == typeName &&
+			n.Obj().Pkg() == m.pass.Pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one function body with parent context.
+func (m *atomicMix) checkFunc(fn *ast.FuncDecl) {
+	var walk func(n ast.Node, parent ast.Node)
+	walk = func(n ast.Node, parent ast.Node) {
+		if n == nil {
+			return
+		}
+		if e, ok := n.(ast.Expr); ok {
+			m.checkExpr(fn, e, parent)
+		}
+		for _, child := range childNodes(n) {
+			walk(child, n)
+		}
+	}
+	walk(fn.Body, fn)
+}
+
+// checkExpr applies both disciplines to one expression node.
+func (m *atomicMix) checkExpr(fn *ast.FuncDecl, e ast.Expr, parent ast.Node) {
+	// Function-style discipline: plain access to a variable that is
+	// elsewhere driven through sync/atomic calls.
+	if v := m.varOf(e); v != nil {
+		if atomicAt, ok := m.atomicVars[v]; ok && !m.sanctioned[ast.Unparen(e)] && !m.inAddrOfAtomicCall(parent) {
+			if !m.constructorOf(fn, m.owners[v]) {
+				how := "read"
+				if isWriteContext(e, parent) {
+					how = "written"
+				}
+				m.pass.Reportf(e.Pos(), "field %s is %s plainly here but accessed atomically at %s; every access must go through sync/atomic (or move the plain init into the constructor)",
+					v.Name(), how, m.pass.Fset.Position(atomicAt))
+			}
+			return
+		}
+	}
+	// Typed-atomic discipline: a value of an atomic.* type outside the
+	// sanctioned contexts (method receiver, address-of, array indexing,
+	// index-only range).
+	if !isTypedAtomic(m.exprType(e)) {
+		return
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == e {
+			return // x.Load() / x.Store(...) — the method path
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &x — passing the atomic by pointer keeps the discipline
+		}
+	case *ast.IndexExpr:
+		if p.X == e {
+			return // arr[i] — drilling into an array of atomics
+		}
+	case *ast.RangeStmt:
+		if p.X == e && p.Value == nil {
+			return // for i := range arr — length only, no element copy
+		}
+	case *ast.StarExpr:
+		return // *p — dereferencing an *atomic.T to call through it
+	case *ast.CallExpr:
+		// len(arr)/cap(arr) over an array of atomics is a compile-time
+		// constant; no element is copied.
+		if b, ok := m.pass.Info.Uses[calleeIdent(p)].(*types.Builtin); ok &&
+			(b.Name() == "len" || b.Name() == "cap") {
+			return
+		}
+	}
+	// Only flag the outermost offending expression: if the parent is itself
+	// an atomic-typed selector/index, the parent check will report.
+	if pe, ok := parent.(ast.Expr); ok && isTypedAtomic(m.exprType(pe)) {
+		return
+	}
+	how := "copied or read"
+	if isWriteContext(e, parent) {
+		how = "overwritten"
+	}
+	m.pass.Reportf(e.Pos(), "atomic-typed value %s %s non-atomically; use its Load/Store/Add methods (a plain copy or assignment tears under concurrent access)",
+		types.ExprString(e), how)
+}
+
+func (m *atomicMix) exprType(e ast.Expr) types.Type {
+	tv, ok := m.pass.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// inAddrOfAtomicCall reports whether parent is the &x node of a sanctioned
+// atomic call argument (the selector inside &x.f is visited with parent
+// &x.f).
+func (m *atomicMix) inAddrOfAtomicCall(parent ast.Node) bool {
+	u, ok := parent.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	return m.sanctioned[ast.Unparen(u.X)]
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed values
+// (Int32..Uint64, Bool, Value, Pointer[T], Uintptr) or an array of them.
+func isTypedAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if arr, ok := t.(*types.Array); ok {
+		return isTypedAtomic(arr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// isWriteContext reports whether e is being assigned to.
+func isWriteContext(e ast.Expr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == ast.Unparen(e) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return ast.Unparen(p.X) == ast.Unparen(e)
+	}
+	return false
+}
+
+// calleeIdent returns the identifier a call is made through, or nil.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn
+	case *ast.SelectorExpr:
+		return fn.Sel
+	}
+	return nil
+}
+
+// childNodes returns the direct AST children of n in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

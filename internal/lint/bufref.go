@@ -1,0 +1,675 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufRef polices the reference-counting discipline of the pooled broadcast
+// buffers (internal/wire, DESIGN.md §11). A *wire.Broadcast is born from
+// NewBroadcast holding one reference; Retain adds one, Release drops one,
+// and the last Release returns the buffer to a sync.Pool. Because the pool
+// recycles buffers under live traffic, every lifetime mistake is a
+// memory-safety bug in slow motion: using a buffer after its final Release
+// reads (or worse, writes) a buffer another broadcast may already own, a
+// double Release underflows the count and poisons the pool with a live
+// buffer, and a reference that no path drops leaks the buffer and pins its
+// tail allocation forever.
+//
+// The analysis is a per-function forward dataflow over variables of type
+// *wire.Broadcast. Each variable carries a reference state:
+//
+//   - born from wire.NewBroadcast: an exact count, starting at 1;
+//   - received as a parameter (or captured): a borrowed delta, starting at
+//     0 — by the codebase convention a callee is handed at most one
+//     reference it may consume (Sender.EnqueueBroadcast's contract).
+//
+// Retain increments, Release decrements, and passing the variable directly
+// as a call argument consumes one reference (enqueue/deliver take ownership
+// per destination — the Retain-then-enqueue idiom in repro.Integrate).
+// Escapes — storing into a field, slice, map, channel, composite literal,
+// returning, or capture by a goroutine/deferred literal — count as
+// ownership transfer and end tracking. When the count reaches zero (exact)
+// or the borrowed reference is consumed, the variable is dead: any later
+// use is use-after-release, any later Release is a double release. A path
+// that returns while an acquired reference is still held (and not
+// transferred) is reported as a leak.
+//
+// Control flow is handled conservatively: branches are analyzed under
+// copies of the state and merged — states that disagree stop tracking
+// rather than guess — and a loop body must leave every tracked count
+// exactly where it found it (the balanced Retain/enqueue of a fan-out
+// loop), or tracking stops. The error-check idiom `bc, err := NewBroadcast(…);
+// if err != nil { return err }` is understood: the error branch does not
+// hold a buffer.
+var BufRef = &Analyzer{
+	Name: "bufref",
+	Doc:  "pooled broadcast buffer used after final Release, double-Released, or leaked",
+	Run:  runBufRef,
+}
+
+func runBufRef(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			var recv *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype, recv = fn.Body, fn.Type, fn.Recv
+			case *ast.FuncLit:
+				body, ftype = fn.Body, fn.Type
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			w := &bufWalker{pass: pass, vars: make(map[types.Object]*bufState)}
+			w.declareBorrowed(recv)
+			w.declareBorrowed(ftype.Params)
+			if !w.walkStmts(body.List) {
+				w.checkLeaks(body.Rbrace)
+			}
+			return true // nested literals are found and walked independently
+		})
+	}
+}
+
+// bufState is the dataflow fact for one *wire.Broadcast variable.
+type bufState struct {
+	// count is the number of references this function is known to hold
+	// (exact) or the delta against the borrowed reference (inexact, where
+	// -1 means "the incoming reference was consumed").
+	count int
+	// exact marks counts rooted at a NewBroadcast call in this function.
+	exact bool
+	// dead marks a fully released/consumed buffer; any use is a finding.
+	dead bool
+	// lost stops tracking: the value escaped, aliased, merged ambiguously,
+	// or already produced a report.
+	lost bool
+	// deferred counts pending `defer bc.Release()` calls, credited at the
+	// leak check.
+	deferred int
+
+	acquiredAt token.Pos // NewBroadcast call or first Retain
+	endedAt    token.Pos // the Release/consume that made it dead
+	// errObj is the error variable paired with the acquisition
+	// (`bc, err := NewBroadcast(…)`); a branch taken on errObj != nil
+	// does not hold the buffer.
+	errObj types.Object
+}
+
+func (s *bufState) same(o *bufState) bool {
+	return s.count == o.count && s.exact == o.exact && s.dead == o.dead &&
+		s.lost == o.lost && s.deferred == o.deferred
+}
+
+type bufWalker struct {
+	pass *Pass
+	vars map[types.Object]*bufState
+}
+
+// isBroadcastPtr reports whether t is *wire.Broadcast.
+func isBroadcastPtr(t types.Type) bool {
+	return isNamed(t, "repro/internal/wire", "Broadcast")
+}
+
+// declareBorrowed registers parameter/receiver variables of broadcast type
+// as borrowed (delta 0).
+func (w *bufWalker) declareBorrowed(fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			obj := w.pass.Info.Defs[name]
+			if obj != nil && isBroadcastPtr(obj.Type()) {
+				w.vars[obj] = &bufState{}
+			}
+		}
+	}
+}
+
+// state returns the tracked state for obj, lazily registering broadcast-
+// typed variables (captures of an enclosing function) as borrowed.
+func (w *bufWalker) state(obj types.Object) *bufState {
+	if obj == nil || !isBroadcastPtr(obj.Type()) {
+		return nil
+	}
+	s, ok := w.vars[obj]
+	if !ok {
+		s = &bufState{}
+		w.vars[obj] = s
+	}
+	return s
+}
+
+// trackedIdent resolves e to a tracked broadcast variable, or nil.
+func (w *bufWalker) trackedIdent(e ast.Expr) (types.Object, *bufState) {
+	obj := identObj(w.pass.Info, e)
+	s := w.state(obj)
+	if s == nil {
+		return nil, nil
+	}
+	return obj, s
+}
+
+// --- events ---------------------------------------------------------------
+
+func (w *bufWalker) use(obj types.Object, s *bufState, pos token.Pos) {
+	if s.lost || !s.dead {
+		return
+	}
+	w.pass.Reportf(pos, "broadcast buffer %q used after its last reference was dropped at %s (the pool may have recycled it)",
+		obj.Name(), w.pass.Fset.Position(s.endedAt))
+	s.lost = true // one report per variable is enough
+}
+
+func (w *bufWalker) retain(obj types.Object, s *bufState, pos token.Pos) {
+	if s.lost {
+		return
+	}
+	if s.dead {
+		w.pass.Reportf(pos, "broadcast buffer %q Retained after its last reference was dropped at %s (resurrecting a pooled buffer)",
+			obj.Name(), w.pass.Fset.Position(s.endedAt))
+		s.lost = true
+		return
+	}
+	s.count++
+	if s.acquiredAt == token.NoPos {
+		s.acquiredAt = pos
+	}
+}
+
+// drop consumes one reference, by an explicit Release (how = "Released") or
+// by handing the variable to a consuming call (how = "consumed").
+func (w *bufWalker) drop(obj types.Object, s *bufState, pos token.Pos, how string) {
+	if s.lost {
+		return
+	}
+	if s.dead {
+		w.pass.Reportf(pos, "broadcast buffer %q %s again after its last reference was dropped at %s (refcount underflow poisons the pool)",
+			obj.Name(), how, w.pass.Fset.Position(s.endedAt))
+		s.lost = true
+		return
+	}
+	s.count--
+	if (s.exact && s.count == 0) || (!s.exact && s.count == -1) {
+		s.dead = true
+		s.endedAt = pos
+	}
+}
+
+func (w *bufWalker) escape(obj types.Object, s *bufState) {
+	// Ownership transfer: the receiver of the store is responsible now.
+	s.lost = true
+	_ = obj
+}
+
+// checkLeaks reports acquired references that no path through pos releases
+// or transfers.
+func (w *bufWalker) checkLeaks(pos token.Pos) {
+	for obj, s := range w.vars {
+		if s.lost || s.dead {
+			continue
+		}
+		if s.count-s.deferred > 0 {
+			w.pass.Reportf(pos, "broadcast buffer %q still holds %d reference(s) acquired at %s on this return path; Release or transfer it",
+				obj.Name(), s.count-s.deferred, w.pass.Fset.Position(s.acquiredAt))
+			s.lost = true
+		}
+	}
+}
+
+// --- statement walk -------------------------------------------------------
+
+// walkStmts analyzes list in source order; it reports true when the list
+// definitely terminates (return / branch) before falling through.
+func (w *bufWalker) walkStmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if w.walkStmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot deep-copies the variable states.
+func (w *bufWalker) snapshot() map[types.Object]*bufState {
+	out := make(map[types.Object]*bufState, len(w.vars))
+	for k, v := range w.vars {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// merge reconciles the fall-through states of a branch point: variables
+// whose states disagree across reachable exits stop being tracked.
+func (w *bufWalker) merge(entry map[types.Object]*bufState, exits ...map[types.Object]*bufState) {
+	seen := make(map[types.Object]bool)
+	for obj := range entry {
+		seen[obj] = true
+	}
+	for _, e := range exits {
+		for obj := range e {
+			seen[obj] = true
+		}
+	}
+	merged := make(map[types.Object]*bufState, len(seen))
+	for obj := range seen {
+		var pick *bufState
+		ok := true
+		states := make([]*bufState, 0, 1+len(exits))
+		if s, found := entry[obj]; found {
+			states = append(states, s)
+		}
+		for _, e := range exits {
+			if s, found := e[obj]; found {
+				states = append(states, s)
+			}
+		}
+		pick = states[0]
+		for _, s := range states[1:] {
+			if !s.same(pick) {
+				ok = false
+				break
+			}
+		}
+		c := *pick
+		if !ok {
+			c.lost = true
+		}
+		merged[obj] = &c
+	}
+	w.vars = merged
+}
+
+// branch walks s under a copy of the current state; kill names variables
+// known not to hold a buffer on this path (the error branch of an
+// acquisition). It returns the branch's exit state, or nil when the branch
+// cannot fall through.
+func (w *bufWalker) branch(s ast.Stmt, kill []types.Object) map[types.Object]*bufState {
+	if s == nil {
+		return w.snapshot()
+	}
+	saved := w.vars
+	w.vars = w.snapshot()
+	for _, obj := range kill {
+		if st, ok := w.vars[obj]; ok {
+			st.lost = true
+		}
+	}
+	terminated := w.walkStmt(s)
+	exit := w.vars
+	w.vars = saved
+	if terminated {
+		return nil
+	}
+	return exit
+}
+
+func (w *bufWalker) walkStmt(s ast.Stmt) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(s)
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, true)
+					}
+					for _, name := range vs.Names {
+						w.state(w.pass.Info.Defs[name]) // register `var bc *wire.Broadcast`
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, false)
+		w.transferOrScan(s.Value)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.transferOrScan(e)
+		}
+		w.checkLeaks(s.Pos())
+		return true
+	case *ast.DeferStmt:
+		w.handleAsyncCall(s.Call, true)
+	case *ast.GoStmt:
+		w.handleAsyncCall(s.Call, false)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		thenKill, elseKill := w.errBranchKills(s.Cond)
+		w.scanExpr(s.Cond, false)
+		entry := w.snapshot()
+		thenExit := w.branch(s.Body, thenKill)
+		var exits []map[types.Object]*bufState
+		if thenExit != nil {
+			exits = append(exits, thenExit)
+		}
+		if s.Else != nil {
+			if elseExit := w.branch(s.Else, elseKill); elseExit != nil {
+				exits = append(exits, elseExit)
+			}
+			if len(exits) == 0 {
+				return true // neither branch falls through
+			}
+			w.merge(exits[0], exits[1:]...)
+			return false
+		}
+		for _, obj := range elseKill {
+			if st, ok := entry[obj]; ok {
+				st.lost = true
+			}
+		}
+		w.merge(entry, exits...)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		w.scanExpr(s.Cond, false)
+		w.walkLoopBody(s.Body)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, false)
+		w.walkLoopBody(s.Body)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		w.scanExpr(s.Tag, false)
+		w.walkClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkClauses(s.Body)
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt)
+	case *ast.BranchStmt:
+		// break/continue/goto: does not reach the statements that follow.
+		return true
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, false)
+	}
+	return false
+}
+
+// walkLoopBody analyzes a loop body once from the current state and
+// requires it to be reference-balanced: any variable whose count the body
+// changes (the unbalanced half of a Retain/enqueue pair) stops being
+// tracked, because the analysis does not model iteration counts.
+func (w *bufWalker) walkLoopBody(body *ast.BlockStmt) {
+	entry := w.snapshot()
+	w.walkStmts(body.List)
+	exit := w.vars
+	w.vars = entry
+	for obj, st := range exit {
+		es, ok := w.vars[obj]
+		if !ok {
+			// Declared inside the loop: keep the last-iteration state; the
+			// function-end leak check reports a per-iteration leak once.
+			c := *st
+			w.vars[obj] = &c
+			continue
+		}
+		if !st.same(es) {
+			es.lost = true
+		}
+	}
+}
+
+// walkClauses analyzes each case/comm clause of body under a state copy and
+// merges the reachable exits with the entry state (no clause may be taken).
+func (w *bufWalker) walkClauses(body *ast.BlockStmt) {
+	entry := w.snapshot()
+	var exits []map[types.Object]*bufState
+	for _, c := range body.List {
+		if exit := w.branch(c, nil); exit != nil {
+			exits = append(exits, exit)
+		}
+	}
+	w.merge(entry, exits...)
+}
+
+// errBranchKills recognizes `err != nil` / `err == nil` conditions over an
+// error object paired with an acquisition and returns the variables that do
+// not hold a buffer in the then/else branch respectively.
+func (w *bufWalker) errBranchKills(cond ast.Expr) (thenKill, elseKill []types.Object) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	var errSide ast.Expr
+	switch {
+	case isNilIdent(be.X):
+		errSide = be.Y
+	case isNilIdent(be.Y):
+		errSide = be.X
+	default:
+		return nil, nil
+	}
+	errObj := identObj(w.pass.Info, errSide)
+	if errObj == nil {
+		return nil, nil
+	}
+	for obj, s := range w.vars {
+		if s.errObj == errObj {
+			switch be.Op {
+			case token.NEQ:
+				thenKill = append(thenKill, obj)
+			case token.EQL:
+				elseKill = append(elseKill, obj)
+			}
+		}
+	}
+	return thenKill, elseKill
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// handleAssign processes acquisitions, aliases, and stores.
+func (w *bufWalker) handleAssign(st *ast.AssignStmt) {
+	// Acquisition: bc, err := wire.NewBroadcast(...)
+	if len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && w.isNewBroadcast(call) {
+			for _, a := range call.Args {
+				w.scanExpr(a, false)
+			}
+			if obj := identObj(w.pass.Info, st.Lhs[0]); obj != nil && isBroadcastPtr(obj.Type()) {
+				if old, ok := w.vars[obj]; ok && !old.lost && !old.dead && old.count > 0 {
+					w.pass.Reportf(st.Pos(), "broadcast buffer %q reassigned while still holding %d reference(s) acquired at %s (the old buffer leaks)",
+						obj.Name(), old.count, w.pass.Fset.Position(old.acquiredAt))
+				}
+				ns := &bufState{count: 1, exact: true, acquiredAt: call.Pos()}
+				if len(st.Lhs) == 2 {
+					ns.errObj = identObj(w.pass.Info, st.Lhs[1])
+				}
+				w.vars[obj] = ns
+				return
+			}
+		}
+	}
+	// General assignment: scan RHS for events, then record transfers.
+	for _, e := range st.Rhs {
+		w.scanExpr(e, false)
+	}
+	for i, lhs := range st.Lhs {
+		if i < len(st.Rhs) {
+			if obj, s := w.trackedIdent(st.Rhs[i]); obj != nil {
+				// Alias (x := bc) or store (m.f = bc, xs[i] = bc): in both
+				// cases counting per-variable stops being meaningful.
+				w.use(obj, s, st.Rhs[i].Pos())
+				w.escape(obj, s)
+			}
+		}
+		// Overwriting a variable that still holds references leaks them.
+		if obj := identObj(w.pass.Info, lhs); obj != nil && isBroadcastPtr(obj.Type()) {
+			if old, ok := w.vars[obj]; ok && !old.lost && !old.dead && old.exact && old.count > 0 {
+				w.pass.Reportf(st.Pos(), "broadcast buffer %q reassigned while still holding %d reference(s) acquired at %s (the old buffer leaks)",
+					obj.Name(), old.count, w.pass.Fset.Position(old.acquiredAt))
+			}
+			w.vars[obj] = &bufState{}
+		} else {
+			w.scanExpr(lhs, false)
+		}
+	}
+}
+
+// handleAsyncCall treats `defer bc.Release()` as a credited release and any
+// other deferred/spawned use of a tracked variable as an escape (the call
+// runs outside this statement order).
+func (w *bufWalker) handleAsyncCall(call *ast.CallExpr, isDefer bool) {
+	if isDefer {
+		if obj, s, ok := w.broadcastMethodCall(call, "Release"); ok {
+			s.deferred++
+			_ = obj
+			return
+		}
+	}
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, s := w.trackedIdent(id); obj != nil {
+				w.use(obj, s, id.Pos())
+				w.escape(obj, s)
+			}
+		}
+		return true
+	})
+}
+
+// broadcastMethodCall matches bc.<name>() on a tracked identifier.
+func (w *bufWalker) broadcastMethodCall(call *ast.CallExpr, name string) (types.Object, *bufState, bool) {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil || fn.Name() != name {
+		return nil, nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isBroadcastPtr(sig.Recv().Type()) {
+		return nil, nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	obj, s := w.trackedIdent(sel.X)
+	if obj == nil {
+		return nil, nil, false
+	}
+	return obj, s, true
+}
+
+func (w *bufWalker) isNewBroadcast(call *ast.CallExpr) bool {
+	fn := calleeFunc(w.pass.Info, call)
+	return fn != nil && fn.Name() == "NewBroadcast" && funcPkgPath(fn) == "repro/internal/wire"
+}
+
+// transferOrScan handles value positions that transfer ownership outright
+// (return values, channel sends).
+func (w *bufWalker) transferOrScan(e ast.Expr) {
+	if obj, s := w.trackedIdent(e); obj != nil {
+		w.use(obj, s, e.Pos())
+		w.escape(obj, s)
+		return
+	}
+	w.scanExpr(e, true)
+}
+
+// scanExpr walks an expression for reference events. escape marks contexts
+// where a bare tracked identifier would come to rest somewhere else (inside
+// a composite literal, address-of, …) and therefore transfers ownership.
+func (w *bufWalker) scanExpr(e ast.Expr, escape bool) {
+	if e == nil {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, s := w.trackedIdent(e); obj != nil {
+			w.use(obj, s, e.Pos())
+			if escape {
+				w.escape(obj, s)
+			}
+		}
+	case *ast.CallExpr:
+		w.scanCall(e)
+	case *ast.SelectorExpr:
+		w.scanExpr(e.X, false)
+	case *ast.UnaryExpr:
+		w.scanExpr(e.X, e.Op == token.AND || escape)
+	case *ast.StarExpr:
+		w.scanExpr(e.X, false)
+	case *ast.BinaryExpr:
+		w.scanExpr(e.X, false)
+		w.scanExpr(e.Y, false)
+	case *ast.IndexExpr:
+		w.scanExpr(e.X, false)
+		w.scanExpr(e.Index, false)
+	case *ast.SliceExpr:
+		w.scanExpr(e.X, false)
+		w.scanExpr(e.Low, false)
+		w.scanExpr(e.High, false)
+		w.scanExpr(e.Max, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			w.scanExpr(v, true) // stored into the literal: ownership transfer
+		}
+	case *ast.TypeAssertExpr:
+		w.scanExpr(e.X, false)
+	case *ast.KeyValueExpr:
+		w.scanExpr(e.Value, escape)
+	case *ast.FuncLit:
+		// The literal body runs later (and is analyzed independently);
+		// captured buffers escape this function's ordering.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj, s := w.trackedIdent(id); obj != nil {
+					w.escape(obj, s)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// scanCall processes one call expression: Retain/Release events on tracked
+// receivers, consumption of tracked direct arguments (the enqueue/deliver
+// ownership convention), and plain uses everywhere else.
+func (w *bufWalker) scanCall(call *ast.CallExpr) {
+	if obj, s, ok := w.broadcastMethodCall(call, "Retain"); ok {
+		w.retain(obj, s, call.Pos())
+		return
+	}
+	if obj, s, ok := w.broadcastMethodCall(call, "Release"); ok {
+		w.drop(obj, s, call.Pos(), "Released")
+		return
+	}
+	// Receiver and nested arguments are uses; a tracked identifier passed
+	// directly as an argument hands one reference to the callee.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.scanExpr(sel.X, false)
+	}
+	for _, a := range call.Args {
+		if obj, s := w.trackedIdent(a); obj != nil {
+			w.use(obj, s, a.Pos())
+			if !s.lost {
+				w.drop(obj, s, a.Pos(), "consumed (passed to a call)")
+				// Keep the drop message accurate: a consume that empties the
+				// count transfers the buffer rather than releasing it, but
+				// the dead-state bookkeeping is identical.
+			}
+			continue
+		}
+		w.scanExpr(a, true)
+	}
+}

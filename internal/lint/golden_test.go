@@ -2,8 +2,10 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -68,7 +70,7 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"opalias", "tscompare", "locksend", "errdrop", "nopanic", "cachemut"} {
+	for _, name := range []string{"opalias", "tscompare", "locksend", "errdrop", "nopanic", "cachemut", "bufref", "atomicmix"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			pkg, err := loader.LoadDir(dir, "lintfixture/"+name)
@@ -99,6 +101,65 @@ func TestGolden(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestAllowReason checks the lint-on-lint pass against its fixture. The
+// expectations are a table rather than // want comments: allowreason
+// diagnostics attach to the //lint:allow comments themselves, and a line
+// comment swallows the rest of its line, leaving nowhere to put a marker.
+func TestAllowReason(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "allowreason"), "lintfixture/allowreason")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Errors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.Errors)
+	}
+	type exp struct {
+		fn        string // the fixture function whose suppression is malformed
+		substring string
+	}
+	expected := []exp{
+		{"missingColon", "must separate analyzers from the reason with a colon"},
+		{"emptyReason", "has no reason"},
+		{"unknownName", `unknown analyzer "nopnaic"`},
+		{"noNames", "names no analyzer"},
+	}
+	// Resolve each function name to its body's line range so expectations
+	// survive fixture edits.
+	lineToFn := make(map[int]string)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				for l := pkg.Fset.Position(fd.Pos()).Line; l <= pkg.Fset.Position(fd.Body.Rbrace).Line; l++ {
+					lineToFn[l] = fd.Name.Name
+				}
+			}
+		}
+	}
+	var got []exp
+	for _, d := range Run(pkg, []*Analyzer{analyzerNamed(t, "allowreason")}) {
+		got = append(got, exp{lineToFn[d.Pos.Line], d.Message})
+	}
+	for _, e := range expected {
+		found := false
+		for _, g := range got {
+			if g.fn == e.fn && strings.Contains(g.substring, e.substring) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no allowreason diagnostic in %s containing %q (got %v)", e.fn, e.substring, got)
+		}
+	}
+	if len(got) != len(expected) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(got), len(expected), got)
 	}
 }
 

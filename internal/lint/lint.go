@@ -14,11 +14,13 @@
 // Findings can be suppressed with an inline comment on the offending line or
 // the line directly above it:
 //
-//	//lint:allow tscompare — assertion against expected constants, not ordering
+//	//lint:allow tscompare: assertion against expected constants, not ordering
 //
-// The comment names one or more analyzers (comma-separated); everything
-// after the list is free-form justification. Suppressions are honored by the
-// driver and surfaced with -show-suppressed.
+// The comment names one or more analyzers (comma-separated), then a colon,
+// then a mandatory free-form justification. Suppressions are honored by the
+// driver and surfaced with -show-suppressed; the allowreason analyzer
+// rejects suppressions that name unknown analyzers or omit the reason, so
+// every silenced finding in the tree documents why it is safe.
 package lint
 
 import (
@@ -45,7 +47,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{OpAlias, TSCompare, LockSend, ErrDrop, NoPanic, CacheMut}
+	return []*Analyzer{OpAlias, TSCompare, LockSend, ErrDrop, NoPanic, CacheMut, BufRef, AtomicMix, AllowReason}
 }
 
 // ByName resolves a comma-separated analyzer list against the suite.
@@ -161,14 +163,12 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[fileLine]map[stri
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:allow") {
+				rest, ok := allowBody(c.Text)
+				if !ok {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				names, _, _ := splitAllow(rest)
+				if len(names) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
@@ -176,15 +176,96 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[fileLine]map[stri
 				if out[key] == nil {
 					out[key] = make(map[string]bool)
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						out[key][name] = true
-					}
+				for _, name := range names {
+					out[key][name] = true
 				}
 			}
 		}
 	}
 	return out
+}
+
+// allowBody extracts the text after "lint:allow" when the comment is a
+// suppression, distinguishing real suppressions from doc-comment examples
+// (which keep their own leading "//" and therefore do not match).
+func allowBody(comment string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "lint:allow") {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, "lint:allow")), true
+}
+
+// splitAllow parses the body of a suppression into its analyzer names and
+// reason. The canonical form is "name[,name]: reason"; hasColon reports
+// whether the body used it. Legacy bodies without a colon parse their first
+// field as the name list and everything after it as the reason, keeping old
+// comments suppressing (so a migration cannot silently unleash findings)
+// while allowreason flags them for rewriting.
+func splitAllow(body string) (names []string, reason string, hasColon bool) {
+	var namePart string
+	if idx := strings.Index(body, ":"); idx >= 0 {
+		namePart, reason, hasColon = body[:idx], strings.TrimSpace(body[idx+1:]), true
+	} else {
+		fields := strings.Fields(body)
+		if len(fields) == 0 {
+			return nil, "", false
+		}
+		namePart = fields[0]
+		reason = strings.TrimSpace(strings.TrimPrefix(body, fields[0]))
+	}
+	for _, name := range strings.Split(namePart, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names, reason, hasColon
+}
+
+// AllowReason is the lint-on-lint pass: every //lint:allow suppression must
+// name known analyzers and carry a reason in the canonical
+// "//lint:allow name[,name]: reason" form. A suppression is a claim that a
+// finding is intentional; without the reason the claim is unreviewable, and
+// with a typoed analyzer name it silently suppresses nothing.
+var AllowReason = &Analyzer{
+	Name: "allowreason",
+	Doc:  "suppression comment missing its ': <reason>' suffix or naming an unknown analyzer",
+	// Run is bound in init: runAllowReason consults All(), which includes
+	// AllowReason itself — binding it here would be an initialization cycle.
+}
+
+func init() { AllowReason.Run = runAllowReason }
+
+func runAllowReason(pass *Pass) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := allowBody(c.Text)
+				if !ok {
+					continue
+				}
+				names, reason, hasColon := splitAllow(body)
+				switch {
+				case len(names) == 0:
+					pass.Reportf(c.Pos(), "suppression names no analyzer; write //lint:allow <name>: <reason>")
+					continue
+				case !hasColon:
+					pass.Reportf(c.Pos(), "suppression must separate analyzers from the reason with a colon: //lint:allow %s: <reason>", strings.Join(names, ","))
+				case reason == "":
+					pass.Reportf(c.Pos(), "suppression for %s has no reason; a suppression is a claim, justify it after the colon", strings.Join(names, ","))
+				}
+				for _, name := range names {
+					if !known[name] {
+						pass.Reportf(c.Pos(), "suppression names unknown analyzer %q (known: see cvclint -list); it suppresses nothing", name)
+					}
+				}
+			}
+		}
+	}
 }
 
 // --- shared type helpers used by the analyzers ---------------------------

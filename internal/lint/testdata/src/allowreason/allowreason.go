@@ -1,0 +1,37 @@
+// Fixture for the allowreason analyzer: every //lint:allow suppression must
+// use the canonical "name[,name]: reason" form and name real analyzers.
+// Expectations live in TestAllowReason (golden_test.go) rather than in
+// // want comments: the diagnostics attach to the suppression comments
+// themselves, and a line comment swallows the rest of its line, leaving no
+// room for a trailing want marker.
+package fixture
+
+// Canonical forms: accepted.
+func ok() {
+	_ = recover() //lint:allow nopanic: handler at the top of the dispatch loop
+}
+
+func okMulti() {
+	_ = recover() //lint:allow nopanic,errdrop: fixture exercising the list form
+}
+
+// Legacy form: names parse (the suppression still works) but the missing
+// colon is flagged.
+func missingColon() {
+	_ = recover() //lint:allow nopanic legacy comment without the separator
+}
+
+// A colon with nothing after it leaves the claim unjustified.
+func emptyReason() {
+	_ = recover() //lint:allow nopanic:
+}
+
+// A typo'd analyzer name suppresses nothing.
+func unknownName() {
+	_ = recover() //lint:allow nopnaic: typo in the analyzer name
+}
+
+// No analyzer at all.
+func noNames() {
+	_ = recover() //lint:allow : a reason with nobody to apply it to
+}

@@ -1,0 +1,101 @@
+// Fixture for the atomicmix analyzer: memory touched through sync/atomic —
+// by address-taking calls or by the typed atomic.* values — must never also
+// be accessed plainly outside the owning constructor. The layout mirrors the
+// real surfaces: internal/obs sharded counters (typed atomics behind
+// methods), the wire metrics arrays, and function-style counters.
+package fixture
+
+import "sync/atomic"
+
+// --- function-style atomics ----------------------------------------------
+
+// Counter drives n exclusively through sync/atomic calls.
+type Counter struct {
+	n    int64
+	name string
+}
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *Counter) Get() int64 { return atomic.LoadInt64(&c.n) }
+
+// NewCounter may seed the field plainly: the value is not yet published.
+func NewCounter(seed int64) *Counter {
+	c := &Counter{}
+	c.n = seed
+	return c
+}
+
+// Non-atomic fields on the same struct stay out of scope.
+func (c *Counter) Name() string { return c.name }
+
+// A plain read tears under concurrent atomic writers.
+func (c *Counter) roguePeek() int64 {
+	return c.n // want "field n is read plainly"
+}
+
+// The innocent-looking reset races every atomic reader.
+func (c *Counter) rogueReset() {
+	c.n = 0 // want "field n is written plainly"
+}
+
+// Increment outside the atomic loses updates.
+func (c *Counter) rogueBump() {
+	c.n++ // want "field n is written plainly"
+}
+
+// Package-level variables follow the same discipline (and have no
+// constructor exemption).
+var hits uint64
+
+func bump() { atomic.AddUint64(&hits, 1) }
+
+func roguePackagePeek() uint64 {
+	return hits // want "field hits is read plainly"
+}
+
+// --- typed atomics --------------------------------------------------------
+
+type gauge struct {
+	flag atomic.Bool
+	v    atomic.Int64
+}
+
+// Methods are the only operations a typed atomic supports.
+func (g *gauge) set() {
+	g.flag.Store(true)
+	g.v.Add(1)
+}
+
+// Arrays of typed atomics: indexing, index-only ranging, len, and taking an
+// element's address all preserve the discipline.
+var slots [4]atomic.Uint64
+
+func slotSum() uint64 {
+	var sum uint64
+	for i := range slots {
+		sum += slots[i].Load()
+	}
+	return sum
+}
+
+func slotCount() int { return len(slots) }
+
+func slotPtr(i int) *atomic.Uint64 { return &slots[i] }
+
+// Overwriting a typed atomic is the non-atomic reset in disguise.
+func (g *gauge) rogueClear() {
+	g.flag = atomic.Bool{} // want "non-atomically"
+}
+
+// Copying a typed atomic detaches the copy from every concurrent writer.
+func (g *gauge) rogueSnapshot() {
+	_ = g.v // want "atomic-typed value g.v copied or read"
+}
+
+// Passing an array of atomics by value copies every element non-atomically.
+func consume(x [4]atomic.Uint64) {}
+
+func rogueByValue() {
+	consume(slots) // want "atomic-typed value slots copied or read"
+}

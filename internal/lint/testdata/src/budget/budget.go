@@ -1,0 +1,25 @@
+// Fixture for the allocation-budget gate: a tiny package with known
+// function extents, driven by a fake compiler-output runner in
+// budget_test.go. Line positions matter only relatively — attribution is
+// tested by matching fake diagnostics against these declarations.
+package fixture
+
+// Ring is a guarded hot type.
+type Ring struct{ buf []int }
+
+// Push is escape-free today; the fake runner pretends otherwise.
+func (r *Ring) Push(v int) {
+	r.buf[0] = v
+}
+
+// Grow allocates by design.
+func Grow(n int) []int {
+	out := make([]int, n)
+	return out
+}
+
+// hook is a file-level closure: no FuncDecl, so escapes inside it attribute
+// to no guarded function.
+var hook = func() int {
+	return len(make([]int, 8))
+}

@@ -1,0 +1,161 @@
+// Fixture for the bufref analyzer: reference-counting discipline of the
+// pooled *wire.Broadcast buffers. The clean functions mirror the real
+// call-sites (repro.Integrate's Retain-then-enqueue fan-out, the
+// EnqueueBroadcast ownership convention, ownership transfer into fields and
+// channels); the rogue functions seed the defect classes the analyzer
+// exists to catch.
+package fixture
+
+import (
+	"repro/internal/causal"
+	"repro/internal/core"
+	"repro/internal/op"
+	"repro/internal/wire"
+)
+
+// enqueue stands in for Sender.EnqueueBroadcast: it takes ownership of one
+// reference per call.
+func enqueue(bc *wire.Broadcast) {
+	_ = bc
+}
+
+// --- clean patterns -------------------------------------------------------
+
+// The fan-out idiom: one Retain per destination, each enqueue consumes one,
+// the creator drops its own reference at the end. The loop body is
+// reference-balanced, so tracking survives it.
+func fanout(dests []int) error {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return err
+	}
+	for range dests {
+		bc.Retain()
+		enqueue(bc)
+	}
+	bc.Release()
+	return nil
+}
+
+// Deferred release pairs with the acquisition on every path.
+func deferredRelease() (int, error) {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return 0, err
+	}
+	defer bc.Release()
+	return bc.WireSize(0, core.Timestamp{}), nil
+}
+
+// Storing into a field transfers ownership to the holder.
+type holder struct{ bc *wire.Broadcast }
+
+func stash(h *holder) error {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return err
+	}
+	h.bc = bc
+	return nil
+}
+
+// Sending on a channel transfers ownership to the receiver.
+func send(ch chan *wire.Broadcast) error {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return err
+	}
+	ch <- bc
+	return nil
+}
+
+// Returning the buffer hands the caller the reference.
+func create() (*wire.Broadcast, error) {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return nil, err
+	}
+	return bc, nil
+}
+
+// A callee handed a buffer owns at most one reference it may consume —
+// either by releasing it on the refusal path or by passing it on.
+func deliver(bc *wire.Broadcast, refused bool) {
+	if refused {
+		bc.Release()
+		return
+	}
+	enqueue(bc)
+}
+
+// --- seeded defects -------------------------------------------------------
+
+// Use after the last reference was dropped: the pool may already have
+// recycled the buffer into another broadcast.
+func rogueUseAfterRelease() int {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return 0
+	}
+	bc.Release()
+	return bc.WireSize(0, core.Timestamp{}) // want "used after its last reference was dropped"
+}
+
+// Double release underflows the refcount and poisons the pool.
+func rogueDoubleRelease() {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return
+	}
+	bc.Release()
+	bc.Release() // want "Released again after its last reference was dropped"
+}
+
+// Passing the buffer to a consuming call transfers the only reference; the
+// release that follows frees someone else's buffer.
+func rogueConsumeThenRelease() {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return
+	}
+	enqueue(bc)
+	bc.Release() // want "Released again after its last reference was dropped"
+}
+
+// Retaining a dead buffer resurrects pooled memory.
+func rogueResurrect(bc *wire.Broadcast) {
+	bc.Release()
+	bc.Retain() // want "Retained after its last reference was dropped"
+}
+
+// A path that returns while still holding the acquired reference leaks the
+// buffer (and its tail allocation) forever.
+func rogueLeak() int {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return 0
+	}
+	n := bc.WireSize(0, core.Timestamp{})
+	return n // want "still holds 1 reference"
+}
+
+// A borrowed buffer retained without a matching release leaks one reference
+// per call.
+func rogueRetainNoRelease(bc *wire.Broadcast) {
+	bc.Retain()
+	return // want "still holds 1 reference"
+}
+
+// Reassigning the variable while it still holds the old buffer drops the
+// only handle to it.
+func rogueReassign() {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return
+	}
+	bc, err = wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New()) // want "reassigned while still holding 1 reference"
+	if err != nil {
+		return
+	}
+	bc.Release()
+}

@@ -13,7 +13,7 @@ func panics(x int) int {
 
 func allowlisted(x int) int {
 	if x < 0 {
-		//lint:allow nopanic — fixture: unreachable precondition guard
+		//lint:allow nopanic: fixture — unreachable precondition guard
 		panic("negative")
 	}
 	return x

@@ -32,6 +32,6 @@ func plainCounters(x, y uint64) bool {
 
 // suppressed demonstrates the driver-honored escape hatch.
 func suppressed(a, b core.Timestamp) bool {
-	//lint:allow tscompare — fixture: asserting equality in a test helper, not ordering
+	//lint:allow tscompare: fixture — asserting equality in a test helper, not ordering
 	return a.T2 == b.T2
 }

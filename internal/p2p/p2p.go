@@ -55,7 +55,7 @@ type Node struct {
 // NewNode returns node id of n sites.
 func NewNode(id, n int) *Node {
 	if id < 0 || id >= n {
-		//lint:allow nopanic — precondition guard: node id outside the fixed mesh is a caller bug
+		//lint:allow nopanic: precondition guard — node id outside the fixed mesh is a caller bug
 		panic(fmt.Sprintf("p2p: node id %d of %d", id, n))
 	}
 	return &Node{id: id, n: n, sv: vclock.New(n)}

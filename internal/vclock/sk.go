@@ -53,7 +53,7 @@ func (p *SKProcess) LocalEvent() VC {
 // same destination.
 func (p *SKProcess) Send(to int) []Entry {
 	if to < 0 || to >= len(p.vc) {
-		//lint:allow nopanic — precondition guard: destination outside the fixed process set is a caller bug
+		//lint:allow nopanic: precondition guard — destination outside the fixed process set is a caller bug
 		panic(fmt.Sprintf("vclock: SK send to %d of %d", to, len(p.vc)))
 	}
 	p.LocalEvent()

@@ -36,7 +36,7 @@ func (v VC) Inc(i int) VC {
 // Merge sets v to the component-wise maximum of v and o.
 func (v VC) Merge(o VC) {
 	if len(v) != len(o) {
-		//lint:allow nopanic — precondition guard: mismatched vector sizes indicate a caller bug
+		//lint:allow nopanic: precondition guard — mismatched vector sizes indicate a caller bug
 		panic(fmt.Sprintf("vclock: merge of sizes %d and %d", len(v), len(o)))
 	}
 	for i, x := range o {
@@ -103,7 +103,7 @@ func (r Relation) String() string {
 // Compare determines the causal relation between two clocks of equal size.
 func Compare(a, b VC) Relation {
 	if len(a) != len(b) {
-		//lint:allow nopanic — precondition guard: mismatched vector sizes indicate a caller bug
+		//lint:allow nopanic: precondition guard — mismatched vector sizes indicate a caller bug
 		panic(fmt.Sprintf("vclock: compare of sizes %d and %d", len(a), len(b)))
 	}
 	less, greater := false, false

@@ -18,7 +18,13 @@ step "go vet ./..."
 go vet ./...
 
 step "cvclint ./..."
-go run ./cmd/cvclint ./...
+go run ./cmd/cvclint -summary ./...
+
+# The allocation budget: hot functions named in lint/budget.json must stay
+# heap-escape-free. The build cache replays the -gcflags='-m -m' diagnostics,
+# so a warm run costs a second or two.
+step "cvclint -budget"
+go run ./cmd/cvclint -budget
 
 step "go test ./..."
 go test ./...
