@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -21,7 +23,24 @@ func TestChaosDisconnectsAndRejoins(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nt.Close()
+	runChaosChurn(t, ln, nt)
+}
 
+// TestChaosLeanNotifier runs the same churn against the goroutine-lean
+// connection layer (shared writer pool + event dispatcher): pooled drains
+// and dispatched reads must be behaviorally indistinguishable from the
+// dedicated-goroutine layout under disconnects and races.
+func TestChaosLeanNotifier(t *testing.T) {
+	ln := transport.NewMemListener()
+	nt, err := ServeLean(ln, "chaos base document", LeanOptions{WriterPool: -1, EventDispatch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	runChaosChurn(t, ln, nt)
+}
+
+func runChaosChurn(t *testing.T, ln *transport.MemListener, nt *Notifier) {
 	dial := func() *Editor {
 		t.Helper()
 		conn, err := ln.Dial()
@@ -165,6 +184,89 @@ func TestSlowConsumerDoesNotBlockOthers(t *testing.T) {
 	waitQuiet(t, nt, a, b)
 	if a.Text() != b.Text() || len(a.Text()) != 500 {
 		t.Fatalf("healthy editors stalled: %d/%d runes", len(a.Text()), len(b.Text()))
+	}
+}
+
+// TestChaosDehydrateMidBurst forces sessions to dehydrate between write
+// bursts with an aggressively small idle period while the goroutine-lean
+// layer (writer pool + event dispatch) carries the traffic. Every park must
+// be either aborted cleanly or rehydrated transparently: both editors of
+// every session converge byte-identically on the full edit volume.
+func TestChaosDehydrateMidBurst(t *testing.T) {
+	reg := obs.NewRegistry("srv")
+	ln := transport.NewMemListener()
+	mgr := server.NewManager(
+		server.WithObservability(reg),
+		server.WithIdleDehydrate(2*time.Millisecond),
+	)
+	svc := server.Serve(ln, mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
+	defer mgr.Close()
+	defer svc.Close()
+
+	const (
+		sessions = 3
+		rounds   = 20
+		perRound = 3
+	)
+	type pair struct{ a, b *Editor }
+	docs := make([]pair, sessions)
+	for i := range docs {
+		name := fmt.Sprintf("doc%d", i)
+		for _, ed := range []**Editor{&docs[i].a, &docs[i].b} {
+			conn, err := ln.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := ConnectSession(conn, name, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			*ed = e
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for _, d := range docs {
+			for _, e := range []*Editor{d.a, d.b} {
+				wg.Add(1)
+				go func(e *Editor) {
+					defer wg.Done()
+					for k := 0; k < perRound; k++ {
+						if err := e.Insert(0, "z"); err != nil {
+							t.Errorf("site %d: %v", e.Site(), err)
+							return
+						}
+					}
+				}(e)
+			}
+		}
+		wg.Wait()
+		if round%4 == 3 {
+			time.Sleep(8 * time.Millisecond) // a park-sized gap mid-burst
+		}
+	}
+
+	want := 2 * rounds * perRound
+	deadline := time.Now().Add(15 * time.Second)
+	for i, d := range docs {
+		for {
+			ta, tb := d.a.Text(), d.b.Text()
+			if len(ta) == want && ta == tb {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("doc%d never converged: %d/%d runes, identical=%v",
+					i, len(ta), len(tb), ta == tb)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// The gaps are park-sized, so at least one session must actually have
+	// gone through a full dehydrate/rehydrate cycle mid-test.
+	if got := reg.Snapshot().Counters[obs.CSessionRehydrations]; got == 0 {
+		t.Fatal("no session ever rehydrated; idle period never triggered")
 	}
 }
 

@@ -7,7 +7,10 @@
 //	cvcbench -exp e7    concurrency-check cost vs N
 //	cvcbench -exp e8    no-OT ablation: divergence and mismatch rates
 //	cvcbench -exp e9    mesh baseline: full VC vs SK vs CVC bytes
-//	cvcbench -exp all   everything
+//	cvcbench -exp e13   idle-connection capacity of the goroutine-lean layer
+//	cvcbench -exp all   everything except e13 (the capacity run holds ~100k
+//	                    connections; run it explicitly, sized by E13_MEM_CONNS
+//	                    and E13_TCP_CONNS)
 package main
 
 import (
@@ -15,23 +18,32 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"syscall"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/p2p"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/transport"
 	"repro/internal/vclock"
+	"repro/internal/wire"
 )
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment id (e3..e9 or all)")
+	exp := flag.String("exp", "all", "experiment id (e3..e10, e13, or all)")
 	seeds := flag.Int("seeds", 3, "seeds per configuration")
 	flag.Parse()
 
 	runners := map[string]func(int){
 		"e3": e3, "e4": e4, "e5": e5, "e6": e6, "e7": e7, "e8": e8, "e9": e9, "e10": e10,
+		"e13": e13,
 	}
 	if *exp == "all" {
 		for _, id := range []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"} {
@@ -259,6 +271,191 @@ func e10(seeds int) {
 	fmt.Print(tb.String())
 	fmt.Println("\nShape check: structures track in-flight work (latency × rate), and the")
 	fmt.Println("per-client structures stay small as N grows; nothing grows with session age.")
+}
+
+// e13: connection capacity of the goroutine-lean layer (shared writer pool,
+// event dispatcher, idle-session dehydration). Holds a large idle fleet —
+// E13_MEM_CONNS in-memory connections (default 100000) and E13_TCP_CONNS real
+// loopback TCP connections (default 10000, clamped to the file-descriptor
+// limit) — then measures goroutines and heap bytes per idle connection and
+// the editor→editor p99 round-trip of a ~1% active set with the fleet
+// attached. In-memory connections are event-capable, so idle ones cost zero
+// goroutines; TCP keeps one dedicated reader each (no portable readiness
+// without a blocked Read), dropping 2 goroutines/conn to 1.
+func e13(int) {
+	banner("E13", "goroutine-lean capacity: idle connections vs goroutines and bytes")
+	memConns := envInt("E13_MEM_CONNS", 100000)
+	tcpConns := e13TCPBudget(envInt("E13_TCP_CONNS", 10000))
+
+	var tb stats.Table
+	tb.Header("transport", "conns", "sessions", "goroutines", "g/conn", "B/conn", "active p99")
+	{
+		ln := transport.NewMemListener()
+		e13Fleet(&tb, "mem", memConns, ln, ln.Dial)
+	}
+	{
+		ln, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("e13: tcp listen: %v", err)
+		}
+		addr := ln.Addr()
+		e13Fleet(&tb, "tcp", tcpConns, ln, func() (transport.Conn, error) { return transport.DialTCP(addr) })
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nShape check: mem g/conn ~0 and tcp g/conn ~1 (reader only; the classic")
+	fmt.Println("layout costs 2/conn plus a resident session each); B/conn is dominated by")
+	fmt.Println("transport buffers, while a parked session itself is a compact checkpoint.")
+}
+
+// e13Fleet attaches an idle fleet over one transport, waits for every session
+// to dehydrate, measures per-connection cost, then runs the active set.
+func e13Fleet(tb *stats.Table, label string, conns int, ln transport.Listener, dial func() (transport.Conn, error)) {
+	const perSession = 32
+	sessions := (conns + perSession - 1) / perSession
+	mgr := server.NewManager(server.WithIdleDehydrate(500 * time.Millisecond))
+	svc := server.Serve(ln, mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
+	defer mgr.Close()
+	defer svc.Close()
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g0 := runtime.NumGoroutine()
+
+	held := make([]transport.Conn, 0, conns)
+	defer func() {
+		for _, c := range held {
+			_ = c.Close()
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		c, err := dial()
+		if err != nil {
+			log.Fatalf("e13 %s: dial %d: %v", label, i, err)
+		}
+		if err := c.Send(wire.SessionJoinReq{Session: fmt.Sprintf("cold%05d", i%sessions)}); err != nil {
+			log.Fatalf("e13 %s: join %d: %v", label, i, err)
+		}
+		if _, err := c.Recv(); err != nil {
+			log.Fatalf("e13 %s: join resp %d: %v", label, i, err)
+		}
+		held = append(held, c)
+	}
+	log.Printf("e13 %s: %d connections attached across %d sessions in %v", label, conns, sessions, time.Since(start).Round(time.Millisecond))
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resident := 0
+		for _, st := range mgr.Stats() {
+			if st.Resident {
+				resident++
+			}
+		}
+		if resident == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("e13 %s: %d sessions never parked", label, resident)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	goroutines := runtime.NumGoroutine() - g0
+	bytesPer := float64(0)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		bytesPer = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(conns)
+	}
+
+	// The ~1% active set: editor pairs in hot sessions round-robin ops while
+	// the idle fleet stays attached; p99 is the a→b propagation round-trip.
+	nPairs := conns / 200
+	if nPairs < 1 {
+		nPairs = 1
+	}
+	if nPairs > 64 {
+		nPairs = 64 // bounded editor fleet keeps the client side cheap
+	}
+	type pair struct {
+		a, b *repro.Editor
+		seen int
+	}
+	pairs := make([]*pair, nPairs)
+	for i := range pairs {
+		name := fmt.Sprintf("hot%02d", i)
+		ca, err := dial()
+		if err != nil {
+			log.Fatalf("e13 %s: %v", label, err)
+		}
+		a, err := repro.ConnectSession(ca, name, 0)
+		if err != nil {
+			log.Fatalf("e13 %s: %v", label, err)
+		}
+		defer a.Close()
+		cb, err := dial()
+		if err != nil {
+			log.Fatalf("e13 %s: %v", label, err)
+		}
+		b, err := repro.ConnectSession(cb, name, 0)
+		if err != nil {
+			log.Fatalf("e13 %s: %v", label, err)
+		}
+		defer b.Close()
+		pairs[i] = &pair{a: a, b: b}
+	}
+	const ops = 2000
+	lat := make([]time.Duration, 0, ops)
+	for i := 0; i < ops; i++ {
+		p := pairs[i%len(pairs)]
+		t0 := time.Now()
+		if err := p.a.Insert(0, "x"); err != nil {
+			log.Fatalf("e13 %s: insert: %v", label, err)
+		}
+		p.seen++
+		for p.b.Len() != p.seen {
+			runtime.Gosched()
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	tb.Row(label, conns, sessions, goroutines,
+		fmt.Sprintf("%.3f", float64(goroutines)/float64(conns)),
+		fmt.Sprintf("%.0f", bytesPer),
+		lat[len(lat)*99/100].Round(time.Microsecond))
+}
+
+// e13TCPBudget clamps the TCP fleet to the file-descriptor limit (raising the
+// soft limit to the hard one first): each loopback connection costs two
+// descriptors in this single-process harness.
+func e13TCPBudget(want int) int {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return want
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+		_ = syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	budget := int(rl.Cur)/2 - 256
+	if budget < want {
+		log.Printf("e13: clamping tcp conns %d -> %d (RLIMIT_NOFILE %d)", want, budget, rl.Cur)
+		return budget
+	}
+	return want
+}
+
+// envInt reads an integer environment override.
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
 }
 
 // e9: the fully-distributed mesh baselines.

@@ -92,14 +92,14 @@ func render(w io.Writer, s obs.Snapshot) {
 		sessions = []obs.Snapshot{s}
 	}
 	var t stats.Table
-	t.Header("session", "sites", "ops", "doc", "hb", "clock_words", "checks", "transforms", "tf/op", "cache hit%", "recv p50", "recv p99")
+	t.Header("session", "res", "sites", "ops", "doc", "hb", "clock_words", "checks", "transforms", "tf/op", "cache hit%", "recv p50", "recv p99")
 	for _, c := range sessions {
 		name := c.Name
 		if name == "" || c.Name == s.Name {
 			name = "(default)"
 		}
 		h := c.Hists[obs.HReceiveNs]
-		t.Row(name,
+		t.Row(name, residentStr(c.Gauges),
 			c.Gauges[obs.GSites], c.Gauges[obs.GOpsRecv], c.Gauges[obs.GDocRunes],
 			c.Gauges[obs.GHBLen], c.Gauges[obs.GClockWords],
 			c.Counters["checks.total"], c.Counters["ot.transforms"],
@@ -123,6 +123,21 @@ func render(w io.Writer, s obs.Snapshot) {
 		p.Row("conn.queue.depth max", qh.Max)
 	}
 	fmt.Fprintln(w, p.String())
+}
+
+// residentStr renders the per-session residency bit: "yes" (live engine +
+// goroutine), "park" (dehydrated to a checkpoint), "-" (a server without the
+// idle-dehydration layer, which exposes no resident gauge).
+func residentStr(gauges map[string]int64) string {
+	v, ok := gauges[obs.GResident]
+	switch {
+	case !ok:
+		return "-"
+	case v != 0:
+		return "yes"
+	default:
+		return "park"
+	}
 }
 
 // durStr renders nanoseconds compactly.

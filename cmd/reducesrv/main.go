@@ -39,6 +39,8 @@ func main() {
 	multi := flag.Bool("multi", false, "serve many independent documents (clients pick one by session name; see internal/server)")
 	debug := flag.String("debug", "", "serve /metricz, /tracez, pprof and expvar on this address (empty disables)")
 	traceOn := flag.Bool("trace", false, "start with causality-decision tracing enabled (needs -debug; toggle later via POST /tracez?enable=)")
+	writerPool := flag.Int("writer-pool", 0, "drain outbound queues with this many shared writer goroutines (-1 = GOMAXPROCS, 0 = one dedicated writer per connection)")
+	idleDehydrate := flag.Duration("idle-dehydrate", 0, "with -multi: park sessions idle for this long into compact checkpoints (0 disables)")
 	flag.Parse()
 
 	initial := *text
@@ -76,20 +78,32 @@ func main() {
 		if *journalPath != "" {
 			log.Fatalf("reducesrv: -journal is not supported with -multi (per-session journals are not implemented)")
 		}
-		runMulti(ln, initial, *status, *debug, reg, ring, opts)
+		runMulti(ln, initial, *status, *debug, reg, ring, opts, *writerPool, *idleDehydrate)
 		return
+	}
+	if *idleDehydrate > 0 {
+		log.Fatalf("reducesrv: -idle-dehydrate needs -multi (the single-session notifier stays resident)")
 	}
 
 	if reg != nil {
 		opts = append(opts, core.WithServerMetrics(trace.MetricsOn(reg)), core.WithServerDecisionRing(ring, ""))
 	}
 	var nt *repro.Notifier
-	if *journalPath != "" {
+	switch {
+	case *journalPath != "":
+		if *writerPool != 0 {
+			log.Fatalf("reducesrv: -writer-pool is not supported with -journal yet")
+		}
 		nt, err = repro.ServeWithJournal(ln, initial, *journalPath, opts...)
 		if err == nil {
 			log.Printf("reducesrv: journaling to %s", *journalPath)
 		}
-	} else {
+	case *writerPool != 0:
+		// The lean connection layer: pooled writers (and, on event-capable
+		// transports, dispatched readers — TCP keeps dedicated readers).
+		nt, err = repro.ServeLean(ln, initial,
+			repro.LeanOptions{WriterPool: *writerPool, EventDispatch: *writerPool}, opts...)
+	default:
 		nt, err = repro.Serve(ln, initial, opts...)
 	}
 	if err != nil {
@@ -120,7 +134,7 @@ func main() {
 // runMulti serves many documents concurrently: each session name maps to an
 // independent notifier engine on its own goroutine (internal/server), so
 // unrelated documents scale across cores instead of sharing one lock.
-func runMulti(ln transport.Listener, initial string, status time.Duration, debug string, reg *obs.Registry, ring *obs.DecisionRing, opts []core.ServerOption) {
+func runMulti(ln transport.Listener, initial string, status time.Duration, debug string, reg *obs.Registry, ring *obs.DecisionRing, opts []core.ServerOption, writerPool int, idleDehydrate time.Duration) {
 	mopts := []server.ManagerOption{
 		server.WithInitialText(initial),
 		server.WithEngineOptions(opts...),
@@ -128,8 +142,16 @@ func runMulti(ln transport.Listener, initial string, status time.Duration, debug
 	if reg != nil {
 		mopts = append(mopts, server.WithObservability(reg), server.WithDecisionRing(ring))
 	}
+	if idleDehydrate > 0 {
+		mopts = append(mopts, server.WithIdleDehydrate(idleDehydrate))
+		log.Printf("reducesrv: sessions idle for %v dehydrate to checkpoints", idleDehydrate)
+	}
 	mgr := server.NewManager(mopts...)
-	svc := server.Serve(ln, mgr)
+	var sopts []server.ServeOption
+	if writerPool != 0 {
+		sopts = append(sopts, server.WithWriterPool(writerPool), server.WithEventDispatch(writerPool))
+	}
+	svc := server.Serve(ln, mgr, sopts...)
 	log.Printf("reducesrv: multi-session notifier listening on %s (%d bytes of initial text per new session)",
 		svc.Addr(), len(initial))
 	if reg != nil {

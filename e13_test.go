@@ -1,0 +1,236 @@
+package repro
+
+// E13 — connection capacity of the goroutine-lean layer. The classic layout
+// spends two goroutines (reader + writer) and a resident session per
+// connection; the lean layout (shared writer pool, event dispatcher, idle
+// dehydration) spends zero goroutines on an idle in-memory connection and
+// parks idle sessions into compact checkpoints. The smoke test pins the
+// O(pool) goroutine claim at 1k connections; BenchmarkE13IdleConnections
+// measures goroutines/conn, heap bytes/idle conn, and the active-path p99
+// round-trip while the idle fleet is attached (EXPERIMENTS.md E13).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// joinIdleSession dials a raw connection into the named session and consumes
+// the join response. The connection then sits idle: no client-side goroutine
+// (the mem transport is passive), and with the lean server layer no
+// server-side goroutine either.
+func joinIdleSession(ln *transport.MemListener, name string) (transport.Conn, error) {
+	conn, err := ln.Dial()
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(wire.SessionJoinReq{Session: name}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Recv(); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// waitAllParked polls until every session has dehydrated.
+func waitAllParked(tb testing.TB, mgr *server.Manager, timeout time.Duration) {
+	tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resident := 0
+		for _, st := range mgr.Stats() {
+			if st.Resident {
+				resident++
+			}
+		}
+		if resident == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("%d sessions still resident after %v", resident, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestE13GoroutineLean is the capacity smoke: 1000 idle connections across 50
+// sessions on the lean layer must cost O(pool) goroutines — not O(conns) —
+// once the fleet parks, and the server must still serve live traffic with the
+// idle fleet attached.
+func TestE13GoroutineLean(t *testing.T) {
+	const (
+		conns    = 1000
+		sessions = 50
+	)
+	ln := transport.NewMemListener()
+	mgr := server.NewManager(server.WithIdleDehydrate(20 * time.Millisecond))
+	svc := server.Serve(ln, mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
+	defer mgr.Close()
+	defer svc.Close()
+
+	g0 := runtime.NumGoroutine()
+	held := make([]transport.Conn, 0, conns)
+	defer func() {
+		for _, c := range held {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < conns; i++ {
+		c, err := joinIdleSession(ln, fmt.Sprintf("cold%02d", i%sessions))
+		if err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+		held = append(held, c)
+	}
+	waitAllParked(t, mgr, 30*time.Second)
+
+	// Transient worker/GC goroutines allow some slack, but the bound must be
+	// far below one-per-connection (the classic layout would add 2*conns).
+	if grew := runtime.NumGoroutine() - g0; grew > 16 {
+		t.Fatalf("goroutines grew by %d for %d idle connections; want O(pool) <= 16", grew, conns)
+	}
+
+	// Live traffic with the idle fleet attached: a hot session converges.
+	ca, _ := ln.Dial()
+	a, err := ConnectSession(ca, "hot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	cb, _ := ln.Dial()
+	bEd, err := ConnectSession(cb, "hot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bEd.Close()
+	for i := 0; i < 20; i++ {
+		if err := a.Insert(i, "h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for bEd.Len() != 20 || a.Len() != 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hot session stalled under idle fleet: %d/%d runes", a.Len(), bEd.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkE13IdleConnections holds an idle fleet (E13_CONNS, default 2048;
+// the cmd/cvcbench e13 mode drives this to 100k) with a ~1% active set and
+// reports capacity metrics: goroutines per idle connection, heap bytes per
+// idle connection (after the sessions park), and the p99 editor→editor
+// round-trip on the active set while the fleet is attached.
+func BenchmarkE13IdleConnections(b *testing.B) {
+	conns := 2048
+	if s := os.Getenv("E13_CONNS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			conns = v
+		}
+	}
+	const perSession = 32
+	sessions := (conns + perSession - 1) / perSession
+
+	ln := transport.NewMemListener()
+	mgr := server.NewManager(server.WithIdleDehydrate(10 * time.Millisecond))
+	svc := server.Serve(ln, mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
+	defer mgr.Close()
+	defer svc.Close()
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g0 := runtime.NumGoroutine()
+
+	held := make([]transport.Conn, 0, conns)
+	defer func() {
+		for _, c := range held {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < conns; i++ {
+		c, err := joinIdleSession(ln, fmt.Sprintf("cold%04d", i%sessions))
+		if err != nil {
+			b.Fatalf("conn %d: %v", i, err)
+		}
+		held = append(held, c)
+	}
+	waitAllParked(b, mgr, time.Minute)
+
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	bytesPer := float64(0)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		bytesPer = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(conns)
+	}
+	// Reported after the timed loop: ResetTimer deletes user metrics.
+	goroutinesPer := float64(runtime.NumGoroutine()-g0) / float64(conns)
+
+	// The ~1% active set: editor pairs in hot sessions, round-robin ops.
+	nPairs := conns / 200 // 2 editors per pair ≈ 1% of conns
+	if nPairs < 1 {
+		nPairs = 1
+	}
+	type pair struct {
+		a, b *Editor
+		seen int
+	}
+	hot := make([]*pair, nPairs)
+	for i := range hot {
+		name := fmt.Sprintf("hot%02d", i)
+		ca, err := ln.Dial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := ConnectSession(ca, name, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		cb, err := ln.Dial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		e2, err := ConnectSession(cb, name, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e2.Close()
+		hot[i] = &pair{a: a, b: e2}
+	}
+
+	b.ResetTimer()
+	lat := make([]time.Duration, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		p := hot[i%len(hot)]
+		start := time.Now()
+		if err := p.a.Insert(0, "x"); err != nil {
+			b.Fatal(err)
+		}
+		p.seen++
+		for p.b.Len() != p.seen {
+			runtime.Gosched()
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	b.ReportMetric(goroutinesPer, "goroutines_conn")
+	b.ReportMetric(bytesPer, "B_idleconn")
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[len(lat)*99/100]), "p99_ns")
+	}
+}

@@ -22,12 +22,30 @@ const (
 	// has ever been (Sender.HighWater maximum over connections).
 	GQueueHighWater = "conn.queue.highwater"
 
-	// Per-session engine gauges, evaluated on the session goroutine.
+	// Per-session engine gauges, evaluated on the session goroutine while
+	// resident and from the frozen park-time view while dehydrated.
 	GSites      = "sites"          // currently joined sites
 	GOpsRecv    = "ops.received"   // operations received over the lifetime
 	GDocRunes   = "doc.runes"      // document length in runes
 	GHBLen      = "hb.len"         // history-buffer entries alive
 	GClockWords = "hb.clock_words" // clock words kept to timestamp the HB (E4)
+
+	// GGoroutines is the process goroutine count (runtime.NumGoroutine) —
+	// the headline the goroutine-lean connection layer is judged by: it must
+	// stay O(pool + resident sessions), not O(connections) (E13).
+	GGoroutines = "runtime.goroutines"
+
+	// GResident is the per-session residency bit: 1 while the session holds
+	// a live engine + goroutine, 0 while dehydrated (or closed). Per-session
+	// dashboards (cvcstat) render it as the res column.
+	GResident = "resident"
+
+	// Fleet residency metrics (the manager's idle-dehydration state):
+	// resident sessions hold a goroutine + live engine, dehydrated ones only
+	// a compact checkpoint; rehydrations counts transparent restores.
+	GSessionsResident    = "sessions.resident"
+	GSessionsDehydrated  = "sessions.dehydrated"
+	CSessionRehydrations = "sessions.rehydrations"
 
 	// Process-wide sender counters (internal/transport): coalescing ratio is
 	// sender.msgs / sender.flushes.

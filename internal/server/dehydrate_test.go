@@ -1,0 +1,179 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+// waitDehydrated polls until the named session parks (or the deadline hits).
+func waitDehydrated(t *testing.T, mgr *server.Manager, name string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s, ok := mgr.Get(name)
+		if !ok {
+			t.Fatalf("session %q vanished", name)
+		}
+		if s.Dehydrated() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %q never dehydrated", name)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestIdleSessionDehydrates: an idle session parks after the configured
+// period, its stats remain readable without waking it, and the next
+// operation rehydrates it transparently with full state.
+func TestIdleSessionDehydrates(t *testing.T) {
+	reg := obs.NewRegistry("srv")
+	ln := transport.NewMemListener()
+	mgr := server.NewManager(
+		server.WithObservability(reg),
+		server.WithIdleDehydrate(20*time.Millisecond),
+	)
+	svc := server.Serve(ln, mgr)
+	defer mgr.Close()
+	defer svc.Close()
+
+	conn1, _ := ln.Dial()
+	e1, err := repro.ConnectSession(conn1, "doc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	conn2, _ := ln.Dial()
+	e2, err := repro.ConnectSession(conn2, "doc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := e1.Insert(i, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, []*repro.Editor{e1, e2}, strings.Repeat("a", 10))
+
+	waitDehydrated(t, mgr, "doc")
+
+	// Observation while parked: Stats answers from the frozen view and the
+	// session stays parked.
+	sess, _ := mgr.Get("doc")
+	st := sess.Stats()
+	if st.Resident {
+		t.Fatal("Stats claims resident on a dehydrated session")
+	}
+	if st.Sites != 2 || st.Ops != 10 || st.Doc != 10 {
+		t.Fatalf("parked stats = %+v, want 2 sites / 10 ops / 10 runes", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges[obs.GSessionsDehydrated] != 1 || snap.Gauges[obs.GSessionsResident] != 0 {
+		t.Fatalf("gauges: %d dehydrated / %d resident, want 1/0",
+			snap.Gauges[obs.GSessionsDehydrated], snap.Gauges[obs.GSessionsResident])
+	}
+	if !sess.Dehydrated() {
+		t.Fatal("observation rehydrated the session")
+	}
+
+	// The next operation rehydrates transparently; both editors converge on
+	// state that spans the park.
+	if err := e2.Insert(0, "B"); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, []*repro.Editor{e1, e2}, "B"+strings.Repeat("a", 10))
+	if got := reg.Snapshot().Counters[obs.CSessionRehydrations]; got != 1 {
+		t.Fatalf("rehydrations = %d, want 1", got)
+	}
+	if st := sess.Stats(); !st.Resident || st.Ops != 11 {
+		t.Fatalf("post-rehydrate stats = %+v, want resident with 11 ops", st)
+	}
+}
+
+// TestDehydrateRehydrateCycles: repeated park/rehydrate cycles never lose
+// state; every cycle's operation lands on the accumulated document.
+func TestDehydrateRehydrateCycles(t *testing.T) {
+	ln := transport.NewMemListener()
+	mgr := server.NewManager(server.WithIdleDehydrate(10 * time.Millisecond))
+	svc := server.Serve(ln, mgr)
+	defer mgr.Close()
+	defer svc.Close()
+
+	conn, _ := ln.Dial()
+	e, err := repro.ConnectSession(conn, "doc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	want := ""
+	for cycle := 0; cycle < 5; cycle++ {
+		waitDehydrated(t, mgr, "doc")
+		if err := e.Insert(len(want), "x"); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		want += "x"
+		waitConverged(t, []*repro.Editor{e}, want)
+	}
+}
+
+// TestCloseWhileDehydrated: closing a manager with parked sessions is clean
+// (no goroutine to stop, no hang) and later calls see ErrClosed.
+func TestCloseWhileDehydrated(t *testing.T) {
+	mgr := server.NewManager(server.WithIdleDehydrate(10 * time.Millisecond))
+	sess, err := mgr.GetOrCreate("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !sess.Dehydrated() {
+		if time.Now().After(deadline) {
+			t.Fatal("never dehydrated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Receive(core.ClientMsg{From: 1}); err != server.ErrClosed {
+		t.Fatalf("Receive after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestParkAbortsUnderLoad: a session under continuous traffic never loses an
+// operation even with an aggressively small idle period racing every gap.
+func TestParkAbortsUnderLoad(t *testing.T) {
+	ln := transport.NewMemListener()
+	mgr := server.NewManager(server.WithIdleDehydrate(time.Millisecond))
+	svc := server.Serve(ln, mgr)
+	defer mgr.Close()
+	defer svc.Close()
+
+	conn, _ := ln.Dial()
+	e, err := repro.ConnectSession(conn, "doc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := e.Insert(i, "y"); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if i%20 == 0 {
+			time.Sleep(2 * time.Millisecond) // leave park-sized gaps
+		}
+	}
+	waitConverged(t, []*repro.Editor{e}, strings.Repeat("y", n))
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -21,6 +22,11 @@ type Manager struct {
 	initial func(name string) string
 	engine  []core.ServerOption
 	queue   int
+	idleD   time.Duration
+
+	// rehydrations counts engine restores across all sessions (nil without
+	// observability).
+	rehydrations *obs.Counter
 
 	// obsReg, when non-nil, receives one child registry per session
 	// (engine counters, receive latency, size gauges); dropped sessions
@@ -79,6 +85,15 @@ func WithQueueDepth(n int) ManagerOption {
 	}
 }
 
+// WithIdleDehydrate enables cold-session dehydration: a session that
+// receives no commands for d drains, serializes its engine into a compact
+// in-memory checkpoint (core.Checkpoint), and exits its goroutine. The next
+// Join/Receive/RelayPresence rehydrates it transparently. d <= 0 (the
+// default) keeps every session resident forever.
+func WithIdleDehydrate(d time.Duration) ManagerOption {
+	return func(m *Manager) { m.idleD = d }
+}
+
 // NewManager returns an empty manager; sessions are created on first use.
 func NewManager(opts ...ManagerOption) *Manager {
 	m := &Manager{
@@ -89,6 +104,32 @@ func NewManager(opts ...ManagerOption) *Manager {
 		o(m)
 	}
 	m.reg.Store(registry{})
+	if m.obsReg != nil {
+		// Fleet-level residency metrics: how many sessions hold a live
+		// goroutine + engine versus a parked checkpoint, and how many
+		// restores have happened. Counting walks the lock-free registry
+		// snapshot and each session's state word — no session goroutine is
+		// consulted.
+		m.rehydrations = m.obsReg.Counter(obs.CSessionRehydrations)
+		m.obsReg.Gauge(obs.GSessionsResident, func() int64 {
+			n := int64(0)
+			for _, s := range m.reg.Load().(registry) {
+				if !s.Dehydrated() {
+					n++
+				}
+			}
+			return n
+		})
+		m.obsReg.Gauge(obs.GSessionsDehydrated, func() int64 {
+			n := int64(0)
+			for _, s := range m.reg.Load().(registry) {
+				if s.Dehydrated() {
+					n++
+				}
+			}
+			return n
+		})
+	}
 	return m
 }
 
@@ -113,7 +154,7 @@ func (m *Manager) GetOrCreate(name string) (*Session, error) {
 	if s, ok := old[name]; ok { // lost the creation race
 		return s, nil
 	}
-	s := newSession(name, m.initial(name), m.queue, m.sessionChild(name), m.ring, m.engine...)
+	s := newSession(name, m.initial(name), m.queue, m.sessionChild(name), m.ring, m.idleD, m.rehydrations, m.engine...)
 	next := make(registry, len(old)+1)
 	for k, v := range old {
 		next[k] = v

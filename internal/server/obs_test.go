@@ -60,6 +60,7 @@ func TestMetricsCatalog(t *testing.T) {
 		obs.CSenderMsgs, obs.CSenderFlushes,
 		obs.CTCPBytes, obs.CTCPFlushes,
 		obs.CWireEncodes, obs.CWireOps,
+		obs.CSessionRehydrations,
 	}
 	for ty := wire.TClientOp; ty <= wire.TOpBatch; ty++ {
 		wantRoot = append(wantRoot,
@@ -67,8 +68,19 @@ func TestMetricsCatalog(t *testing.T) {
 			"wire.bytes."+wire.TypeName(ty))
 	}
 	assertNames(t, "root counters", snap.Counters, wantRoot)
-	assertNames(t, "root gauges", snap.Gauges, []string{obs.GQueueHighWater})
+	assertNames(t, "root gauges", snap.Gauges, []string{
+		obs.GQueueHighWater, obs.GGoroutines,
+		obs.GSessionsResident, obs.GSessionsDehydrated,
+	})
 	assertNames(t, "root histograms", snap.Hists, []string{obs.HQueueDepth})
+
+	if snap.Gauges[obs.GSessionsResident] != 1 || snap.Gauges[obs.GSessionsDehydrated] != 0 {
+		t.Errorf("residency gauges = %d resident / %d dehydrated, want 1/0",
+			snap.Gauges[obs.GSessionsResident], snap.Gauges[obs.GSessionsDehydrated])
+	}
+	if snap.Gauges[obs.GGoroutines] <= 0 {
+		t.Errorf("runtime.goroutines gauge = %d, want > 0", snap.Gauges[obs.GGoroutines])
+	}
 
 	sess, ok := snap.Child("doc")
 	if !ok {
@@ -81,7 +93,11 @@ func TestMetricsCatalog(t *testing.T) {
 	})
 	assertNames(t, "session gauges", sess.Gauges, []string{
 		obs.GSites, obs.GOpsRecv, obs.GDocRunes, obs.GHBLen, obs.GClockWords,
+		obs.GResident,
 	})
+	if sess.Gauges[obs.GResident] != 1 {
+		t.Errorf("session resident gauge = %d, want 1", sess.Gauges[obs.GResident])
+	}
 	assertNames(t, "session histograms", sess.Hists, []string{obs.HReceiveNs})
 
 	if sess.Counters[trace.CCompactions] < 1 {

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -17,9 +18,24 @@ import (
 // wire.SessionJoinReq naming a document; afterwards the per-connection
 // protocol is identical to the single-session Notifier's, so reducecli and
 // the Editor client work unchanged against either server.
+//
+// By default every connection costs two goroutines (reader + writer). The
+// goroutine-lean options change that: WithWriterPool drains all outbound
+// queues with a fixed worker pool, and WithEventDispatch parks inbound sides
+// of event-capable transports (the in-memory one) on a shared dispatcher —
+// an idle connection then costs zero goroutines (DESIGN.md §15).
 type Service struct {
 	ln  transport.Listener
 	mgr *Manager
+
+	// pool, when non-nil, drains every connection's outbound queue with
+	// shared workers instead of one writer goroutine per connection.
+	pool *transport.WriterPool
+	// disp, when non-nil, drains event-capable inbound sides with shared
+	// workers instead of one reader goroutine per connection. Connections
+	// whose transport cannot signal readability (TCP) keep a dedicated
+	// reader either way.
+	disp *transport.Dispatcher
 
 	// queueHist, when observability is mounted, receives every connection's
 	// enqueue-time queue depth (obs.HQueueDepth on the manager's registry).
@@ -32,11 +48,47 @@ type Service struct {
 	wg sync.WaitGroup
 }
 
+// ServeOption configures a Service.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	writerPool    int
+	eventDispatch int
+}
+
+// WithWriterPool drains all connections' outbound queues with a fixed pool
+// of n writer goroutines (GOMAXPROCS when n < 0) instead of one dedicated
+// writer per connection. n == 0 keeps dedicated writers (the default, and
+// the reference semantics the pooled mode is differentially tested against).
+func WithWriterPool(n int) ServeOption {
+	return func(c *serveConfig) { c.writerPool = n }
+}
+
+// WithEventDispatch parks the inbound side of event-capable connections
+// (transport.EventConn — the in-memory transport) on a shared dispatcher of
+// n workers (GOMAXPROCS when n < 0) instead of a reader goroutine per
+// connection. n == 0 keeps dedicated readers (the default). TCP connections
+// are unaffected: without a platform poller their readiness is only
+// observable from a blocked Read.
+func WithEventDispatch(n int) ServeOption {
+	return func(c *serveConfig) { c.eventDispatch = n }
+}
+
 // Serve starts accepting connections for mgr's sessions on ln and returns
 // immediately. The caller retains ownership of mgr (Close does not close it),
 // so one manager can serve several listeners.
-func Serve(ln transport.Listener, mgr *Manager) *Service {
+func Serve(ln transport.Listener, mgr *Manager, opts ...ServeOption) *Service {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	s := &Service{ln: ln, mgr: mgr, conns: make(map[transport.Conn]*transport.Sender)}
+	if cfg.writerPool != 0 {
+		s.pool = transport.NewWriterPool(cfg.writerPool)
+	}
+	if cfg.eventDispatch != 0 {
+		s.disp = transport.NewDispatcher(cfg.eventDispatch, 0)
+	}
 	if reg := mgr.Registry(); reg != nil {
 		// Live connection-queue metrics for /metricz. One gauge per manager:
 		// a second Serve on the same manager takes the name over, which is
@@ -86,6 +138,10 @@ func (s *Service) String() string {
 func DebugHandler(reg *obs.Registry, ring *obs.DecisionRing) http.Handler {
 	wire.RegisterMetrics(reg)
 	transport.RegisterMetrics(reg)
+	// The goroutine count is the E13 headline: with the lean connection
+	// layer it stays O(pool + resident sessions) however many connections
+	// are attached.
+	reg.Gauge(obs.GGoroutines, func() int64 { return int64(runtime.NumGoroutine()) })
 	return obs.NewHandler(reg.Snapshot, ring)
 }
 
@@ -109,6 +165,15 @@ func (s *Service) Close() error {
 		_ = c.Close()
 	}
 	s.wg.Wait()
+	// Teardown order matters: retiring dispatched connections runs their
+	// finish hooks, which close senders, which need the writer pool to
+	// drain — so the pool goes down last.
+	if s.disp != nil {
+		s.disp.Close()
+	}
+	if s.pool != nil {
+		s.pool.Close()
+	}
 	return nil
 }
 
@@ -127,9 +192,82 @@ func (s *Service) acceptLoop() {
 		}
 		s.conns[conn] = nil // sender registered once the join handshake completes
 		s.mu.Unlock()
+		if s.disp != nil {
+			if ec, ok := conn.(transport.EventConn); ok {
+				// Event path: no goroutine. The dispatcher steps the
+				// connection's state machine per inbound message; the join
+				// request arrives as the first dispatched message.
+				cs := &connState{s: s, conn: conn}
+				if s.disp.Add(ec, cs.handleMsg, cs.finish) {
+					continue
+				}
+				// Dispatcher already closed: fall through to the dedicated
+				// reader, which will fail fast on the closed listener state.
+			}
+		}
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
+}
+
+// connState is one event-dispatched connection's protocol state, stepped by
+// dispatcher workers (never concurrently — the dispatcher guarantees one
+// servicer per conn, preserving the per-connection FIFO the paper's links
+// assume).
+type connState struct {
+	s    *Service
+	conn transport.Conn
+
+	admitted bool
+	sess     *Session
+	site     int
+	readOnly bool
+	snd      *transport.Sender
+}
+
+// handleMsg processes one inbound message; returning false retires the
+// connection (the dispatcher then runs finish exactly once).
+func (cs *connState) handleMsg(m wire.Msg) bool {
+	if !cs.admitted {
+		sess, site, readOnly, snd, err := cs.s.admitMsg(cs.conn, m)
+		if err != nil {
+			return false
+		}
+		cs.admitted = true
+		cs.sess, cs.site, cs.readOnly, cs.snd = sess, site, readOnly, snd
+		return true
+	}
+	switch v := m.(type) {
+	case wire.ClientOp:
+		if v.From != cs.site || cs.readOnly {
+			return false // impersonation, or an op from a viewer
+		}
+		return cs.sess.Receive(core.ClientMsg{From: v.From, Op: v.Op, TS: v.TS, Ref: v.Ref}) == nil
+	case wire.Presence:
+		if v.From != cs.site {
+			return false
+		}
+		return cs.sess.RelayPresence(core.PresenceMsg{
+			From: v.From, TS: v.TS, Anchor: v.Anchor, Head: v.Head, Active: v.Active,
+		}) == nil
+	case wire.Leave:
+		return false
+	default:
+		return false // protocol violation
+	}
+}
+
+// finish is the dispatcher's exactly-once teardown hook — the event-path
+// equivalent of handle's defers.
+func (cs *connState) finish() {
+	if cs.admitted {
+		_ = cs.sess.Leave(cs.site)
+		cs.snd.Close()
+	}
+	cs.s.mu.Lock()
+	delete(cs.s.conns, cs.conn)
+	cs.s.mu.Unlock()
+	_ = cs.conn.Close()
 }
 
 // handle runs one connection: session routing, join handshake, then the
@@ -189,6 +327,12 @@ func (s *Service) admit(conn transport.Conn) (*Session, int, bool, *transport.Se
 	if err != nil {
 		return nil, 0, false, nil, err
 	}
+	return s.admitMsg(conn, m)
+}
+
+// admitMsg is admit with the opening message already received — the event
+// path gets it from the dispatcher instead of a blocking Recv.
+func (s *Service) admitMsg(conn transport.Conn, m wire.Msg) (*Session, int, bool, *transport.Sender, error) {
 	var name string
 	var site int
 	var readOnly bool
@@ -206,8 +350,9 @@ func (s *Service) admit(conn transport.Conn) (*Session, int, bool, *transport.Se
 	}
 	// The sender is the shared writer-queue type: the session goroutine
 	// never blocks on a peer's network backpressure, and its drains
-	// coalesce bursts into batched frames with one flush each.
-	snd := transport.NewSender(conn, ErrClosed)
+	// coalesce bursts into batched frames with one flush each. With a
+	// writer pool it also costs no goroutine while idle.
+	snd := transport.NewPooledSender(conn, ErrClosed, s.pool)
 	if s.queueHist != nil {
 		snd.SetQueueHistogram(s.queueHist)
 	}

@@ -61,35 +61,93 @@ type Subscriber struct {
 type cmd struct {
 	fn   func()
 	done chan struct{}
+	// touch marks real demand (Join/Receive/Leave/...): it refreshes the
+	// idle clock. Observation commands (Stats, gauges) leave it false so a
+	// metrics scraper polling every few milliseconds cannot keep an
+	// otherwise-idle session resident forever.
+	touch bool
 }
 
 // donePool recycles completion channels so a Receive round-trip does not
 // allocate one per operation.
 var donePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
+// Session lifecycle states (guarded by mu; transitions broadcast on cond).
+//
+//	running  — the actor goroutine is live and owns the engine.
+//	parking  — the actor is mid-dehydration: draining in-flight enqueues
+//	           and serializing the engine. Callers wait on cond; the park
+//	           either aborts (back to running) or completes (parked).
+//	parked   — the engine is a compact checkpoint, the goroutine is gone.
+//	           The first do() rehydrates under the write lock
+//	           (single-flight by construction) and restarts the actor.
+const (
+	stRunning = iota
+	stParking
+	stParked
+)
+
+// parkedView is the frozen observable state of a dehydrated session, so
+// gauges, Stats, and cvcstat report real numbers without rehydrating —
+// observation must never cost a restore (DESIGN.md §15).
+type parkedView struct {
+	sites      int
+	received   uint64
+	docRunes   int
+	hbLen      int
+	clockWords int
+}
+
 // Session is one document's notifier running on its own goroutine. All
 // public methods are safe for concurrent use; they serialize through the
 // session's command queue, so the core engine itself is only ever touched
 // from one goroutine.
+//
+// With idle dehydration enabled the goroutine is not permanent: after idleD
+// without commands the actor checkpoints the engine and exits (see tryPark),
+// and the next command transparently restores it (see rehydrate).
 type Session struct {
 	name string
 
-	// mu guards closed; inflight counts enqueues that passed the closed
-	// check. Close waits for in-flight enqueues before signalling quit, so
-	// no enqueue can race past the drain and block forever.
+	// mu guards closed and the park state machine; inflight counts enqueues
+	// that passed the closed/running check. Close and tryPark wait for
+	// in-flight enqueues before proceeding, so no enqueue can race past a
+	// drain and block forever. cond (on mu's write side) announces state
+	// transitions out of parking.
 	mu       sync.RWMutex
+	cond     *sync.Cond
 	closed   bool
+	state    int
 	inflight sync.WaitGroup
 
 	cmds chan cmd
+	// quit and done belong to the current actor incarnation; rehydrate
+	// replaces them (under mu) when it restarts the goroutine, and the actor
+	// captures both at entry so a stale incarnation never touches fresh
+	// channels.
 	quit chan struct{}
 	done chan struct{}
+
+	// idleD > 0 enables dehydration after that much command inactivity.
+	idleD   time.Duration
+	lastAct time.Time // actor-goroutine owned; handed off through rehydrate
+
+	// checkpoint and pv are set while parked (guarded by mu); engineOpts is
+	// what RestoreServer rebuilds the engine with.
+	checkpoint []byte
+	pv         parkedView
+	engineOpts []core.ServerOption
+
+	// rehydrations, when non-nil, counts engine restores (the manager's
+	// sessions.rehydrations counter).
+	rehydrations *obs.Counter
 
 	// recvNs, when non-nil, observes the full Receive latency: queue wait,
 	// formula-(7) checks, transformation, execution, and fan-out enqueue.
 	recvNs *obs.Histogram
 
-	// Engine state below is owned by the session goroutine exclusively.
+	// Engine state below is owned by the session goroutine exclusively
+	// (srv is nil while parked; subs survives parking untouched).
 	srv      *core.Server
 	subs     map[int]*Subscriber
 	nextSite int
@@ -101,7 +159,7 @@ type Session struct {
 // into it (trace.MetricsOn), receive latency lands in its receive.ns
 // histogram, and live size gauges are registered on it. ring, when non-nil,
 // streams the engine's causality decisions under the session's name.
-func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.DecisionRing, opts ...core.ServerOption) *Session {
+func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.DecisionRing, idleD time.Duration, rehydrations *obs.Counter, opts ...core.ServerOption) *Session {
 	if child != nil {
 		opts = append(opts[:len(opts):len(opts)], core.WithServerMetrics(trace.MetricsOn(child)))
 	}
@@ -109,61 +167,97 @@ func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.
 		opts = append(opts[:len(opts):len(opts)], core.WithServerDecisionRing(ring, name))
 	}
 	s := &Session{
-		name:     name,
-		cmds:     make(chan cmd, queue),
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
-		srv:      core.NewServer(initial, opts...),
-		subs:     make(map[int]*Subscriber),
-		nextSite: 1,
+		name:         name,
+		cmds:         make(chan cmd, queue),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		idleD:        idleD,
+		lastAct:      time.Now(),
+		engineOpts:   opts,
+		rehydrations: rehydrations,
+		srv:          core.NewServer(initial, opts...),
+		subs:         make(map[int]*Subscriber),
+		nextSite:     1,
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if child != nil {
 		s.recvNs = child.Histogram(obs.HReceiveNs)
-		// Gauges round-trip through the session goroutine (Registry.Snapshot
-		// invokes them with no lock held). A closed session reports its last
-		// consistent value semantics as zero — the child is usually dropped
-		// alongside anyway.
-		child.Gauge(obs.GSites, func() int64 {
-			var v int64
-			_ = s.do(func() { v = int64(len(s.subs)) })
-			return v
-		})
-		child.Gauge(obs.GOpsRecv, func() int64 {
-			var v int64
-			_ = s.do(func() { v = int64(s.received) })
-			return v
-		})
-		child.Gauge(obs.GDocRunes, func() int64 {
-			var v int64
-			_ = s.do(func() { v = int64(s.srv.DocLen()) })
-			return v
-		})
-		child.Gauge(obs.GHBLen, func() int64 {
-			var v int64
-			_ = s.do(func() { v = int64(s.srv.History().Len()) })
-			return v
-		})
-		child.Gauge(obs.GClockWords, func() int64 {
-			var v int64
-			_ = s.do(func() { v = int64(s.srv.History().ClockWords()) })
-			return v
+		// Gauges observe without rehydrating: a resident session answers on
+		// its goroutine (Registry.Snapshot invokes gauges with no lock held);
+		// a parked one serves the frozen view — scraping /metricz must not
+		// wake 100k sessions. A closed session reports zeros, as before.
+		s.residentGauge(child, obs.GSites, func() int64 { return int64(len(s.subs)) }, func(pv parkedView) int64 { return int64(pv.sites) })
+		s.residentGauge(child, obs.GOpsRecv, func() int64 { return int64(s.received) }, func(pv parkedView) int64 { return int64(pv.received) })
+		s.residentGauge(child, obs.GDocRunes, func() int64 { return int64(s.srv.DocLen()) }, func(pv parkedView) int64 { return int64(pv.docRunes) })
+		s.residentGauge(child, obs.GHBLen, func() int64 { return int64(s.srv.History().Len()) }, func(pv parkedView) int64 { return int64(pv.hbLen) })
+		s.residentGauge(child, obs.GClockWords, func() int64 { return int64(s.srv.History().ClockWords()) }, func(pv parkedView) int64 { return int64(pv.clockWords) })
+		// The residency bit itself, for per-session dashboards (cvcstat).
+		child.Gauge(obs.GResident, func() int64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if !s.closed && s.state == stRunning {
+				return 1
+			}
+			return 0
 		})
 	}
 	go s.run()
 	return s
 }
 
+// residentGauge registers a gauge that reads live (on the session goroutine)
+// while resident and from the parked view while dehydrated or closed.
+func (s *Session) residentGauge(child *obs.Registry, name string, live func() int64, parked func(parkedView) int64) {
+	child.Gauge(name, func() int64 {
+		var v int64
+		if s.doResident(func() { v = live() }) {
+			return v
+		}
+		s.mu.RLock()
+		v = parked(s.pv)
+		s.mu.RUnlock()
+		return v
+	})
+}
+
 // Name returns the session's registry name ("" is the default document).
 func (s *Session) Name() string { return s.name }
 
 func (s *Session) run() {
-	defer close(s.done)
+	// Capture this incarnation's channels: rehydrate swaps s.quit/s.done for
+	// the next incarnation while this one may still be unwinding its defer.
+	quit, done := s.quit, s.done
+	defer close(done)
+	var idleC <-chan time.Time
+	var timer *time.Timer
+	if s.idleD > 0 {
+		timer = time.NewTimer(s.idleD)
+		defer timer.Stop()
+		idleC = timer.C
+	}
 	for {
 		select {
 		case c := <-s.cmds:
 			c.fn()
 			c.done <- struct{}{}
-		case <-s.quit:
+			if c.touch {
+				s.lastAct = time.Now()
+			}
+		case <-idleC:
+			// The timer is not reset per command (that would put a timer
+			// syscall on the hot path); instead it fires at most once per
+			// idleD and checks how stale the last activity really is.
+			if idle := time.Since(s.lastAct); idle >= s.idleD {
+				if s.tryPark() {
+					return
+				}
+			}
+			rem := s.idleD - time.Since(s.lastAct)
+			if rem <= 0 {
+				rem = s.idleD
+			}
+			timer.Reset(rem)
+		case <-quit:
 			// Close waits out in-flight enqueues before signalling, so
 			// nothing new can be mid-enqueue: draining what is buffered
 			// releases every waiter, then the goroutine exits.
@@ -180,12 +274,161 @@ func (s *Session) run() {
 	}
 }
 
-// do runs fn on the session goroutine and waits for it to finish.
-func (s *Session) do(fn func()) error {
-	s.mu.RLock()
+// tryPark attempts to dehydrate the session; it runs on the session
+// goroutine and returns true when the actor should exit. The sequence:
+// announce parking (new do() calls now wait on cond instead of enqueueing),
+// wait out enqueues already in flight — draining them into a stash so a
+// full command buffer cannot deadlock the wait — and then either abort
+// (demand arrived: execute the stash, back to running) or serialize the
+// engine, publish the frozen view, and exit.
+func (s *Session) tryPark() bool {
+	s.mu.Lock()
 	if s.closed {
-		s.mu.RUnlock()
+		s.mu.Unlock()
+		return false
+	}
+	s.state = stParking
+	s.mu.Unlock()
+
+	// After the state flip no new enqueue starts, but some may hold a slot
+	// between inflight.Add and the channel send. Receiving while waiting
+	// keeps those senders from blocking against a full buffer.
+	waitDone := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(waitDone)
+	}()
+	var stash []cmd
+drain:
+	for {
+		select {
+		case c := <-s.cmds:
+			stash = append(stash, c)
+		case <-waitDone:
+			for {
+				select {
+				case c := <-s.cmds:
+					stash = append(stash, c)
+				default:
+					break drain
+				}
+			}
+		}
+	}
+	if len(stash) > 0 {
+		// Demand raced the park: abort, then serve the stash in order. Only
+		// real demand resets the idle clock — a stash of pure observation
+		// leaves the session due to park again at the next timer fire.
+		s.mu.Lock()
+		s.state = stRunning
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		for _, c := range stash {
+			c.fn()
+			c.done <- struct{}{}
+			if c.touch {
+				s.lastAct = time.Now()
+			}
+		}
+		return false
+	}
+
+	cp, err := s.srv.Checkpoint()
+	if err != nil {
+		// An unserializable engine stays resident; nothing was lost.
+		s.mu.Lock()
+		s.state = stRunning
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return false
+	}
+	pv := parkedView{
+		sites:      len(s.subs),
+		received:   s.received,
+		docRunes:   s.srv.DocLen(),
+		hbLen:      s.srv.History().Len(),
+		clockWords: s.srv.History().ClockWords(),
+	}
+	s.mu.Lock()
+	s.checkpoint = cp
+	s.pv = pv
+	s.srv = nil
+	s.state = stParked
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return true
+}
+
+// rehydrate restores a parked session's engine and restarts its actor. The
+// write lock makes the restore single-flight: concurrent callers either wait
+// out a parking transition on cond or find the state already running.
+func (s *Session) rehydrate() error {
+	s.mu.Lock()
+	for s.state == stParking && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
+	}
+	if s.state == stRunning {
+		s.mu.Unlock()
+		return nil
+	}
+	srv, err := core.RestoreServer(s.checkpoint, s.engineOpts...)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.srv = srv
+	s.checkpoint = nil
+	s.quit = make(chan struct{})
+	s.done = make(chan struct{})
+	s.lastAct = time.Now()
+	s.state = stRunning
+	if s.rehydrations != nil {
+		s.rehydrations.Add(1)
+	}
+	go s.run()
+	s.mu.Unlock()
+	return nil
+}
+
+// do runs fn on the session goroutine and waits for it to finish,
+// transparently rehydrating a dehydrated session first.
+func (s *Session) do(fn func()) error {
+	for {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return ErrClosed
+		}
+		if s.state != stRunning {
+			s.mu.RUnlock()
+			if err := s.rehydrate(); err != nil {
+				return err
+			}
+			continue
+		}
+		s.inflight.Add(1)
+		s.mu.RUnlock()
+		d := donePool.Get().(chan struct{})
+		s.cmds <- cmd{fn: fn, done: d, touch: true}
+		s.inflight.Done()
+		<-d
+		donePool.Put(d)
+		return nil
+	}
+}
+
+// doResident is do without the rehydrate: it runs fn only if the session is
+// live right now and reports whether it did. Observation paths (gauges,
+// Stats) use it so reading metrics never wakes a parked session.
+func (s *Session) doResident(fn func()) bool {
+	s.mu.RLock()
+	if s.closed || s.state != stRunning {
+		s.mu.RUnlock()
+		return false
 	}
 	s.inflight.Add(1)
 	s.mu.RUnlock()
@@ -194,7 +437,15 @@ func (s *Session) do(fn func()) error {
 	s.inflight.Done()
 	<-d
 	donePool.Put(d)
-	return nil
+	return true
+}
+
+// Dehydrated reports whether the session is currently parked (or parking):
+// its engine exists only as a checkpoint and no goroutine is resident.
+func (s *Session) Dehydrated() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.closed && s.state != stRunning
 }
 
 // Join admits a site (site <= 0 requests automatic assignment) and registers
@@ -333,25 +584,37 @@ func (s *Session) Text() string {
 
 // Stats is a point-in-time summary of one session.
 type Stats struct {
-	Name  string
-	Sites int    // currently joined sites
-	Ops   uint64 // operations received over the session's lifetime
-	Doc   int    // document length in runes
+	Name     string
+	Sites    int    // currently joined sites
+	Ops      uint64 // operations received over the session's lifetime
+	Doc      int    // document length in runes
+	Resident bool   // false when the session is dehydrated
 }
 
-// Stats reports the session's current size and traffic counters.
+// Stats reports the session's current size and traffic counters. Reading
+// stats never rehydrates: a dehydrated session answers from the view frozen
+// at park time (which is exact — nothing changes while parked).
 func (s *Session) Stats() Stats {
 	st := Stats{Name: s.name}
-	_ = s.do(func() {
+	if s.doResident(func() {
 		st.Sites = len(s.subs)
 		st.Ops = s.received
 		st.Doc = s.srv.DocLen()
-	})
+	}) {
+		st.Resident = true
+		return st
+	}
+	s.mu.RLock()
+	st.Sites = s.pv.sites
+	st.Ops = s.pv.received
+	st.Doc = s.pv.docRunes
+	s.mu.RUnlock()
 	return st
 }
 
 // Close stops the session goroutine. Buffered commands still execute;
-// subsequent calls return ErrClosed.
+// subsequent calls return ErrClosed. Closing a dehydrated session is
+// immediate — there is no goroutine to stop and the checkpoint is dropped.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -359,11 +622,18 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Capture this incarnation's channels under the lock: rehydrate cannot
+	// run after closed is set, so these are final. A parked session's actor
+	// already exited (done is closed); signalling quit is then a no-op.
+	quit, done := s.quit, s.done
+	s.checkpoint = nil
+	// A waiter blocked in rehydrate's cond.Wait must observe the close.
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	// Enqueues that passed the closed check land in the buffer before quit
 	// is signalled, so the run loop's drain releases every waiter.
 	s.inflight.Wait()
-	close(s.quit)
-	<-s.done
+	close(quit)
+	<-done
 	return nil
 }

@@ -19,6 +19,11 @@ type memConn struct {
 	closed bool
 	done   chan struct{} // closed when this end closes
 	peer   *memConn
+	// readable, when non-nil, is this end's EventConn wake callback: the
+	// peer invokes it after delivering into our inbound queue, and both
+	// ends' callbacks fire on Close so a parked dispatcher observes the
+	// closure. Invoked with no locks held.
+	readable func()
 }
 
 // Pipe returns two connected in-memory endpoints with the given queue depth
@@ -90,7 +95,52 @@ func (c *memConn) deliver(m wire.Msg) error {
 	case <-c.peer.done:
 		return ErrClosed
 	case c.send <- m:
+		c.peer.notifyReadable()
 		return nil
+	}
+}
+
+// notifyReadable invokes this end's readable callback, if registered.
+func (c *memConn) notifyReadable() {
+	c.mu.Lock()
+	fn := c.readable
+	c.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// SetReadable implements EventConn. Registering fires the callback once so
+// messages delivered before registration are not stranded.
+func (c *memConn) SetReadable(fn func()) {
+	c.mu.Lock()
+	c.readable = fn
+	c.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// TryRecv implements EventConn: drain-before-close semantics identical to
+// Recv, minus the blocking.
+func (c *memConn) TryRecv() (wire.Msg, bool, error) {
+	select {
+	case m := <-c.recv:
+		return m, true, nil
+	default:
+	}
+	select {
+	case <-c.done:
+	case <-c.peer.done:
+	default:
+		return nil, false, nil // open and empty
+	}
+	// A close raced the empty read; drain anything that slipped in first.
+	select {
+	case m := <-c.recv:
+		return m, true, nil
+	default:
+		return nil, false, ErrClosed
 	}
 }
 
@@ -117,14 +167,22 @@ func (c *memConn) Recv() (wire.Msg, error) {
 	}
 }
 
-// Close implements Conn.
+// Close implements Conn. Both ends' readable callbacks fire so event-driven
+// readers on either side wake up and observe the closure.
 func (c *memConn) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
-		close(c.done)
+	if c.closed {
+		c.mu.Unlock()
+		return nil
 	}
+	c.closed = true
+	close(c.done)
+	fn := c.readable
+	c.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	c.peer.notifyReadable()
 	return nil
 }
 

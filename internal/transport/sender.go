@@ -30,12 +30,29 @@ type Sender struct {
 	// their own sentinel (repro.ErrClosed, server.ErrClosed).
 	closedErr error
 
+	// pool, when non-nil, selects pooled mode: no dedicated writer
+	// goroutine exists, and the queue is drained by the pool's shared
+	// workers (see WriterPool). nil is dedicated mode — the reference
+	// semantics the differential tests compare pooled mode against.
+	pool *WriterPool
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	q         []outItem
 	closed    bool
 	err       error
 	highWater int
+	// sched (pooled mode only) is true while the sender sits on the pool's
+	// ready ring or a worker is servicing it — the exclusivity bit that
+	// keeps drains FIFO with at most one servicer at a time. Invariant
+	// under mu: len(q) > 0 ⇒ sched.
+	sched bool
+	// finished (pooled mode only) records that done has been closed, since
+	// both Close (idle sender) and a worker's final drain may get there.
+	finished bool
+	// spare is the recycled queue storage handed back after a pooled drain
+	// (the dedicated writer keeps its batch local to run instead).
+	spare []outItem
 	// queueHist, when non-nil, observes the queue depth at every enqueue.
 	// Histogram.Record is lock-free, so sampling under s.mu is safe.
 	queueHist *obs.Histogram
@@ -43,7 +60,8 @@ type Sender struct {
 	done chan struct{}
 
 	// Writer-goroutine scratch, reused across drains so steady-state
-	// sending allocates nothing.
+	// sending allocates nothing. In pooled mode the sched bit guarantees a
+	// single servicer, so the scratch is still single-owner.
 	scratch []byte
 	items   []wire.FrameItem
 }
@@ -70,6 +88,24 @@ func NewSender(conn Conn, closedErr error) *Sender {
 	return s
 }
 
+// NewPooledSender creates a Sender in pooled mode: the queue is drained by
+// pool's shared workers and the connection costs no goroutine while idle.
+// Enqueue/Close/error semantics are identical to NewSender's dedicated
+// writer (the differential tests in sender_pool_test.go hold the two modes
+// to the same observable behavior). A nil pool falls back to NewSender.
+func NewPooledSender(conn Conn, closedErr error, pool *WriterPool) *Sender {
+	if pool == nil {
+		return NewSender(conn, closedErr)
+	}
+	if closedErr == nil {
+		closedErr = ErrClosed
+	}
+	fc, _ := conn.(FrameConn)
+	s := &Sender{conn: conn, fc: fc, closedErr: closedErr, done: make(chan struct{}), pool: pool}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
 // Enqueue appends m to the outbound queue; messages leave in enqueue order.
 // After a write error it returns that sticky error instead.
 func (s *Sender) Enqueue(m wire.Msg) error {
@@ -90,10 +126,11 @@ func (s *Sender) EnqueueBroadcast(bc *wire.Broadcast, to int, ts core.Timestamp)
 
 func (s *Sender) push(it outItem) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		if s.err != nil {
-			return s.err
+		err := s.err
+		s.mu.Unlock()
+		if err != nil {
+			return err
 		}
 		return s.closedErr
 	}
@@ -104,7 +141,19 @@ func (s *Sender) push(it outItem) error {
 	if s.queueHist != nil {
 		s.queueHist.RecordInt(len(s.q))
 	}
-	s.cond.Signal()
+	if s.pool == nil {
+		s.cond.Signal()
+		s.mu.Unlock()
+		return nil
+	}
+	// Pooled: schedule the sender on the first enqueue after a drain. The
+	// sched bit makes repeat enqueues free and guarantees one servicer.
+	wake := !s.sched
+	s.sched = true
+	s.mu.Unlock()
+	if wake {
+		s.pool.ready(s)
+	}
 	return nil
 }
 
@@ -136,6 +185,25 @@ func (s *Sender) HighWater() int {
 // Close drains what is already queued (best effort) and stops the writer.
 func (s *Sender) Close() {
 	s.mu.Lock()
+	if s.pool != nil {
+		// Pooled: len(q) > 0 implies sched, so an unscheduled sender is
+		// already drained and nothing will come service it — release the
+		// waiters here. A scheduled sender's worker closes done at its
+		// final empty drain.
+		if !s.closed {
+			s.closed = true
+		}
+		fin := !s.sched && !s.finished
+		if fin {
+			s.finished = true
+		}
+		s.mu.Unlock()
+		if fin {
+			close(s.done)
+		}
+		<-s.done
+		return
+	}
 	if !s.closed {
 		s.closed = true
 		s.cond.Signal()
@@ -172,6 +240,62 @@ func (s *Sender) run() {
 			s.fail(err)
 			return
 		}
+	}
+}
+
+// serviceOnce is one turn of a pool worker on this sender: swap-drain one
+// batch, write it (same coalesced single-SendFrame path as the dedicated
+// writer), then either re-enqueue at the back of the ready ring (still hot —
+// round-robin fairness) or clear the sched bit. The final check for new
+// enqueues happens under the same mutex push appends under, so clearing
+// sched cannot strand a message: any push after the clear sees sched ==
+// false and re-schedules.
+func (s *Sender) serviceOnce() {
+	s.mu.Lock()
+	if len(s.q) == 0 {
+		s.finishLocked()
+		return
+	}
+	batch := s.q
+	s.q = s.spare[:0]
+	s.spare = nil
+	s.mu.Unlock()
+
+	err := s.write(batch)
+	for i := range batch {
+		if batch[i].bc != nil {
+			batch[i].bc.Release()
+		}
+		batch[i] = outItem{}
+	}
+	if err != nil {
+		s.fail(err)
+		s.mu.Lock()
+		s.finishLocked()
+		return
+	}
+	s.mu.Lock()
+	s.spare = batch[:0]
+	if len(s.q) == 0 {
+		s.finishLocked()
+		return
+	}
+	s.mu.Unlock()
+	s.pool.ready(s)
+}
+
+// finishLocked ends a pooled service turn on an empty queue: clears the
+// sched bit and, when the sender is closed and fully drained, closes done
+// exactly once. Called with s.mu held; unlocks it.
+func (s *Sender) finishLocked() {
+	s.sched = false
+	fin := s.closed && len(s.q) == 0 && !s.finished
+	if fin {
+		s.finished = true
+	}
+	s.mu.Unlock()
+	if fin {
+		close(s.done)
 	}
 }
 

@@ -1,0 +1,375 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// collectTokens reads messages from c until want tokens have arrived,
+// flattening op batches so the comparison is insensitive to how drains
+// happened to coalesce. Tokens render broadcasts as "op:<to>:<t1>" and
+// plain messages as "leave:<site>".
+func collectTokens(t *testing.T, c Conn, want int) []string {
+	t.Helper()
+	var out []string
+	for len(out) < want {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatalf("after %d of %d tokens: %v", len(out), want, err)
+		}
+		switch v := m.(type) {
+		case wire.OpBatch:
+			for _, so := range v.Ops {
+				out = append(out, fmt.Sprintf("op:%d:%d", so.To, so.TS.T1))
+			}
+		case wire.ServerOp:
+			out = append(out, fmt.Sprintf("op:%d:%d", v.To, v.TS.T1))
+		case wire.Leave:
+			out = append(out, fmt.Sprintf("leave:%d", v.Site))
+		default:
+			t.Fatalf("unexpected %T", m)
+		}
+	}
+	return out
+}
+
+// driveSchedule pushes a fixed mixed schedule of plain messages and
+// encode-once broadcasts through s, then closes it (which drains).
+func driveSchedule(t *testing.T, s *Sender, n int) {
+	t.Helper()
+	bc := senderTestBroadcast(t)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			if err := s.Enqueue(wire.Leave{Site: i + 1}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		bc.Retain()
+		if err := s.EnqueueBroadcast(bc, i%7+1, core.Timestamp{T1: uint64(i), T2: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc.Release()
+	s.Close()
+}
+
+// TestSenderPooledDifferentialFIFO holds pooled mode to the dedicated
+// writer's observable behavior: the same enqueue schedule produces the same
+// delivered sequence, whatever the drain batching.
+func TestSenderPooledDifferentialFIFO(t *testing.T) {
+	const n = 300
+	run := func(mk func(Conn) *Sender) []string {
+		a, b := Pipe(n + 16)
+		s := mk(a)
+		driveSchedule(t, s, n)
+		return collectTokens(t, b, n)
+	}
+	dedicated := run(func(c Conn) *Sender { return NewSender(c, nil) })
+	pool := NewWriterPool(2)
+	defer pool.Close()
+	pooled := run(func(c Conn) *Sender { return NewPooledSender(c, nil, pool) })
+	if len(dedicated) != len(pooled) {
+		t.Fatalf("dedicated delivered %d tokens, pooled %d", len(dedicated), len(pooled))
+	}
+	for i := range dedicated {
+		if dedicated[i] != pooled[i] {
+			t.Fatalf("token %d: dedicated %q, pooled %q", i, dedicated[i], pooled[i])
+		}
+	}
+}
+
+// TestSenderPooledManyConnsFIFO runs many pooled senders over a pool smaller
+// than the connection count with concurrent producers, checking every
+// connection still receives its own messages in enqueue order (the sched
+// bit's exclusivity) and nothing deadlocks under contention.
+func TestSenderPooledManyConnsFIFO(t *testing.T) {
+	const conns, msgs = 16, 200
+	pool := NewWriterPool(3)
+	defer pool.Close()
+
+	type end struct {
+		s *Sender
+		b Conn
+	}
+	ends := make([]end, conns)
+	for i := range ends {
+		a, b := Pipe(msgs + 4)
+		ends[i] = end{s: NewPooledSender(a, nil, pool), b: b}
+	}
+	var wg sync.WaitGroup
+	for i := range ends {
+		wg.Add(1)
+		go func(e end) {
+			defer wg.Done()
+			for j := 1; j <= msgs; j++ {
+				if err := e.s.Enqueue(wire.Leave{Site: j}); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+			e.s.Close()
+		}(ends[i])
+	}
+	for i := range ends {
+		for j := 1; j <= msgs; j++ {
+			m, err := ends[i].b.Recv()
+			if err != nil {
+				t.Fatalf("conn %d msg %d: %v", i, j, err)
+			}
+			if l, ok := m.(wire.Leave); !ok || l.Site != j {
+				t.Fatalf("conn %d msg %d: got %#v", i, j, m)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestSenderPooledCloseDrains mirrors TestSenderCloseDrains in pooled mode:
+// everything enqueued before Close reaches the peer, later enqueues are
+// refused with the closed sentinel.
+func TestSenderPooledCloseDrains(t *testing.T) {
+	pool := NewWriterPool(1)
+	defer pool.Close()
+	a, b := Pipe(256)
+	s := NewPooledSender(a, nil, pool)
+	for i := 1; i <= 20; i++ {
+		if err := s.Enqueue(wire.Leave{Site: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	for i := 1; i <= 20; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if l, ok := m.(wire.Leave); !ok || l.Site != i {
+			t.Fatalf("message %d: got %#v", i, m)
+		}
+	}
+	if err := s.Enqueue(wire.Leave{Site: 99}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSenderPooledClosedErrSentinel: the package sentinel survives pooled
+// mode, and a refused EnqueueBroadcast still consumes its reference.
+func TestSenderPooledClosedErrSentinel(t *testing.T) {
+	pool := NewWriterPool(1)
+	defer pool.Close()
+	sentinel := errors.New("custom closed")
+	a, _ := Pipe(4)
+	s := NewPooledSender(a, sentinel, pool)
+	s.Close()
+	if err := s.Enqueue(wire.Leave{Site: 1}); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	bc := senderTestBroadcast(t)
+	bc.Retain()
+	if err := s.EnqueueBroadcast(bc, 1, core.Timestamp{}); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	bc.Release()
+}
+
+// TestSenderPooledStickyError: a dead connection surfaces as a sticky error
+// on later enqueues, exactly like the dedicated writer.
+func TestSenderPooledStickyError(t *testing.T) {
+	pool := NewWriterPool(1)
+	defer pool.Close()
+	a, b := Pipe(1)
+	_ = b.Close()
+	_ = a.Close()
+	s := NewPooledSender(a, nil, pool)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := s.Enqueue(wire.Leave{Site: 1})
+		if err != nil {
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("sticky error %v, want ErrClosed", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sender never recorded the write error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+}
+
+// TestSenderPooledBatchesUnderBackpressure: the pooled drain keeps the
+// coalesced single-SendFrame path — a burst toward a stalled TCP reader
+// takes far fewer flushes than operations.
+func TestSenderPooledBatchesUnderBackpressure(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cl, err := DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	pool := NewWriterPool(1)
+	defer pool.Close()
+	s := NewPooledSender(srv, nil, pool)
+	defer s.Close()
+	bc := senderTestBroadcast(t)
+	const burst = 500
+	startFlushes := TCPFlushes()
+	for i := 0; i < burst; i++ {
+		bc.Retain()
+		if err := s.EnqueueBroadcast(bc, 1, core.Timestamp{T1: uint64(i), T2: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc.Release()
+	ops := 0
+	for ops < burst {
+		m, err := cl.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v := m.(type) {
+		case wire.OpBatch:
+			ops += len(v.Ops)
+		case wire.ServerOp:
+			ops++
+		default:
+			t.Fatalf("unexpected %T", m)
+		}
+	}
+	if flushes := TCPFlushes() - startFlushes; flushes >= burst/2 {
+		t.Fatalf("%d ops took %d flushes; want substantial coalescing", burst, flushes)
+	}
+}
+
+// TestWriterPoolCloseFallback: a sender attached to a closed pool still
+// drains (via the spawned-goroutine fallback) and Close still releases.
+func TestWriterPoolCloseFallback(t *testing.T) {
+	pool := NewWriterPool(1)
+	a, b := Pipe(64)
+	s := NewPooledSender(a, nil, pool)
+	pool.Close()
+	for i := 1; i <= 10; i++ {
+		if err := s.Enqueue(wire.Leave{Site: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	for i := 1; i <= 10; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if l, ok := m.(wire.Leave); !ok || l.Site != i {
+			t.Fatalf("message %d: got %#v", i, m)
+		}
+	}
+}
+
+// TestDispatcherDeliversInOrder drains one conn through the dispatcher and
+// checks per-connection ordering and the single finish invocation.
+func TestDispatcherDeliversInOrder(t *testing.T) {
+	d := NewDispatcher(2, 8)
+	defer d.Close()
+	a, b := Pipe(256)
+	ec, ok := b.(EventConn)
+	if !ok {
+		t.Fatal("mem conn does not implement EventConn")
+	}
+	var mu sync.Mutex
+	var got []int
+	finished := make(chan struct{})
+	var finishes int
+	ok = d.Add(ec, func(m wire.Msg) bool {
+		l, isLeave := m.(wire.Leave)
+		if !isLeave {
+			return false
+		}
+		mu.Lock()
+		got = append(got, l.Site)
+		mu.Unlock()
+		return true
+	}, func() {
+		mu.Lock()
+		finishes++
+		mu.Unlock()
+		close(finished)
+	})
+	if !ok {
+		t.Fatal("Add refused on open dispatcher")
+	}
+	const n = 100
+	for i := 1; i <= n; i++ {
+		if err := a.Send(wire.Leave{Site: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = a.Close()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("conn never retired after close")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("handled %d messages, want %d", len(got), n)
+	}
+	for i, site := range got {
+		if site != i+1 {
+			t.Fatalf("message %d: site %d, want %d", i, site, i+1)
+		}
+	}
+	if finishes != 1 {
+		t.Fatalf("finish ran %d times, want 1", finishes)
+	}
+}
+
+// TestDispatcherPreRegisteredMessages: messages delivered before Add are
+// dispatched by the registration-time callback fire.
+func TestDispatcherPreRegisteredMessages(t *testing.T) {
+	d := NewDispatcher(1, 4)
+	defer d.Close()
+	a, b := Pipe(16)
+	for i := 1; i <= 3; i++ {
+		if err := a.Send(wire.Leave{Site: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan int, 3)
+	d.Add(b.(EventConn), func(m wire.Msg) bool {
+		done <- m.(wire.Leave).Site
+		return true
+	}, nil)
+	for i := 1; i <= 3; i++ {
+		select {
+		case site := <-done:
+			if site != i {
+				t.Fatalf("got site %d, want %d", site, i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("pre-registered message %d never dispatched", i)
+		}
+	}
+}

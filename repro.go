@@ -58,6 +58,12 @@ type peer struct {
 type Notifier struct {
 	ln transport.Listener
 
+	// pool and disp, when non-nil (ServeLean), replace the per-connection
+	// writer and reader goroutines with shared worker sets; an idle
+	// event-capable connection then costs zero goroutines (DESIGN.md §15).
+	pool *transport.WriterPool
+	disp *transport.Dispatcher
+
 	mu       sync.Mutex
 	srv      *core.Server
 	peers    map[int]*peer
@@ -83,6 +89,44 @@ func Serve(ln transport.Listener, initial string, opts ...core.ServerOption) (*N
 		srv:      core.NewServer(initial, opts...),
 		peers:    make(map[int]*peer),
 		nextSite: 1,
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// LeanOptions sizes the goroutine-lean connection layer of ServeLean.
+// Zero values keep the classic layout for that half (dedicated goroutine
+// per connection); -1 asks for GOMAXPROCS workers; n > 0 for exactly n.
+type LeanOptions struct {
+	// WriterPool drains every connection's outbound queue with a fixed set
+	// of shared writer goroutines instead of one per connection.
+	WriterPool int
+	// EventDispatch parks the inbound side of event-capable connections
+	// (transport.EventConn — the in-memory transport) on a shared dispatcher.
+	// TCP connections keep a dedicated reader either way: without a platform
+	// poller their readiness is only observable from a blocked Read.
+	EventDispatch int
+}
+
+// ServeLean is Serve with the goroutine-lean connection layer: outbound
+// queues drained by a shared writer pool and event-capable inbound sides
+// parked on a shared dispatcher, so an idle in-memory connection costs no
+// goroutines at all and an idle TCP connection exactly one (its reader).
+// Protocol, ordering, and error semantics are identical to Serve — the
+// pooled paths are differentially tested against the dedicated ones.
+func ServeLean(ln transport.Listener, initial string, lean LeanOptions, opts ...core.ServerOption) (*Notifier, error) {
+	n := &Notifier{
+		ln:       ln,
+		srv:      core.NewServer(initial, opts...),
+		peers:    make(map[int]*peer),
+		nextSite: 1,
+	}
+	if lean.WriterPool != 0 {
+		n.pool = transport.NewWriterPool(lean.WriterPool)
+	}
+	if lean.EventDispatch != 0 {
+		n.disp = transport.NewDispatcher(lean.EventDispatch, 0)
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -229,6 +273,15 @@ func (n *Notifier) Close() error {
 		_ = p.conn.Close()
 	}
 	n.wg.Wait()
+	// Teardown order matters: retiring dispatched connections runs their
+	// finish hooks, which close senders, which need the writer pool to
+	// drain — so the pool goes down last.
+	if n.disp != nil {
+		n.disp.Close()
+	}
+	if n.pool != nil {
+		n.pool.Close()
+	}
 	if n.jw != nil {
 		return n.jw.Close()
 	}
@@ -242,9 +295,83 @@ func (n *Notifier) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if n.disp != nil {
+			if ec, ok := conn.(transport.EventConn); ok {
+				// Event path: no goroutine. The dispatcher steps the
+				// connection's state machine per inbound message; the join
+				// request arrives as the first dispatched message.
+				cs := &ntfConnState{n: n, conn: conn}
+				if n.disp.Add(ec, cs.handleMsg, cs.finish) {
+					continue
+				}
+				// Dispatcher already closed: fall through to the dedicated
+				// reader, which fails fast on the closed notifier.
+			}
+		}
 		n.wg.Add(1)
 		go n.handle(conn)
 	}
+}
+
+// ntfConnState is one event-dispatched connection's protocol state, stepped
+// by dispatcher workers (never concurrently for the same conn, in delivery
+// order — preserving the per-link FIFO the paper's channels assume).
+type ntfConnState struct {
+	n    *Notifier
+	conn transport.Conn
+
+	admitted bool
+	site     int
+	p        *peer
+}
+
+// handleMsg processes one inbound message; returning false retires the
+// connection (the dispatcher then runs finish exactly once).
+func (cs *ntfConnState) handleMsg(m wire.Msg) bool {
+	if !cs.admitted {
+		site, p, err := cs.n.admitMsg(cs.conn, m)
+		if err != nil {
+			return false
+		}
+		cs.admitted = true
+		cs.site, cs.p = site, p
+		return true
+	}
+	switch v := m.(type) {
+	case wire.ClientOp:
+		if v.From != cs.site || cs.p.readOnly {
+			return false // impersonation, or an op from a viewer
+		}
+		return cs.n.receive(v) == nil
+	case wire.Presence:
+		if v.From != cs.site {
+			return false
+		}
+		return cs.n.relayPresence(v) == nil
+	case wire.Leave:
+		return false
+	default:
+		return false // protocol violation
+	}
+}
+
+// finish is the dispatcher's exactly-once teardown hook — the event-path
+// equivalent of handle's defers.
+func (cs *ntfConnState) finish() {
+	if cs.admitted {
+		n := cs.n
+		n.mu.Lock()
+		if _, ok := n.peers[cs.site]; ok {
+			delete(n.peers, cs.site)
+			_ = n.srv.Leave(cs.site)
+			if n.jw != nil {
+				_ = n.jw.Append(journal.Record{Kind: journal.KLeave, Site: cs.site})
+			}
+		}
+		n.mu.Unlock()
+		cs.p.snd.Close()
+	}
+	_ = cs.conn.Close()
 }
 
 // handle runs one connection: join handshake, then the operation loop.
@@ -304,6 +431,12 @@ func (n *Notifier) admit(conn transport.Conn) (int, *peer, error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	return n.admitMsg(conn, m)
+}
+
+// admitMsg is admit with the opening message already received — the event
+// path gets it from the dispatcher instead of a blocking Recv.
+func (n *Notifier) admitMsg(conn transport.Conn, m wire.Msg) (int, *peer, error) {
 	req, ok := m.(wire.JoinReq)
 	if !ok {
 		return 0, nil, fmt.Errorf("repro: expected join, got %T", m)
@@ -336,7 +469,7 @@ func (n *Notifier) admit(conn transport.Conn) (int, *peer, error) {
 			return 0, nil, err
 		}
 	}
-	p := &peer{conn: conn, snd: transport.NewSender(conn, ErrClosed), readOnly: req.ReadOnly}
+	p := &peer{conn: conn, snd: transport.NewPooledSender(conn, ErrClosed, n.pool), readOnly: req.ReadOnly}
 	if n.queueHist != nil {
 		p.snd.SetQueueHistogram(n.queueHist)
 	}

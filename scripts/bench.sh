@@ -21,6 +21,21 @@ tmp="$(mktemp)"
 carry="$(mktemp)"
 trap 'rm -f "$tmp" "$carry"' EXIT
 
+# Commit guard: a trajectory point blames a commit for its numbers, so the
+# hash must describe the measured tree. Refuse to overwrite the committed
+# trajectory file from a dirty tree (BENCH_ALLOW_DIRTY=1 overrides, tagging
+# the point -dirty), and refuse to emit if HEAD moves mid-run.
+commit_start="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+dirty=""
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+	dirty="-dirty"
+	if [ "$OUT" = "BENCH_notifier.json" ] && [ "${BENCH_ALLOW_DIRTY:-0}" != "1" ]; then
+		echo "bench.sh: working tree is dirty; the emitted point would blame commit ${commit_start:0:7} for code it did not measure." >&2
+		echo "bench.sh: commit first, or set BENCH_ALLOW_DIRTY=1 (the point is then tagged -dirty)." >&2
+		exit 1
+	fi
+fi
+
 # Carry-forward baselines: for each benchmark in the prior point, prefer its
 # recorded baseline_allocs_op (keeps the original pre-optimization anchor);
 # fall back to its measured allocs_op (a benchmark new in the prior commit
@@ -41,8 +56,16 @@ echo "== go test -bench (benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench '^(BenchmarkServerReceive|BenchmarkLaggedCatchup)$' -benchmem -benchtime "$BENCHTIME" ./internal/core | tee -a "$tmp" >&2
 go test -run '^$' -bench '^(BenchmarkE6SessionScaling|BenchmarkE6MultiSession)$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$tmp" >&2
 go test -run '^$' -bench '^BenchmarkBroadcastTCP$' -benchmem -benchtime "$BENCHTIME" . | tee -a "$tmp" >&2
+# E13 runs a fixed iteration count: its cost is dominated by the idle-fleet
+# setup (E13_CONNS connections parked), which go's time-based calibration
+# would repeat per ramp-up round.
+go test -run '^$' -bench '^BenchmarkE13IdleConnections$' -benchmem -benchtime "${E13_BENCHTIME:-100x}" . | tee -a "$tmp" >&2
 
-commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [ "$(git rev-parse HEAD 2>/dev/null || echo unknown)" != "$commit_start" ]; then
+	echo "bench.sh: HEAD moved during the run; refusing to emit a mislabeled trajectory point" >&2
+	exit 1
+fi
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)$dirty"
 goversion="$(go env GOVERSION)"
 cpus="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -97,7 +120,7 @@ END {
     printf "  \"go\": \"%s\",\n", gover >> out
     printf "  \"cpus\": %d,\n", cpus >> out
     printf "  \"benchtime\": \"%s\",\n", benchtime >> out
-    printf "  \"note\": \"ServerReceive/E6 baselines measured at seed commit a92b2e7; BroadcastTCP allocs baselines at ff0b141 (pre encode-once, when ns/op at matched 2700 iterations was ~1.9ms for N=128 vs ~1.4ms after). Benchmarks without a static seed anchor (E6 N=256, MultiSession, later additions) carry baseline_allocs_op forward from the prior committed point. BenchmarkLaggedCatchup reports transforms/op from the engine counter: the pairwise path is its own baseline (transforms/op == bridge depth) and the composed path must stay O(1); composes/op amortizes the one-time cache build over b.N. BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs. BenchmarkBroadcastTCP per-op cost grows with b.N (history-buffer ack lag under the pipelined writer), so cross-version ns/op comparisons must use matched iteration counts (-benchtime Nx); allocs/op and encodes/broadcast are iteration-stable.\",\n" >> out
+    printf "  \"note\": \"ServerReceive/E6 baselines measured at seed commit a92b2e7; BroadcastTCP allocs baselines at ff0b141 (pre encode-once, when ns/op at matched 2700 iterations was ~1.9ms for N=128 vs ~1.4ms after). Benchmarks without a static seed anchor (E6 N=256, MultiSession, later additions) carry baseline_allocs_op forward from the prior committed point. BenchmarkLaggedCatchup reports transforms/op from the engine counter: the pairwise path is its own baseline (transforms/op == bridge depth) and the composed path must stay O(1); composes/op amortizes the one-time cache build over b.N. BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs. BenchmarkBroadcastTCP per-op cost grows with b.N (history-buffer ack lag under the pipelined writer), so cross-version ns/op comparisons must use matched iteration counts (-benchtime Nx); allocs/op and encodes/broadcast are iteration-stable. BenchmarkE13IdleConnections measures the goroutine-lean connection layer: goroutines_conn and b_idleconn are per-idle-connection capacity costs after the fleet parks (E13_CONNS connections, default 2048; b_idleconn is dominated by the in-memory pipe buffers, not server state), and p99_ns is the editor-to-editor round-trip of the ~1%% active set with the fleet attached; its ns/op times only the active path.\",\n" >> out
     printf "  \"benchmarks\": {\n" >> out
     for (i = 0; i < n; i++) {
         printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", \
@@ -112,6 +135,12 @@ END {
             printf ", \"flushes_op\": %s", field(i, "flushes_op") >> out
         if (field(i, "wireB_op") != "")
             printf ", \"wire_b_op\": %s", field(i, "wireB_op") >> out
+        if (field(i, "goroutines_conn") != "")
+            printf ", \"goroutines_conn\": %s", field(i, "goroutines_conn") >> out
+        if (field(i, "B_idleconn") != "")
+            printf ", \"b_idleconn\": %s", field(i, "B_idleconn") >> out
+        if (field(i, "p99_ns") != "")
+            printf ", \"p99_ns\": %s", field(i, "p99_ns") >> out
         if (names[i] in base) {
             printf ", \"baseline_allocs_op\": %d, \"allocs_change_pct\": %.1f", \
                 base[names[i]], 100 * (field(i, "allocs_op") - base[names[i]]) / base[names[i]] >> out

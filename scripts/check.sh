@@ -37,6 +37,12 @@ go test -race ./internal/core ./internal/op ./internal/wire ./internal/transport
 step "obs zero-alloc gate"
 go test ./internal/obs -run='^TestFastPathAllocFree$' -count=1
 
+# The E13 capacity claim: 1000 idle connections on the lean layer (writer
+# pool + event dispatch + idle dehydration) must cost O(pool) goroutines,
+# and live traffic must still flow with the idle fleet attached.
+step "E13 goroutine-lean smoke (1k idle conns)"
+go test . -run='^TestE13GoroutineLean$' -count=1
+
 step "bench smoke (benchtime=10x)"
 BENCHTIME=10x bash scripts/bench.sh /tmp/bench_smoke.$$.json >/dev/null 2>&1 \
 	|| { echo "bench smoke failed" >&2; exit 1; }
