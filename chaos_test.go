@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/transport"
+	"repro/internal/transport/netpoll"
 	"repro/internal/wire"
 )
 
@@ -23,7 +24,7 @@ func TestChaosDisconnectsAndRejoins(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nt.Close()
-	runChaosChurn(t, ln, nt)
+	runChaosChurn(t, ln.Dial, nt)
 }
 
 // TestChaosLeanNotifier runs the same churn against the goroutine-lean
@@ -37,13 +38,15 @@ func TestChaosLeanNotifier(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nt.Close()
-	runChaosChurn(t, ln, nt)
+	runChaosChurn(t, ln.Dial, nt)
 }
 
-func runChaosChurn(t *testing.T, ln *transport.MemListener, nt *Notifier) {
+// runChaosChurn drives editor churn over any transport: dialConn is how a
+// new editor reaches the notifier (mem pipe or real TCP).
+func runChaosChurn(t *testing.T, dialConn func() (transport.Conn, error), nt *Notifier) {
 	dial := func() *Editor {
 		t.Helper()
-		conn, err := ln.Dial()
+		conn, err := dialConn()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,6 +143,48 @@ func runChaosChurn(t *testing.T, ln *transport.MemListener, nt *Notifier) {
 		if e.Text() != want {
 			t.Fatalf("survivor %d diverged: %q vs %q", site, e.Text(), want)
 		}
+	}
+	// Hang up the survivors so callers can assert server-side teardown
+	// (dispatcher retire, goroutine return) after the churn.
+	for _, e := range editors {
+		_ = e.Close()
+	}
+}
+
+// TestChaosPollerTCP runs the churn schedule over real TCP through the epoll
+// readiness poller, with 4 KiB socket buffers and a 7-byte read chunk so
+// nearly every frame arrives split and the partial-frame reassembly path is
+// exercised under kill/replace races. After the churn it asserts exactly-once
+// retire: the dispatcher must drain to zero registered connections — a leaked
+// dispatchConn or a double-retire would leave the count wrong forever.
+func TestChaosPollerTCP(t *testing.T) {
+	if !netpoll.Available() {
+		t.Skip("epoll poller not available on this platform")
+	}
+	p, err := netpoll.NewPoller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ln, err := netpoll.ListenTCP("127.0.0.1:0",
+		netpoll.WithPoller(p), netpoll.WithSockBuf(4096), netpoll.WithReadChunk(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := ServeLean(ln, "chaos base document", LeanOptions{WriterPool: -1, EventDispatch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	addr := ln.Addr()
+	runChaosChurn(t, func() (transport.Conn, error) { return transport.DialTCP(addr) }, nt)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for nt.disp.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatcher leaked %d connections after churn", nt.disp.Len())
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

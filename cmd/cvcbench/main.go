@@ -21,7 +21,6 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
-	"syscall"
 	"time"
 
 	"repro"
@@ -31,6 +30,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
+	"repro/internal/transport/netpoll"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -280,8 +280,11 @@ func e10(seeds int) {
 // limit) — then measures goroutines and heap bytes per idle connection and
 // the editor→editor p99 round-trip of a ~1% active set with the fleet
 // attached. In-memory connections are event-capable, so idle ones cost zero
-// goroutines; TCP keeps one dedicated reader each (no portable readiness
-// without a blocked Read), dropping 2 goroutines/conn to 1.
+// goroutines; plain TCP keeps one dedicated reader each (no portable
+// readiness without a blocked Read), dropping 2 goroutines/conn to 1; and on
+// poller-capable platforms a third leg runs TCP through the epoll poller
+// (internal/transport/netpoll), which takes TCP to 0 goroutines/conn too.
+// E13_TCP_POLLER=off skips the poller leg.
 func e13(int) {
 	banner("E13", "goroutine-lean capacity: idle connections vs goroutines and bytes")
 	memConns := envInt("E13_MEM_CONNS", 100000)
@@ -301,10 +304,19 @@ func e13(int) {
 		addr := ln.Addr()
 		e13Fleet(&tb, "tcp", tcpConns, ln, func() (transport.Conn, error) { return transport.DialTCP(addr) })
 	}
+	if netpoll.Available() && os.Getenv("E13_TCP_POLLER") != "off" {
+		ln, err := netpoll.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("e13: tcp-epoll listen: %v", err)
+		}
+		addr := ln.Addr()
+		e13Fleet(&tb, "tcp-epoll", tcpConns, ln, func() (transport.Conn, error) { return transport.DialTCP(addr) })
+	}
 	fmt.Print(tb.String())
-	fmt.Println("\nShape check: mem g/conn ~0 and tcp g/conn ~1 (reader only; the classic")
-	fmt.Println("layout costs 2/conn plus a resident session each); B/conn is dominated by")
-	fmt.Println("transport buffers, while a parked session itself is a compact checkpoint.")
+	fmt.Println("\nShape check: mem and tcp-epoll g/conn ~0 while plain tcp g/conn ~1 (reader")
+	fmt.Println("only; the classic layout costs 2/conn plus a resident session each); B/conn")
+	fmt.Println("is dominated by transport buffers (the poller's reassembly buffers release")
+	fmt.Println("when idle), while a parked session itself is a compact checkpoint.")
 }
 
 // e13Fleet attaches an idle fleet over one transport, waits for every session
@@ -415,8 +427,18 @@ func e13Fleet(tb *stats.Table, label string, conns int, ln transport.Listener, d
 			log.Fatalf("e13 %s: insert: %v", label, err)
 		}
 		p.seen++
-		for p.b.Len() != p.seen {
-			runtime.Gosched()
+		// Spin briefly, then block: an unbounded Gosched spin keeps the
+		// only P runnable on GOMAXPROCS=1, starving the runtime netpoller
+		// until sysmon's forced ~10ms poll, so the TCP legs would measure
+		// scheduler pathology (two hops ≈ 20ms) instead of transport
+		// latency. Sleeping parks the P in netpoll, which delivers
+		// readiness immediately.
+		for spin := 0; p.b.Len() != p.seen; spin++ {
+			if spin < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(5 * time.Microsecond)
+			}
 		}
 		lat = append(lat, time.Since(t0))
 	}
@@ -427,22 +449,19 @@ func e13Fleet(tb *stats.Table, label string, conns int, ln transport.Listener, d
 		lat[len(lat)*99/100].Round(time.Microsecond))
 }
 
-// e13TCPBudget clamps the TCP fleet to the file-descriptor limit (raising the
-// soft limit to the hard one first): each loopback connection costs two
-// descriptors in this single-process harness.
+// e13TCPBudget clamps the TCP fleet to the file-descriptor limit, after
+// raising RLIMIT_NOFILE as far as the process may (soft → hard, and hard →
+// the fleet's need when privileged; see raiseNoFile): each loopback
+// connection costs two descriptors in this single-process harness.
 func e13TCPBudget(want int) int {
-	var rl syscall.Rlimit
-	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+	fds, ok := raiseNoFile(uint64(2*want) + 512)
+	if !ok {
 		return want
 	}
-	if rl.Cur < rl.Max {
-		rl.Cur = rl.Max
-		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
-		_ = syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
-	}
-	budget := int(rl.Cur)/2 - 256
+	budget := int(fds)/2 - 256
+	log.Printf("e13: fd budget: RLIMIT_NOFILE %d -> %d tcp conns max", fds, budget)
 	if budget < want {
-		log.Printf("e13: clamping tcp conns %d -> %d (RLIMIT_NOFILE %d)", want, budget, rl.Cur)
+		log.Printf("e13: clamping tcp conns %d -> %d", want, budget)
 		return budget
 	}
 	return want

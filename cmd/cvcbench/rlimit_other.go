@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// raiseNoFile is a stub: Windows has no RLIMIT_NOFILE, so the TCP fleet
+// keeps its requested size and lets dial errors set the practical ceiling.
+func raiseNoFile(uint64) (fds uint64, ok bool) { return 0, false }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package main
+
+import (
+	"log"
+	"syscall"
+)
+
+// raiseNoFile lifts RLIMIT_NOFILE as far as this process may before the TCP
+// fleet sizes itself: first try to push the hard limit up to wantFDs (needs
+// CAP_SYS_RESOURCE — harmless to attempt, logged when refused), then raise
+// the soft limit to whatever hard limit we ended up with. Returns the final
+// soft limit; ok is false when the platform query itself failed.
+func raiseNoFile(wantFDs uint64) (fds uint64, ok bool) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, false
+	}
+	if rl.Max < wantFDs {
+		try := rl
+		try.Cur, try.Max = wantFDs, wantFDs
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &try); err == nil {
+			rl = try
+		} else {
+			log.Printf("e13: raising RLIMIT_NOFILE hard limit %d -> %d: %v (keeping %d)",
+				rl.Max, wantFDs, err, rl.Max)
+		}
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	_ = syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	return rl.Cur, true
+}

@@ -122,6 +122,12 @@ func render(w io.Writer, s obs.Snapshot) {
 		p.Row("conn.queue.depth p50", qh.Quantile(0.5))
 		p.Row("conn.queue.depth max", qh.Max)
 	}
+	// How many connections each epoll_wait services: the poller's
+	// amortization factor (only present on poller-capable platforms).
+	if ew, ok := s.Hists[obs.HPollerEventsPerWait]; ok {
+		p.Row("poller.events_per_wait p50", ew.Quantile(0.5))
+		p.Row("poller.events_per_wait max", ew.Max)
+	}
 	fmt.Fprintln(w, p.String())
 }
 

@@ -41,6 +41,7 @@ func main() {
 	traceOn := flag.Bool("trace", false, "start with causality-decision tracing enabled (needs -debug; toggle later via POST /tracez?enable=)")
 	writerPool := flag.Int("writer-pool", 0, "drain outbound queues with this many shared writer goroutines (-1 = GOMAXPROCS, 0 = one dedicated writer per connection)")
 	idleDehydrate := flag.Duration("idle-dehydrate", 0, "with -multi: park sessions idle for this long into compact checkpoints (0 disables)")
+	poller := flag.String("poller", "auto", "TCP readiness poller: auto (use it when the platform has one), on (require it), off (dedicated readers)")
 	flag.Parse()
 
 	initial := *text
@@ -52,9 +53,30 @@ func main() {
 		initial = string(b)
 	}
 
-	ln, err := transport.ListenTCP(*listen)
+	// The poller knob decides which listener feeds the server: poller-backed
+	// connections are EventConns (zero dedicated reader goroutines once a
+	// dispatcher runs, i.e. with -writer-pool), dedicated-reader ones are
+	// not. "auto" is the capability probe; "on" refuses to run degraded.
+	var ln transport.Listener
+	var err error
+	switch *poller {
+	case "auto":
+		ln, err = transport.ListenEventTCP(*listen)
+	case "on":
+		if !transport.PollerCapable() {
+			log.Fatalf("reducesrv: -poller=on but this platform has no readiness poller")
+		}
+		ln, err = transport.ListenEventTCP(*listen)
+	case "off":
+		ln, err = transport.ListenTCP(*listen)
+	default:
+		log.Fatalf("reducesrv: -poller=%q (want auto, on, or off)", *poller)
+	}
 	if err != nil {
 		log.Fatalf("reducesrv: listen: %v", err)
+	}
+	if transport.PollerCapable() && *poller != "off" {
+		log.Printf("reducesrv: TCP readiness poller active (reads are epoll-driven)")
 	}
 	var opts []core.ServerOption
 	if *relay {

@@ -20,15 +20,17 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/transport"
+	"repro/internal/transport/netpoll"
 	"repro/internal/wire"
 )
 
 // joinIdleSession dials a raw connection into the named session and consumes
 // the join response. The connection then sits idle: no client-side goroutine
-// (the mem transport is passive), and with the lean server layer no
-// server-side goroutine either.
-func joinIdleSession(ln *transport.MemListener, name string) (transport.Conn, error) {
-	conn, err := ln.Dial()
+// (neither transport needs one until someone blocks in Recv), and with the
+// lean server layer no server-side goroutine either — for mem always, for
+// TCP when the readiness poller carries the conn.
+func joinIdleSession(dial func() (transport.Conn, error), name string) (transport.Conn, error) {
+	conn, err := dial()
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +89,7 @@ func TestE13GoroutineLean(t *testing.T) {
 		}
 	}()
 	for i := 0; i < conns; i++ {
-		c, err := joinIdleSession(ln, fmt.Sprintf("cold%02d", i%sessions))
+		c, err := joinIdleSession(ln.Dial, fmt.Sprintf("cold%02d", i%sessions))
 		if err != nil {
 			t.Fatalf("conn %d: %v", i, err)
 		}
@@ -101,14 +103,26 @@ func TestE13GoroutineLean(t *testing.T) {
 		t.Fatalf("goroutines grew by %d for %d idle connections; want O(pool) <= 16", grew, conns)
 	}
 
-	// Live traffic with the idle fleet attached: a hot session converges.
-	ca, _ := ln.Dial()
+	assertHotSessionConverges(t, ln.Dial)
+}
+
+// assertHotSessionConverges runs live two-editor traffic with whatever idle
+// fleet the caller attached still in place.
+func assertHotSessionConverges(t *testing.T, dial func() (transport.Conn, error)) {
+	t.Helper()
+	ca, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, err := ConnectSession(ca, "hot", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	cb, _ := ln.Dial()
+	cb, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
 	bEd, err := ConnectSession(cb, "hot", 0)
 	if err != nil {
 		t.Fatal(err)
@@ -128,22 +142,156 @@ func TestE13GoroutineLean(t *testing.T) {
 	}
 }
 
+// TestE13PollerTCP is the tentpole gate on real sockets: an idle TCP fleet
+// carried by the epoll poller must cost zero goroutines per connection —
+// the same O(pool) bound the mem transport gets — and live TCP traffic must
+// still converge with the fleet attached. Skipped where no poller exists
+// (TestPollerFallback covers those platforms).
+func TestE13PollerTCP(t *testing.T) {
+	if !netpoll.Available() {
+		t.Skip("no readiness poller on this platform")
+	}
+	const (
+		conns    = 512
+		sessions = 16
+	)
+	p, err := netpoll.NewPoller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ln, err := netpoll.ListenTCP("127.0.0.1:0", netpoll.WithPoller(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := server.NewManager(server.WithIdleDehydrate(20 * time.Millisecond))
+	svc := server.Serve(ln, mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
+	defer mgr.Close()
+	defer svc.Close()
+	addr := ln.Addr()
+	dial := func() (transport.Conn, error) { return transport.DialTCP(addr) }
+
+	g0 := runtime.NumGoroutine()
+	held := make([]transport.Conn, 0, conns)
+	defer func() {
+		for _, c := range held {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < conns; i++ {
+		c, err := joinIdleSession(dial, fmt.Sprintf("cold%02d", i%sessions))
+		if err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+		held = append(held, c)
+	}
+	waitAllParked(t, mgr, 30*time.Second)
+
+	if grew := runtime.NumGoroutine() - g0; grew > 16 {
+		t.Fatalf("goroutines grew by %d for %d idle TCP connections; want O(pool) <= 16", grew, conns)
+	}
+
+	assertHotSessionConverges(t, dial)
+}
+
+// TestPollerFallback forces the -poller=off path: a plain dedicated-reader
+// TCP listener under the same lean server options. The E13 gate assertions
+// re-run with the fallback's own goroutine budget — exactly one reader per
+// connection, since plain tcpConns are not EventConns — and live traffic
+// must converge identically. This is the path every non-Linux platform runs,
+// so the test runs everywhere.
+func TestPollerFallback(t *testing.T) {
+	const (
+		conns    = 128
+		sessions = 8
+	)
+	ln, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := server.NewManager(server.WithIdleDehydrate(20 * time.Millisecond))
+	svc := server.Serve(ln, mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
+	defer mgr.Close()
+	defer svc.Close()
+	addr := ln.Addr()
+	dial := func() (transport.Conn, error) { return transport.DialTCP(addr) }
+
+	g0 := runtime.NumGoroutine()
+	held := make([]transport.Conn, 0, conns)
+	defer func() {
+		for _, c := range held {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < conns; i++ {
+		c, err := joinIdleSession(dial, fmt.Sprintf("cold%02d", i%sessions))
+		if err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+		held = append(held, c)
+	}
+	waitAllParked(t, mgr, 30*time.Second)
+
+	grew := runtime.NumGoroutine() - g0
+	if grew < conns {
+		t.Fatalf("fallback grew %d goroutines for %d conns; want a dedicated reader each", grew, conns)
+	}
+	if grew > conns+16 {
+		t.Fatalf("fallback grew %d goroutines for %d conns; want ~1/conn + O(pool)", grew, conns)
+	}
+
+	assertHotSessionConverges(t, dial)
+}
+
 // BenchmarkE13IdleConnections holds an idle fleet (E13_CONNS, default 2048;
 // the cmd/cvcbench e13 mode drives this to 100k) with a ~1% active set and
 // reports capacity metrics: goroutines per idle connection, heap bytes per
 // idle connection (after the sessions park), and the p99 editor→editor
 // round-trip on the active set while the fleet is attached.
 func BenchmarkE13IdleConnections(b *testing.B) {
+	ln := transport.NewMemListener()
+	runE13IdleBench(b, e13BenchConns(), ln, ln.Dial)
+}
+
+// BenchmarkE13IdleConnectionsTCP is the same capacity measurement over real
+// loopback TCP. On poller-capable platforms the fleet rides the epoll poller
+// (0 goroutines/conn); E13_TCP_POLLER=off — or a platform without a poller —
+// measures the dedicated-reader baseline instead (1 goroutine/conn), which
+// is the denominator of the "active p99 within 2× of dedicated" acceptance
+// gate.
+func BenchmarkE13IdleConnectionsTCP(b *testing.B) {
+	conns := e13BenchConns()
+	raiseTestNoFile(uint64(2*conns) + 512)
+	var ln transport.Listener
+	var err error
+	if netpoll.Available() && os.Getenv("E13_TCP_POLLER") != "off" {
+		ln, err = netpoll.ListenTCP("127.0.0.1:0")
+	} else {
+		ln, err = transport.ListenTCP("127.0.0.1:0")
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := ln.Addr()
+	runE13IdleBench(b, conns, ln, func() (transport.Conn, error) { return transport.DialTCP(addr) })
+}
+
+// e13BenchConns sizes the idle fleet (E13_CONNS, default 2048; cvcbench's
+// e13 mode drives the same measurement to ~100k).
+func e13BenchConns() int {
 	conns := 2048
 	if s := os.Getenv("E13_CONNS"); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v > 0 {
 			conns = v
 		}
 	}
+	return conns
+}
+
+func runE13IdleBench(b *testing.B, conns int, ln transport.Listener, dial func() (transport.Conn, error)) {
 	const perSession = 32
 	sessions := (conns + perSession - 1) / perSession
 
-	ln := transport.NewMemListener()
 	mgr := server.NewManager(server.WithIdleDehydrate(10 * time.Millisecond))
 	svc := server.Serve(ln, mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
 	defer mgr.Close()
@@ -161,7 +309,7 @@ func BenchmarkE13IdleConnections(b *testing.B) {
 		}
 	}()
 	for i := 0; i < conns; i++ {
-		c, err := joinIdleSession(ln, fmt.Sprintf("cold%04d", i%sessions))
+		c, err := joinIdleSession(dial, fmt.Sprintf("cold%04d", i%sessions))
 		if err != nil {
 			b.Fatalf("conn %d: %v", i, err)
 		}
@@ -191,7 +339,7 @@ func BenchmarkE13IdleConnections(b *testing.B) {
 	hot := make([]*pair, nPairs)
 	for i := range hot {
 		name := fmt.Sprintf("hot%02d", i)
-		ca, err := ln.Dial()
+		ca, err := dial()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +348,7 @@ func BenchmarkE13IdleConnections(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer a.Close()
-		cb, err := ln.Dial()
+		cb, err := dial()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,8 +369,19 @@ func BenchmarkE13IdleConnections(b *testing.B) {
 			b.Fatal(err)
 		}
 		p.seen++
-		for p.b.Len() != p.seen {
-			runtime.Gosched()
+		// Spin briefly, then block. The mem transport delivers through
+		// channels within a few yields, but an unbounded Gosched spin keeps
+		// the only P runnable on GOMAXPROCS=1, so TCP readiness sits in the
+		// runtime netpoller until sysmon's forced ~10ms poll — the TCP legs
+		// would measure scheduler starvation (two hops ≈ 20ms/op) instead
+		// of transport latency. Sleeping parks the P in netpoll, which
+		// delivers edges immediately.
+		for spin := 0; p.b.Len() != p.seen; spin++ {
+			if spin < 64 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(5 * time.Microsecond)
+			}
 		}
 		lat = append(lat, time.Since(start))
 	}

@@ -165,7 +165,12 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	return pkg, nil
 }
 
-// sourceFiles lists the non-test .go files of dir in stable order.
+// sourceFiles lists the non-test .go files of dir that build on the host
+// platform, in stable order. Build constraints matter since the transport
+// grew platform-split files (poller_linux.go vs netpoll_other.go): parsing
+// both halves of a //go:build pair redeclares every symbol and drowns the
+// run in spurious type errors, so files are filtered through the same
+// context the compiler uses.
 func sourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -178,6 +183,11 @@ func sourceFiles(dir string) ([]string, error) {
 			continue
 		}
 		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// MatchFile reads the file header and evaluates //go:build lines and
+		// GOOS/GOARCH filename suffixes against build.Default.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -99,3 +99,41 @@ func consume(x [4]atomic.Uint64) {}
 func rogueByValue() {
 	consume(slots) // want "atomic-typed value slots copied or read"
 }
+
+// --- netpoll idiom --------------------------------------------------------
+
+// The poller wakeup counter: a package-level typed atomic bumped from the
+// event loop and read by a metrics callback (mirrors netpoll's wakeups).
+var wakeups atomic.Uint64
+
+func recordWakeup() { wakeups.Add(1) }
+
+func wakeupCount() uint64 { return wakeups.Load() }
+
+// Zeroing the counter between benchmark rounds by assignment is the
+// non-atomic reset again: it tears against a concurrent poller loop.
+func rogueBenchReset() {
+	wakeups = atomic.Uint64{} // want "non-atomically"
+}
+
+// Reading the counter as a value copies it out from under the writer.
+func rogueWakeupSnapshot() {
+	_ = wakeups // want "atomic-typed value wakeups copied or read"
+}
+
+// eventConn mirrors pollConn's split personality: partial is bumped with
+// sync/atomic from the poller goroutine, fd is plain state owned by the
+// registration handoff and stays out of scope.
+type eventConn struct {
+	partial uint64
+	fd      int
+}
+
+func (c *eventConn) notePartial() { atomic.AddUint64(&c.partial, 1) }
+
+func (c *eventConn) file() int { return c.fd }
+
+// A stats method that skips the atomic load tears under the poller loop.
+func (c *eventConn) rogueStats() uint64 {
+	return c.partial // want "field partial is read plainly"
+}

@@ -159,3 +159,37 @@ func rogueReassign() {
 	}
 	bc.Release()
 }
+
+// The poller write path: each reachable destination retains, and a
+// destination that refuses delivery gets its reference refunded instead of
+// enqueued (mirrors the terminal-error refund in the event-driven sender).
+func fanoutWithRefusal(dests []int, down func(int) bool) error {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return err
+	}
+	for _, d := range dests {
+		bc.Retain()
+		if down(d) {
+			bc.Release()
+			continue
+		}
+		enqueue(bc)
+	}
+	bc.Release()
+	return nil
+}
+
+// A flush round that arms nobody must still drop the creator's reference;
+// the early return leaks the buffer past the flush forever.
+func rogueIdleFlushLeak() int {
+	bc, err := wire.NewBroadcast(causal.OpRef{}, causal.OpRef{}, op.New())
+	if err != nil {
+		return 0
+	}
+	if bc.WireSize(0, core.Timestamp{}) == 0 {
+		return 0 // want "still holds 1 reference"
+	}
+	bc.Release()
+	return 1
+}

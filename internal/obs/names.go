@@ -56,6 +56,18 @@ const (
 	CTCPBytes   = "tcp.bytes_sent" // frame bytes written to TCP conns
 	CTCPFlushes = "tcp.flushes"    // bufio flushes on TCP conns
 
+	// Process-wide readiness-poller metrics (internal/transport/netpoll).
+	// poller.wakeups counts epoll_wait returns, poller.events_per_wait is
+	// the histogram of how many events each return carried (their product
+	// is total events — the amortization the poller exists for),
+	// poller.rearm counts EPOLLOUT re-arms after short writes, and
+	// conn.partial_reads counts read rounds that ended on an incomplete
+	// frame held in the reassembly buffer.
+	CPollerWakeups       = "poller.wakeups"
+	HPollerEventsPerWait = "poller.events_per_wait"
+	CPollerRearm         = "poller.rearm"
+	CConnPartialReads    = "conn.partial_reads"
+
 	// Process-wide wire encode counters (internal/wire). Per-type frame and
 	// byte counters are named wire.frames.<type> / wire.bytes.<type> with
 	// the type names in wire.TypeName.

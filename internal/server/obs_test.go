@@ -61,6 +61,7 @@ func TestMetricsCatalog(t *testing.T) {
 		obs.CTCPBytes, obs.CTCPFlushes,
 		obs.CWireEncodes, obs.CWireOps,
 		obs.CSessionRehydrations,
+		obs.CPollerWakeups, obs.CPollerRearm, obs.CConnPartialReads,
 	}
 	for ty := wire.TClientOp; ty <= wire.TOpBatch; ty++ {
 		wantRoot = append(wantRoot,
@@ -72,7 +73,9 @@ func TestMetricsCatalog(t *testing.T) {
 		obs.GQueueHighWater, obs.GGoroutines,
 		obs.GSessionsResident, obs.GSessionsDehydrated,
 	})
-	assertNames(t, "root histograms", snap.Hists, []string{obs.HQueueDepth})
+	assertNames(t, "root histograms", snap.Hists, []string{
+		obs.HQueueDepth, obs.HPollerEventsPerWait,
+	})
 
 	if snap.Gauges[obs.GSessionsResident] != 1 || snap.Gauges[obs.GSessionsDehydrated] != 0 {
 		t.Errorf("residency gauges = %d resident / %d dehydrated, want 1/0",

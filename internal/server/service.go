@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/transport/netpoll"
 	"repro/internal/wire"
 )
 
@@ -138,6 +139,7 @@ func (s *Service) String() string {
 func DebugHandler(reg *obs.Registry, ring *obs.DecisionRing) http.Handler {
 	wire.RegisterMetrics(reg)
 	transport.RegisterMetrics(reg)
+	netpoll.RegisterMetrics(reg)
 	// The goroutine count is the E13 headline: with the lean connection
 	// layer it stays O(pool + resident sessions) however many connections
 	// are attached.

@@ -13,10 +13,12 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // EventConn is a Conn whose inbound side can be drained without parking a
 // goroutine in Recv. SetReadable registers a wake callback; TryRecv pulls
 // the next message without blocking. The in-memory transport implements it
-// (its inbound queue is a channel, so readiness is known at delivery time);
-// the TCP transport does not — kernel readiness without a blocked read
-// needs a platform poller, so TCP connections keep a dedicated reader and
-// lean out on the writer side only (DESIGN.md §15).
+// (its inbound queue is a channel, so readiness is known at delivery time),
+// and so does the platform poller's TCP connection (netpoll, Linux: epoll
+// edges drive the callback — DESIGN.md §16). The plain TCP transport does
+// not — kernel readiness without a blocked read needs that poller — so its
+// connections keep a dedicated reader and lean out on the writer side only
+// (DESIGN.md §15).
 type EventConn interface {
 	Conn
 	// SetReadable registers fn to be invoked whenever a message is
@@ -244,6 +246,15 @@ func (dc *dispatchConn) retire() {
 	if dc.finish != nil {
 		dc.finish()
 	}
+}
+
+// Len returns the number of connections currently registered. Tests use it
+// to assert that churn retires every dispatchConn exactly once (no leaks,
+// no double retire).
+func (d *Dispatcher) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.conns)
 }
 
 // Close stops the workers and retires every registered connection (running

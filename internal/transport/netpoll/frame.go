@@ -1,0 +1,97 @@
+package netpoll
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// frameBufRetain bounds how much backing array a drained reassembly buffer
+// keeps for the next burst; an oversized frame's buffer is dropped once
+// consumed instead of pinning megabytes on an idle connection (mirrors the
+// wire package's ReadFrameReuse retention cap).
+const frameBufRetain = 64 << 10
+
+// frameBuf reassembles length-prefixed wire frames from arbitrary read
+// chunks. A non-blocking socket delivers whatever the kernel has — half a
+// length prefix, a frame and a half — so the buffer accumulates bytes until
+// a complete frame is decodable and hands back one message at a time,
+// producing exactly the decode sequence wire.ReadFrameReuse would on the
+// same stream (FuzzPartialRead holds us to that).
+//
+// Ownership: the buffer belongs to the connection's read side and is only
+// touched with the read mutex held — space/advance fill it from the socket,
+// next consumes from the front. It is not a ring: consumed bytes are
+// reclaimed by compaction when space runs out, which stays cheap because a
+// drained buffer resets to empty and steady-state frames are far smaller
+// than the buffer.
+type frameBuf struct {
+	buf []byte // buf[r:] holds the unconsumed bytes
+	r   int
+}
+
+// pending returns how many unconsumed bytes are buffered.
+func (fb *frameBuf) pending() int { return len(fb.buf) - fb.r }
+
+// next decodes the next complete frame from the buffered bytes. ok=false
+// with a nil error means the buffer ends mid-frame (read more); a non-nil
+// error means the stream is corrupt and the connection must treat it as
+// terminal — after a framing error the length prefixes downstream are
+// meaningless.
+func (fb *frameBuf) next() (wire.Msg, bool, error) {
+	b := fb.buf[fb.r:]
+	size, n := binary.Uvarint(b)
+	if n == 0 {
+		if len(b) >= binary.MaxVarintLen64 {
+			// 10 bytes without a terminating byte can never become a
+			// valid length prefix, however much more arrives.
+			return nil, false, fmt.Errorf("netpoll: unterminated frame length: %w", wire.ErrCorrupt)
+		}
+		return nil, false, nil // partial length prefix
+	}
+	if n < 0 {
+		return nil, false, fmt.Errorf("netpoll: frame length overflow: %w", wire.ErrCorrupt)
+	}
+	if size > wire.MaxFrame {
+		return nil, false, fmt.Errorf("netpoll: %d bytes: %w", size, wire.ErrFrameTooLarge)
+	}
+	if uint64(len(b)-n) < size {
+		return nil, false, nil // partial body
+	}
+	m, err := wire.Decode(b[n : n+int(size)])
+	if err != nil {
+		return nil, false, err
+	}
+	fb.r += n + int(size)
+	if fb.r == len(fb.buf) {
+		// Fully drained: rewind, and let go of a burst-sized backing array.
+		fb.buf, fb.r = fb.buf[:0], 0
+		if cap(fb.buf) > frameBufRetain {
+			fb.buf = nil
+		}
+	}
+	return m, true, nil
+}
+
+// space returns a writable tail of at least min bytes for the next read,
+// compacting consumed bytes first and growing the backing array only when
+// compaction is not enough. Bytes read into it become visible via advance.
+func (fb *frameBuf) space(min int) []byte {
+	if cap(fb.buf)-len(fb.buf) < min {
+		keep := fb.pending()
+		if fb.r > 0 {
+			copy(fb.buf, fb.buf[fb.r:])
+			fb.buf, fb.r = fb.buf[:keep], 0
+		}
+		if cap(fb.buf)-len(fb.buf) < min {
+			grown := make([]byte, keep, cap(fb.buf)*2+min)
+			copy(grown, fb.buf)
+			fb.buf = grown
+		}
+	}
+	return fb.buf[len(fb.buf):cap(fb.buf)]
+}
+
+// advance accounts n bytes just read into the slice space returned.
+func (fb *frameBuf) advance(n int) { fb.buf = fb.buf[:len(fb.buf)+n] }

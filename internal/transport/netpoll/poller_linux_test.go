@@ -1,0 +1,360 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// newTestPoller builds a private poller torn down with the test.
+func newTestPoller(t *testing.T) *Poller {
+	t.Helper()
+	p, err := NewPoller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+// acceptOne accepts a single connection in the background.
+func acceptOne(t *testing.T, ln transport.Listener) <-chan transport.Conn {
+	t.Helper()
+	ch := make(chan transport.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	return ch
+}
+
+func waitConn(t *testing.T, ch <-chan transport.Conn) transport.Conn {
+	t.Helper()
+	select {
+	case c, ok := <-ch:
+		if !ok {
+			t.Fatal("accept failed")
+		}
+		return c
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	return nil
+}
+
+// TestPollConnDispatcherRoundTrip is the headline path: an accepted TCP conn
+// registered with a Dispatcher, drained by epoll edges with zero dedicated
+// goroutines, retiring exactly once when the peer hangs up.
+func TestPollConnDispatcherRoundTrip(t *testing.T) {
+	p := newTestPoller(t)
+	ln, err := ListenTCP("127.0.0.1:0", WithPoller(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := acceptOne(t, ln)
+	cli, err := transport.DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := waitConn(t, connCh)
+	ec, ok := srv.(transport.EventConn)
+	if !ok {
+		t.Fatalf("accepted conn %T is not an EventConn", srv)
+	}
+
+	d := transport.NewDispatcher(1, 8)
+	defer d.Close()
+	var mu sync.Mutex
+	var got []wire.Msg
+	var finishes atomic.Int32
+	done := make(chan struct{})
+	d.Add(ec,
+		func(m wire.Msg) bool {
+			mu.Lock()
+			got = append(got, m)
+			mu.Unlock()
+			return true
+		},
+		func() {
+			if finishes.Add(1) == 1 {
+				close(done)
+			}
+		})
+
+	msgs := testMsgs(t, 9)
+	for _, m := range msgs {
+		if err := cli.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= len(msgs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d messages", n, len(msgs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	assertSameMsgs(t, got, msgs)
+	mu.Unlock()
+
+	cli.Close() // peer hangup → EOF edge → retire
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("finish hook never ran after peer close")
+	}
+	if n := finishes.Load(); n != 1 {
+		t.Fatalf("finish ran %d times, want exactly once", n)
+	}
+	if n := d.Len(); n != 0 {
+		t.Fatalf("%d dispatchConns leaked", n)
+	}
+}
+
+// TestPollConnTinyReadChunk forces reassembly across short reads: the peer
+// delivers a frame in two pieces with a pause, so the read side must park an
+// incomplete frame (counted in conn.partial_reads) and finish it on the next
+// edge. WithReadChunk(3) additionally makes every kernel read tiny.
+func TestPollConnTinyReadChunk(t *testing.T) {
+	p := newTestPoller(t)
+	ln, err := ListenTCP("127.0.0.1:0", WithPoller(p), WithReadChunk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := acceptOne(t, ln)
+	raw, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	srv := waitConn(t, connCh)
+	defer srv.Close()
+
+	msgs := testMsgs(t, 8)
+	stream := encodeStream(t, msgs)
+	before := PartialReads()
+	// First piece ends mid-frame: the server reads it to EAGAIN and must
+	// hold the partial bytes.
+	if _, err := raw.Write(stream[:5]); err != nil {
+		t.Fatal(err)
+	}
+	gotCh := make(chan []wire.Msg, 1)
+	go func() {
+		var got []wire.Msg
+		for range msgs {
+			m, err := srv.Recv()
+			if err != nil {
+				break
+			}
+			got = append(got, m)
+		}
+		gotCh <- got
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for PartialReads() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("split frame never counted as a partial read")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := raw.Write(stream[5:]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-gotCh:
+		assertSameMsgs(t, got, msgs)
+	case <-time.After(5 * time.Second):
+		t.Fatal("messages never completed after the second piece")
+	}
+}
+
+// TestPollConnShortWrite fills a tiny socket buffer with a megabyte-scale
+// blob: the send must park the remainder, arm EPOLLOUT, and the poller must
+// drain it — byte-identical — while SendFrame itself never blocks.
+func TestPollConnShortWrite(t *testing.T) {
+	p := newTestPoller(t)
+	ln, err := ListenTCP("127.0.0.1:0", WithPoller(p), WithSockBuf(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := acceptOne(t, ln)
+	cli, err := transport.DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := waitConn(t, connCh)
+	defer srv.Close()
+
+	big := wire.JoinResp{Site: 7, Text: strings.Repeat("z", 1<<20)}
+	frame, err := wire.AppendFrame(nil, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Rearms()
+	start := time.Now()
+	if err := srv.(transport.FrameConn).SendFrame(frame); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("SendFrame blocked %v on a full socket buffer", elapsed)
+	}
+	if Rearms() == before {
+		t.Fatal("1MiB into a 4KiB socket buffer never armed EPOLLOUT")
+	}
+	m, err := cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body(t, m), body(t, big)) {
+		t.Fatal("blob corrupted across the short-write drain")
+	}
+}
+
+// TestPollConnCorruptStream sends garbage that can never frame; the
+// dispatcher must retire the conn with an error instead of stalling.
+func TestPollConnCorruptStream(t *testing.T) {
+	p := newTestPoller(t)
+	ln, err := ListenTCP("127.0.0.1:0", WithPoller(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := acceptOne(t, ln)
+	raw, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	srv := waitConn(t, connCh)
+
+	d := transport.NewDispatcher(1, 8)
+	defer d.Close()
+	done := make(chan struct{})
+	d.Add(srv.(transport.EventConn),
+		func(wire.Msg) bool { return true },
+		func() { close(done) })
+	if _, err := raw.Write(bytes.Repeat([]byte{0xff}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("corrupt stream never retired the conn")
+	}
+	if n := d.Len(); n != 0 {
+		t.Fatalf("%d dispatchConns leaked", n)
+	}
+}
+
+// TestPollConnCloseIdempotent double-closes from both the conn and the
+// poller side.
+func TestPollConnCloseIdempotent(t *testing.T) {
+	p := newTestPoller(t)
+	ln, err := ListenTCP("127.0.0.1:0", WithPoller(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := acceptOne(t, ln)
+	cli, err := transport.DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := waitConn(t, connCh)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := p.Close(); err != nil { // closes the (already closed) conn again
+		t.Fatal(err)
+	}
+	if _, _, err := srv.(transport.EventConn).TryRecv(); err == nil {
+		t.Fatal("TryRecv on a closed conn returned no error")
+	}
+}
+
+// TestPollerCloseRetiresConns tears down a poller with live registered
+// connections and checks they all surface errors (so dispatchers retire
+// them).
+func TestPollerCloseRetiresConns(t *testing.T) {
+	p, err := NewPoller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := ListenTCP("127.0.0.1:0", WithPoller(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const conns = 4
+	var srvs []transport.Conn
+	for i := 0; i < conns; i++ {
+		connCh := acceptOne(t, ln)
+		cli, err := transport.DialTCP(ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		srvs = append(srvs, waitConn(t, connCh))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range srvs {
+		if _, _, err := s.(transport.EventConn).TryRecv(); err == nil {
+			t.Fatalf("conn %d alive after poller close", i)
+		}
+	}
+}
+
+// TestListenEventTCPProbe checks the capability probe resolves to the poller
+// on Linux.
+func TestListenEventTCPProbe(t *testing.T) {
+	if !transport.PollerCapable() {
+		t.Fatal("PollerCapable false on Linux with netpoll imported")
+	}
+	ln, err := transport.ListenEventTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := acceptOne(t, ln)
+	cli, err := transport.DialTCP(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := waitConn(t, connCh)
+	defer srv.Close()
+	if _, ok := srv.(transport.EventConn); !ok {
+		t.Fatalf("ListenEventTCP accepted %T, not an EventConn", srv)
+	}
+}

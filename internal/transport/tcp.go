@@ -23,6 +23,16 @@ func TCPBytesSent() uint64 { return tcpBytesSent.Load() }
 // TCPFlushes returns the total bufio flushes performed by all TCP conns.
 func TCPFlushes() uint64 { return tcpFlushes.Load() }
 
+// AccountTCPWrite adds one write round of n frame bytes to the TCP write
+// counters. The platform poller's connections (netpoll) write through raw
+// fds rather than tcpConn, but they carry the same traffic; accounting it
+// here keeps tcp.bytes_sent / tcp.flushes meaning "frame bytes toward TCP
+// peers" regardless of which write path ran.
+func AccountTCPWrite(n int) {
+	tcpBytesSent.Add(uint64(n))
+	tcpFlushes.Add(1)
+}
+
 // DefaultBufferSize is the per-direction bufio size of a TCP conn. Large
 // enough that a full drain of a busy outbound queue usually needs one
 // syscall, small enough to be irrelevant against per-connection memory.

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package repro
+
+// raiseTestNoFile is a stub where RLIMIT_NOFILE does not exist; the TCP
+// capacity benchmark runs at whatever descriptor budget the platform grants.
+func raiseTestNoFile(uint64) {}

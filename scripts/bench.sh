@@ -60,6 +60,10 @@ go test -run '^$' -bench '^BenchmarkBroadcastTCP$' -benchmem -benchtime "$BENCHT
 # setup (E13_CONNS connections parked), which go's time-based calibration
 # would repeat per ramp-up round.
 go test -run '^$' -bench '^BenchmarkE13IdleConnections$' -benchmem -benchtime "${E13_BENCHTIME:-100x}" . | tee -a "$tmp" >&2
+# The TCP variant parks the same fleet over real sockets through the epoll
+# readiness poller (falls back to dedicated readers off-linux or with
+# E13_TCP_POLLER=off); it raises RLIMIT_NOFILE toward 2*conns+512 first.
+go test -run '^$' -bench '^BenchmarkE13IdleConnectionsTCP$' -benchmem -benchtime "${E13_BENCHTIME:-100x}" . | tee -a "$tmp" >&2
 
 if [ "$(git rev-parse HEAD 2>/dev/null || echo unknown)" != "$commit_start" ]; then
 	echo "bench.sh: HEAD moved during the run; refusing to emit a mislabeled trajectory point" >&2
@@ -120,7 +124,7 @@ END {
     printf "  \"go\": \"%s\",\n", gover >> out
     printf "  \"cpus\": %d,\n", cpus >> out
     printf "  \"benchtime\": \"%s\",\n", benchtime >> out
-    printf "  \"note\": \"ServerReceive/E6 baselines measured at seed commit a92b2e7; BroadcastTCP allocs baselines at ff0b141 (pre encode-once, when ns/op at matched 2700 iterations was ~1.9ms for N=128 vs ~1.4ms after). Benchmarks without a static seed anchor (E6 N=256, MultiSession, later additions) carry baseline_allocs_op forward from the prior committed point. BenchmarkLaggedCatchup reports transforms/op from the engine counter: the pairwise path is its own baseline (transforms/op == bridge depth) and the composed path must stay O(1); composes/op amortizes the one-time cache build over b.N. BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs. BenchmarkBroadcastTCP per-op cost grows with b.N (history-buffer ack lag under the pipelined writer), so cross-version ns/op comparisons must use matched iteration counts (-benchtime Nx); allocs/op and encodes/broadcast are iteration-stable. BenchmarkE13IdleConnections measures the goroutine-lean connection layer: goroutines_conn and b_idleconn are per-idle-connection capacity costs after the fleet parks (E13_CONNS connections, default 2048; b_idleconn is dominated by the in-memory pipe buffers, not server state), and p99_ns is the editor-to-editor round-trip of the ~1%% active set with the fleet attached; its ns/op times only the active path.\",\n" >> out
+    printf "  \"note\": \"ServerReceive/E6 baselines measured at seed commit a92b2e7; BroadcastTCP allocs baselines at ff0b141 (pre encode-once, when ns/op at matched 2700 iterations was ~1.9ms for N=128 vs ~1.4ms after). Benchmarks without a static seed anchor (E6 N=256, MultiSession, later additions) carry baseline_allocs_op forward from the prior committed point. BenchmarkLaggedCatchup reports transforms/op from the engine counter: the pairwise path is its own baseline (transforms/op == bridge depth) and the composed path must stay O(1); composes/op amortizes the one-time cache build over b.N. BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs. BenchmarkBroadcastTCP per-op cost grows with b.N (history-buffer ack lag under the pipelined writer), so cross-version ns/op comparisons must use matched iteration counts (-benchtime Nx); allocs/op and encodes/broadcast are iteration-stable. BenchmarkE13IdleConnections measures the goroutine-lean connection layer: goroutines_conn and b_idleconn are per-idle-connection capacity costs after the fleet parks (E13_CONNS connections, default 2048; b_idleconn is dominated by the in-memory pipe buffers, not server state), and p99_ns is the editor-to-editor round-trip of the ~1%% active set with the fleet attached; its ns/op times only the active path. BenchmarkE13IdleConnectionsTCP is the same protocol over loopback TCP through the epoll readiness poller (zero reader goroutines per connection); b_idleconn there includes kernel-adjacent runtime state (os.File, pollConn) instead of pipe buffers.\",\n" >> out
     printf "  \"benchmarks\": {\n" >> out
     for (i = 0; i < n; i++) {
         printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", \

@@ -17,6 +17,12 @@ go build ./...
 step "go vet ./..."
 go vet ./...
 
+# The poller is build-tag split (linux epoll vs stub): both halves must keep
+# compiling even though only one is ever tested here.
+step "cross-compile smoke (darwin, windows)"
+GOOS=darwin go build ./...
+GOOS=windows go build ./...
+
 step "cvclint ./..."
 go run ./cmd/cvclint -summary ./...
 
@@ -29,8 +35,8 @@ go run ./cmd/cvclint -budget
 step "go test ./..."
 go test ./...
 
-step "go test -race (engine, op, wire, transport, server, obs, sim, root)"
-go test -race ./internal/core ./internal/op ./internal/wire ./internal/transport ./internal/server ./internal/obs ./internal/sim .
+step "go test -race (engine, op, wire, transport, netpoll, server, obs, sim, root)"
+go test -race ./internal/core ./internal/op ./internal/wire ./internal/transport ./internal/transport/netpoll ./internal/server ./internal/obs ./internal/sim .
 
 # The observability fast paths must stay allocation-free: a single alloc per
 # Record would show up on every integrated operation once -debug is on.
@@ -42,6 +48,12 @@ go test ./internal/obs -run='^TestFastPathAllocFree$' -count=1
 # and live traffic must still flow with the idle fleet attached.
 step "E13 goroutine-lean smoke (1k idle conns)"
 go test . -run='^TestE13GoroutineLean$' -count=1
+
+# The TCP legs of E13: idle fleets over the epoll poller (where available)
+# and over the dedicated-reader fallback must both pass the same gates, so
+# -poller=off deployments keep the capacity claim they had before the poller.
+step "E13 poller + fallback smoke"
+go test . -run='^(TestE13PollerTCP|TestPollerFallback|TestChaosPollerTCP)$' -count=1
 
 step "bench smoke (benchtime=10x)"
 BENCHTIME=10x bash scripts/bench.sh /tmp/bench_smoke.$$.json >/dev/null 2>&1 \
