@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/stats"
 )
 
@@ -98,16 +99,17 @@ func render(w io.Writer, s obs.Snapshot) {
 		if name == "" || c.Name == s.Name {
 			name = "(default)"
 		}
-		h := c.Hists[obs.HReceiveNs]
 		t.Row(name, residentStr(c.Gauges),
-			c.Gauges[obs.GSites], c.Gauges[obs.GOpsRecv], c.Gauges[obs.GDocRunes],
-			c.Gauges[obs.GHBLen], c.Gauges[obs.GClockWords],
-			c.Counters["checks.total"], c.Counters["ot.transforms"],
+			gaugeCell(c.Gauges, obs.GSites), gaugeCell(c.Gauges, obs.GOpsRecv), gaugeCell(c.Gauges, obs.GDocRunes),
+			gaugeCell(c.Gauges, obs.GHBLen), gaugeCell(c.Gauges, obs.GClockWords),
+			gaugeCell(c.Counters, "checks.total"), gaugeCell(c.Counters, "ot.transforms"),
 			ratioStr(c.Counters["ot.transforms"], c.Counters["ops.integrated"]),
 			pctStr(c.Counters["ot.cache.hits"], c.Counters["ot.cache.hits"]+c.Counters["ot.cache.misses"]),
-			durStr(h.Quantile(0.5)), durStr(h.Quantile(0.99)))
+			histQCell(c.Hists, obs.HReceiveNs, 0.5), histQCell(c.Hists, obs.HReceiveNs, 0.99))
 	}
 	fmt.Fprintln(w, t.String())
+
+	renderStages(w, s)
 
 	// Process-wide counters: wire and transport traffic, queue pressure.
 	var p stats.Table
@@ -129,6 +131,59 @@ func render(w io.Writer, s obs.Snapshot) {
 		p.Row("poller.events_per_wait max", ew.Max)
 	}
 	fmt.Fprintln(w, p.String())
+}
+
+// renderStages prints the op-lifecycle stage breakdown when the server runs
+// a span tracer (reducesrv -span-sample): one row per pipeline stage in
+// pipeline order, plus the end-to-end total. Servers without tracing expose
+// none of these histograms and the section is omitted entirely.
+func renderStages(w io.Writer, s obs.Snapshot) {
+	any := false
+	for i := 0; i < span.NumStages; i++ {
+		if _, ok := s.Hists[span.StageHistName(span.Stage(i))]; ok {
+			any = true
+			break
+		}
+	}
+	if _, ok := s.Hists[span.HistTotal]; !any && !ok {
+		return
+	}
+	var t stats.Table
+	t.Header("stage", "count", "p50", "p99", "max")
+	row := func(label, hist string) {
+		h, ok := s.Hists[hist]
+		if !ok {
+			t.Row(label, "-", "-", "-", "-")
+			return
+		}
+		t.Row(label, h.Count, durStr(h.Quantile(0.5)), durStr(h.Quantile(0.99)), durStr(h.Max))
+	}
+	for i := 0; i < span.NumStages; i++ {
+		st := span.Stage(i)
+		row(st.Name(), span.StageHistName(st))
+	}
+	row("total", span.HistTotal)
+	fmt.Fprintln(w, t.String())
+}
+
+// gaugeCell renders a gauge or counter cell, distinguishing a missing row
+// ("-") from a genuine zero — a server built without some subsystem (no
+// residency layer, no engine metrics) must not render as an all-zero row.
+func gaugeCell(m map[string]int64, k string) any {
+	v, ok := m[k]
+	if !ok {
+		return "-"
+	}
+	return v
+}
+
+// histQCell renders a histogram quantile, "-" when the histogram is absent.
+func histQCell(m map[string]obs.HistSnapshot, k string, q float64) string {
+	h, ok := m[k]
+	if !ok {
+		return "-"
+	}
+	return durStr(h.Quantile(q))
 }
 
 // residentStr renders the per-session residency bit: "yes" (live engine +

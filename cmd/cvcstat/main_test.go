@@ -11,6 +11,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
@@ -175,6 +176,85 @@ func TestRenderCacheColumns(t *testing.T) {
 	}
 	if !strings.Contains(idle, "-") {
 		t.Errorf("idle row should render '-' for undefined ratios: %q", idle)
+	}
+}
+
+// TestRenderMissingRows pins graceful degradation: a session snapshot from a
+// server built without some subsystems (no gauges, no engine counters, no
+// receive histogram) renders "-" cells, not fake zeros, and the row still
+// has every column so nothing misaligns.
+func TestRenderMissingRows(t *testing.T) {
+	snap := obs.Snapshot{
+		Name: "reducesrv",
+		Children: []obs.Snapshot{
+			{Name: "docs/bare"}, // no gauges, counters, or hists at all
+			{
+				Name:   "docs/full",
+				Gauges: map[string]int64{obs.GSites: 2, obs.GOpsRecv: 0, obs.GDocRunes: 7, obs.GHBLen: 1, obs.GClockWords: 4},
+				Counters: map[string]int64{
+					"checks.total": 5, "ot.transforms": 0, "ops.integrated": 3,
+				},
+			},
+		},
+	}
+	var out strings.Builder
+	render(&out, snap)
+	text := out.String()
+
+	header := tableLine(text, "session")
+	bare := tableLine(text, "docs/bare")
+	full := tableLine(text, "docs/full")
+	if bare == "" || full == "" {
+		t.Fatalf("rows missing from render:\n%s", text)
+	}
+	// Every cell of the bare row after the name is a "-", and both rows carry
+	// all 13 columns (the header's multi-word labels split differently under
+	// Fields, so count against the known column count) — no misalignment.
+	const cols = 13
+	bareFields := strings.Fields(bare)
+	if len(bareFields) != cols {
+		t.Errorf("bare row has %d fields, want %d:\n%q\n%q", len(bareFields), cols, header, bare)
+	}
+	for _, f := range bareFields[1:] {
+		if f != "-" {
+			t.Errorf("bare row cell = %q, want '-': %q", f, bare)
+		}
+	}
+	if got := len(strings.Fields(full)); got != cols {
+		t.Errorf("full row has %d fields, want %d:\n%q\n%q", got, cols, header, full)
+	}
+	// A gauge that exists with value zero still renders as 0, not "-".
+	if !strings.Contains(full, " 0 ") {
+		t.Errorf("full row lost its genuine zero: %q", full)
+	}
+	// No tracer → no stage table.
+	if strings.Contains(text, "remote_integrate") {
+		t.Errorf("stage table rendered without span histograms:\n%s", text)
+	}
+}
+
+// TestRenderStageTable checks the -span-sample breakdown: with stage
+// histograms in the snapshot the stage table appears in pipeline order and
+// includes the end-to-end total.
+func TestRenderStageTable(t *testing.T) {
+	reg := obs.NewRegistry("reducesrv")
+	tr := span.NewTracer(reg, span.Config{SampleEvery: 1})
+	tr.SetEnabled(true)
+	ctx := tr.Start(1, 1)
+	tr.Stamp(ctx, span.StageSendEnqueue)
+	tr.FinishAt(ctx, span.StageRemoteIntegrate)
+
+	var out strings.Builder
+	render(&out, reg.Snapshot())
+	text := out.String()
+	for _, want := range []string{"stage", "generate", "send_enqueue", "remote_integrate", "total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stage table missing %q:\n%s", want, text)
+		}
+	}
+	// Pipeline order, not alphabetical: generate precedes decode.
+	if strings.Index(text, "generate") > strings.Index(text, "\ndecode") && strings.Contains(text, "\ndecode") {
+		t.Errorf("stage table not in pipeline order:\n%s", text)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -42,6 +43,9 @@ func main() {
 	writerPool := flag.Int("writer-pool", 0, "drain outbound queues with this many shared writer goroutines (-1 = GOMAXPROCS, 0 = one dedicated writer per connection)")
 	idleDehydrate := flag.Duration("idle-dehydrate", 0, "with -multi: park sessions idle for this long into compact checkpoints (0 disables)")
 	poller := flag.String("poller", "auto", "TCP readiness poller: auto (use it when the platform has one), on (require it), off (dedicated readers)")
+	spanSample := flag.Int("span-sample", 0, "trace every Nth operation's lifecycle (stage latencies at /spanz; 0 disables; needs -debug)")
+	sloP99 := flag.Duration("slo-p99", 0, "SLO flight recorder: dump a diagnostic bundle when the windowed p99 of receive.ns or span.total.ns exceeds this (0 disables; needs -debug)")
+	sloDir := flag.String("slo-dir", "slo-bundles", "directory receiving flight-recorder bundles")
 	flag.Parse()
 
 	initial := *text
@@ -96,11 +100,30 @@ func main() {
 		log.Fatalf("reducesrv: -trace needs -debug")
 	}
 
+	// Lifecycle tracing samples every Nth client op. The server never sees
+	// the editor's remote-integrate stamp (editors are separate processes),
+	// so spans complete at the broadcast write.
+	var spans *span.Tracer
+	if *spanSample > 0 {
+		if reg == nil {
+			log.Fatalf("reducesrv: -span-sample needs -debug")
+		}
+		spans = span.NewTracer(reg, span.Config{
+			SampleEvery:   uint64(*spanSample),
+			FinishOnWrite: true,
+		})
+		spans.SetEnabled(true)
+		log.Printf("reducesrv: tracing 1/%d op lifecycles (/spanz)", *spanSample)
+	}
+	if *sloP99 > 0 && reg == nil {
+		log.Fatalf("reducesrv: -slo-p99 needs -debug")
+	}
+
 	if *multi {
 		if *journalPath != "" {
 			log.Fatalf("reducesrv: -journal is not supported with -multi (per-session journals are not implemented)")
 		}
-		runMulti(ln, initial, *status, *debug, reg, ring, opts, *writerPool, *idleDehydrate)
+		runMulti(ln, initial, *status, *debug, reg, ring, spans, *sloP99, *sloDir, opts, *writerPool, *idleDehydrate)
 		return
 	}
 	if *idleDehydrate > 0 {
@@ -109,6 +132,9 @@ func main() {
 
 	if reg != nil {
 		opts = append(opts, core.WithServerMetrics(trace.MetricsOn(reg)), core.WithServerDecisionRing(ring, ""))
+	}
+	if spans != nil {
+		opts = append(opts, core.WithServerSpans(spans))
 	}
 	var nt *repro.Notifier
 	switch {
@@ -134,7 +160,14 @@ func main() {
 	log.Printf("reducesrv: notifier listening on %s (%d bytes of initial text)", nt.Addr(), len(initial))
 	if reg != nil {
 		nt.Observe(reg)
-		serveDebug(*debug, reg, ring)
+		if spans != nil {
+			nt.TraceSpans(spans)
+		}
+		ready := func() (bool, string) {
+			return true, fmt.Sprintf("sites=%d", len(nt.Sites()))
+		}
+		serveDebug(*debug, reg, ring, spans, ready)
+		startFlightRecorder(reg, ring, spans, *sloP99, *sloDir)
 	}
 
 	if *status > 0 {
@@ -156,13 +189,16 @@ func main() {
 // runMulti serves many documents concurrently: each session name maps to an
 // independent notifier engine on its own goroutine (internal/server), so
 // unrelated documents scale across cores instead of sharing one lock.
-func runMulti(ln transport.Listener, initial string, status time.Duration, debug string, reg *obs.Registry, ring *obs.DecisionRing, opts []core.ServerOption, writerPool int, idleDehydrate time.Duration) {
+func runMulti(ln transport.Listener, initial string, status time.Duration, debug string, reg *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, sloP99 time.Duration, sloDir string, opts []core.ServerOption, writerPool int, idleDehydrate time.Duration) {
 	mopts := []server.ManagerOption{
 		server.WithInitialText(initial),
 		server.WithEngineOptions(opts...),
 	}
 	if reg != nil {
 		mopts = append(mopts, server.WithObservability(reg), server.WithDecisionRing(ring))
+	}
+	if spans != nil {
+		mopts = append(mopts, server.WithSpanTracer(spans))
 	}
 	if idleDehydrate > 0 {
 		mopts = append(mopts, server.WithIdleDehydrate(idleDehydrate))
@@ -177,7 +213,11 @@ func runMulti(ln transport.Listener, initial string, status time.Duration, debug
 	log.Printf("reducesrv: multi-session notifier listening on %s (%d bytes of initial text per new session)",
 		svc.Addr(), len(initial))
 	if reg != nil {
-		serveDebug(debug, reg, ring)
+		ready := func() (bool, string) {
+			return true, fmt.Sprintf("sessions=%d", mgr.Len())
+		}
+		serveDebug(debug, reg, ring, spans, ready)
+		startFlightRecorder(reg, ring, spans, sloP99, sloDir)
 	}
 
 	if status > 0 {
@@ -201,12 +241,30 @@ func runMulti(ln transport.Listener, initial string, status time.Duration, debug
 
 // serveDebug mounts the introspection endpoint in the background. Debug HTTP
 // failing must not take the notifier down — it logs and moves on.
-func serveDebug(addr string, reg *obs.Registry, ring *obs.DecisionRing) {
-	h := server.DebugHandler(reg, ring)
+func serveDebug(addr string, reg *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, ready func() (bool, string)) {
+	hopts := []obs.HandlerOption{obs.WithHealth(ready)}
+	if spans != nil {
+		hopts = append(hopts, obs.WithEndpoint("/spanz", spans.Handler()))
+	}
+	h := server.DebugHandler(reg, ring, hopts...)
 	log.Printf("reducesrv: debug endpoint on http://%s/metricz (tracing %v)", addr, ring.Enabled())
 	go func() {
 		if err := http.ListenAndServe(addr, h); err != nil {
 			log.Printf("reducesrv: debug endpoint: %v", err)
 		}
 	}()
+}
+
+// startFlightRecorder launches the SLO watcher when -slo-p99 is set. spans
+// and ring may be nil — their bundle files are simply absent.
+func startFlightRecorder(reg *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, p99 time.Duration, dir string) {
+	if p99 <= 0 {
+		return
+	}
+	fr := span.NewFlightRecorder(reg.Snapshot, spans, ring, span.FlightConfig{
+		Dir:         dir,
+		ThresholdNs: p99.Nanoseconds(),
+	})
+	fr.Start()
+	log.Printf("reducesrv: SLO flight recorder armed (p99 > %v dumps to %s)", p99, dir)
 }

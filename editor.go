@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs/span"
 	"repro/internal/op"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -35,6 +37,12 @@ type Editor struct {
 	onPresence func(site int, sel Selection, active bool)
 
 	onChange func(text string)
+
+	// spans, when set (TraceSpans), starts a lifecycle span at generation
+	// and finishes it at the remote end of the loop: a sampled local edit
+	// carries its trace context to the notifier in the wire trailer, and a
+	// relayed operation arriving back closes the span at remote_integrate.
+	spans atomic.Pointer[span.Tracer]
 
 	wg sync.WaitGroup
 }
@@ -83,6 +91,17 @@ func connect(conn transport.Conn, join wire.Msg, readOnly bool, opts ...core.Cli
 	e.wg.Add(1)
 	go e.readLoop()
 	return e, nil
+}
+
+// TraceSpans mounts the op-lifecycle tracer on this editor: locally
+// generated operations sampled by tr carry their trace context on the wire
+// (stamping generate/send_enqueue/drain/encode/write here), and relayed
+// operations destined for this editor stamp remote_integrate, completing
+// spans the same tracer opened — in-process experiments share one tracer
+// between client and server to see all thirteen stages.
+func (e *Editor) TraceSpans(tr *span.Tracer) {
+	e.spans.Store(tr)
+	e.snd.SetTracer(tr)
 }
 
 // Site returns the site id assigned by the notifier.
@@ -207,10 +226,11 @@ func (e *Editor) edit(gen func(*core.Client) (core.ClientMsg, error)) error {
 	}
 	e.transformSelection(m.Op, true)
 	e.advanceRemoteSelections(m.Op)
+	ctx := e.spans.Load().Start(m.Ref.Site, m.Ref.Seq)
 	// Enqueued under the lock so concurrent edits leave in generation
 	// order — the FIFO property the clocks rely on. The queue never
 	// blocks, so the local path stays as fast as a single-user editor.
-	sendErr := e.snd.Enqueue(wire.ClientOp{From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op})
+	sendErr := e.snd.Enqueue(wire.ClientOp{From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op, Trace: ctx})
 	text := e.client.Text()
 	fn := e.onChange
 	e.mu.Unlock()
@@ -311,6 +331,9 @@ func (e *Editor) integrate(so wire.ServerOp) bool {
 		e.fail(fmt.Errorf("repro: integrate: %w", err))
 		return false
 	}
+	// Close the loop: if this editor's tracer opened (or adopted) the span,
+	// the relayed copy arriving here is the last observable stage.
+	e.spans.Load().FinishAt(so.Trace, span.StageRemoteIntegrate)
 	if fn != nil {
 		fn(text)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/causal"
+	"repro/internal/obs/span"
 	"repro/internal/op"
 )
 
@@ -39,6 +40,8 @@ type ClientMsg struct {
 	TS   Timestamp
 	// Ref is the operation's causal identity (From, per-site sequence).
 	Ref causal.OpRef
+	// Trace is the op's span context; the zero value means untraced.
+	Trace span.Context
 }
 
 // ServerMsg carries one operation from the notifier to a client. In
@@ -53,6 +56,9 @@ type ServerMsg struct {
 	TS      Timestamp
 	Ref     causal.OpRef
 	OrigRef causal.OpRef
+	// Trace carries the integrated op's span context to each destination;
+	// the zero value means untraced.
+	Trace span.Context
 }
 
 // Snapshot initializes a joining client: the current document plus the

@@ -7,6 +7,7 @@ import (
 	"repro/internal/causal"
 	"repro/internal/doc"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/op"
 	"repro/internal/trace"
 )
@@ -62,6 +63,11 @@ type Server struct {
 	// rings cost one atomic load per Receive.
 	decisions     *obs.DecisionRing
 	decisionLabel string
+
+	// spans, when non-nil, receives per-stage lifecycle stamps for sampled
+	// operations (WithServerSpans). A nil or disabled tracer costs one
+	// atomic load per stamp point.
+	spans *span.Tracer
 }
 
 // destRef pairs a joined site with its state so the broadcast loop does no
@@ -181,6 +187,13 @@ func WithServerDecisionRing(ring *obs.DecisionRing, session string) ServerOption
 		s.decisions = ring
 		s.decisionLabel = session
 	}
+}
+
+// WithServerSpans attaches the op-lifecycle tracer: Receive stamps the
+// formula-(7) check, transform, and execute stages of sampled operations
+// and propagates their trace context into every broadcast message.
+func WithServerSpans(tr *span.Tracer) ServerOption {
+	return func(s *Server) { s.spans = tr }
 }
 
 // WithServerCheckTrace records every per-entry concurrency verdict into
@@ -374,6 +387,7 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 	} else {
 		res.ConcurrentCount = s.hb.checkArrival(m.TS, m.From, st.baseline, nil)
 	}
+	s.spans.Stamp(m.Trace, span.StageCheck)
 
 	exec := m.Op
 	transforms := 0
@@ -384,12 +398,14 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 			return nil, IntegrationResult{}, err
 		}
 		s.count(trace.CTransforms, int64(transforms))
+		s.spans.Stamp(m.Trace, span.StageTransform)
 		if err := doc.Apply(s.buf, exec); err != nil {
 			return nil, IntegrationResult{}, fmt.Errorf("core: server apply: %w", err)
 		}
 	} else {
 		applyLoose(s.buf, exec)
 	}
+	s.spans.Stamp(m.Trace, span.StageExecute)
 	res.Transforms = transforms
 	if m.TS.T1 > st.acked {
 		st.acked = m.TS.T1
@@ -445,6 +461,7 @@ func (s *Server) Receive(m ClientMsg) ([]ServerMsg, IntegrationResult, error) {
 			TS:      s.sv.Compress(d.site, d.st.baseline),
 			Ref:     ref,
 			OrigRef: m.Ref,
+			Trace:   m.Trace,
 		})
 	}
 

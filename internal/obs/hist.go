@@ -157,6 +157,36 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Delta returns the observations recorded between prev and s, where prev is
+// an earlier snapshot of the same histogram: counts, sums, and buckets
+// subtract bucket-wise. Min/Max cannot be windowed (the histogram only
+// tracks lifetime extremes), so the delta keeps s's values as bounds.
+// A prev that is not actually an ancestor (e.g. after a restart) underflows
+// toward zero rather than wrapping. This is what turns the cumulative
+// histograms into the per-poll windows the SLO flight recorder judges.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	if prev.Count == 0 {
+		return s
+	}
+	if s.Count <= prev.Count {
+		return HistSnapshot{}
+	}
+	out := HistSnapshot{Count: s.Count - prev.Count, Min: s.Min, Max: s.Max}
+	if s.Sum > prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	prevN := make(map[uint64]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevN[b.Le] = b.N
+	}
+	for _, b := range s.Buckets {
+		if n := b.N - min(b.N, prevN[b.Le]); n > 0 {
+			out.Buckets = append(out.Buckets, Bucket{Le: b.Le, N: n})
+		}
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean of the recorded values (0 when empty).
 func (s HistSnapshot) Mean() float64 {
 	if s.Count == 0 {

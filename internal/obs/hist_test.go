@@ -165,6 +165,91 @@ func TestHistogramMergeAssociative(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeAssociativeAtBucketBoundaries stresses the merge at the
+// power-of-two edges where bucket assignment flips: for every boundary 2^k,
+// the values 2^k−1, 2^k, 2^k+1 land in different shards, and every merge
+// order must agree with the unsharded histogram bucket-for-bucket.
+func TestHistogramMergeAssociativeAtBucketBoundaries(t *testing.T) {
+	whole := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	i := 0
+	record := func(v uint64) {
+		whole.Record(v)
+		parts[i%3].Record(v)
+		i++
+	}
+	for k := 1; k < 64; k++ {
+		edge := uint64(1) << k
+		record(edge - 1)
+		record(edge)
+		if edge+1 > edge { // skip the wrap at 2^64
+			record(edge + 1)
+		}
+	}
+	record(0)
+	record(math.MaxUint64)
+
+	want := whole.Snapshot()
+	a, b, c := parts[0].Snapshot(), parts[1].Snapshot(), parts[2].Snapshot()
+	orders := map[string]HistSnapshot{
+		"(a+b)+c": a.Merge(b).Merge(c),
+		"a+(b+c)": a.Merge(b.Merge(c)),
+		"(b+c)+a": b.Merge(c).Merge(a),
+		"c+(a+b)": c.Merge(a.Merge(b)),
+	}
+	for name, got := range orders {
+		if !histEqual(got, want) {
+			t.Errorf("%s = %+v, want %+v", name, got, want)
+		}
+	}
+	// Quantiles of the merged form match the unsharded one at the edges.
+	merged := a.Merge(b).Merge(c)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		if got, want := merged.Quantile(q), want.Quantile(q); got != want {
+			t.Errorf("quantile(%v) = %d after merge, want %d", q, got, want)
+		}
+	}
+}
+
+// TestHistogramDelta pins the windowed-view arithmetic the flight recorder
+// polls with: cur.Delta(prev) sees only the observations recorded between
+// the two snapshots.
+func TestHistogramDelta(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10)
+	h.Record(1000)
+	prev := h.Snapshot()
+
+	// No new observations: the window is empty.
+	if d := h.Snapshot().Delta(prev); d.Count != 0 {
+		t.Errorf("empty window count = %d, want 0", d.Count)
+	}
+
+	for i := 0; i < 10; i++ {
+		h.Record(100)
+	}
+	d := h.Snapshot().Delta(prev)
+	if d.Count != 10 {
+		t.Errorf("window count = %d, want 10", d.Count)
+	}
+	if d.Sum != 1000 {
+		t.Errorf("window sum = %d, want 1000", d.Sum)
+	}
+	// Every windowed observation was 100: one bucket, and the quantiles
+	// reflect only the window (the old 1000 must not leak into p99).
+	if len(d.Buckets) != 1 {
+		t.Errorf("window buckets = %+v, want exactly one", d.Buckets)
+	}
+	if q := d.Quantile(0.99); q > 127 {
+		t.Errorf("window p99 = %d, want within 100's bucket", q)
+	}
+
+	// Delta against an empty previous snapshot is the cumulative view.
+	if d := h.Snapshot().Delta(HistSnapshot{}); d.Count != 12 {
+		t.Errorf("delta from empty = %d observations, want 12", d.Count)
+	}
+}
+
 func histEqual(a, b HistSnapshot) bool {
 	if a.Count != b.Count || a.Sum != b.Sum || a.Min != b.Min || a.Max != b.Max || len(a.Buckets) != len(b.Buckets) {
 		return false

@@ -22,10 +22,32 @@ import (
 //	/debug/vars     expvar, including the snapshot under the key "cvc"
 //
 // snap is called per request and must be safe for concurrent use; ring may be
-// nil, which turns /tracez into a 404.
-func NewHandler(snap func() Snapshot, ring *DecisionRing) http.Handler {
+// nil, which turns /tracez into a 404. Options add endpoints owned by other
+// packages (WithEndpoint) and the /healthz probe (WithHealth).
+func NewHandler(snap func() Snapshot, ring *DecisionRing, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	publishExpvar(snap)
 	mux := http.NewServeMux()
+	for _, ep := range cfg.endpoints {
+		mux.Handle(ep.path, ep.h)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.ready == nil {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		ok, detail := cfg.ready()
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unavailable %s\n", detail)
+			return
+		}
+		fmt.Fprintf(w, "ok %s\n", detail)
+	})
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, req *http.Request) {
 		s := snap()
 		if req.URL.Query().Get("format") == "json" {
@@ -81,9 +103,42 @@ func NewHandler(snap func() Snapshot, ring *DecisionRing) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "cvc debug endpoints:\n  /metricz (?format=json)\n  /tracez (?limit=N; POST ?enable=bool)\n  /debug/pprof/\n  /debug/vars\n")
+		fmt.Fprint(w, "cvc debug endpoints:\n  /metricz (?format=json)\n  /tracez (?limit=N; POST ?enable=bool)\n  /healthz\n  /debug/pprof/\n  /debug/vars\n")
+		for _, ep := range cfg.endpoints {
+			fmt.Fprintf(w, "  %s\n", ep.path)
+		}
 	})
 	return mux
+}
+
+// HandlerOption extends NewHandler's endpoint set.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	endpoints []struct {
+		path string
+		h    http.Handler
+	}
+	ready func() (bool, string)
+}
+
+// WithEndpoint mounts h at path — how packages that obs cannot import (the
+// span tracer's /spanz) join the debug mux.
+func WithEndpoint(path string, h http.Handler) HandlerOption {
+	return func(c *handlerConfig) {
+		c.endpoints = append(c.endpoints, struct {
+			path string
+			h    http.Handler
+		}{path, h})
+	}
+}
+
+// WithHealth installs a readiness probe behind /healthz: ready returns
+// whether the process should receive traffic plus a human detail string
+// (e.g. the session count). Without this option /healthz reports liveness
+// only — a flat 200 "ok".
+func WithHealth(ready func() (bool, string)) HandlerOption {
+	return func(c *handlerConfig) { c.ready = ready }
 }
 
 // expvar.Publish panics on duplicate names and has no Unpublish, so the "cvc"

@@ -152,3 +152,43 @@ func TestDebugVarsAndPprof(t *testing.T) {
 		t.Fatalf("unknown path code=%d", code)
 	}
 }
+
+// TestHealthz covers the liveness default (no probe: flat 200) and the
+// readiness probe (200 with detail when ready, 503 when not).
+func TestHealthz(t *testing.T) {
+	_, _, srv := newTestHandler(t)
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("liveness /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	ready := true
+	probed := httptest.NewServer(NewHandler(NewRegistry("x").Snapshot, nil,
+		WithHealth(func() (bool, string) { return ready, "sessions=2" })))
+	defer probed.Close()
+	if code, body := get(t, probed.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "sessions=2") {
+		t.Fatalf("ready /healthz = %d %q, want 200 with detail", code, body)
+	}
+	ready = false
+	if code, body := get(t, probed.URL+"/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "unavailable") {
+		t.Fatalf("unready /healthz = %d %q, want 503", code, body)
+	}
+}
+
+// TestWithEndpoint mounts an extra handler (the way /spanz joins the debug
+// mux) and checks it serves and is listed on the index page.
+func TestWithEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry("x").Snapshot, nil,
+		WithEndpoint("/spanz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = w.Write([]byte("3 spans"))
+		}))))
+	defer srv.Close()
+	if code, body := get(t, srv.URL+"/spanz"); code != http.StatusOK || body != "3 spans" {
+		t.Fatalf("/spanz = %d %q", code, body)
+	}
+	if _, body := get(t, srv.URL+"/"); !strings.Contains(body, "/spanz") {
+		t.Fatalf("index does not list /spanz:\n%s", body)
+	}
+	if _, body := get(t, srv.URL+"/"); !strings.Contains(body, "/healthz") {
+		t.Fatalf("index does not list /healthz:\n%s", body)
+	}
+}

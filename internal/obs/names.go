@@ -35,6 +35,14 @@ const (
 	// stay O(pool + resident sessions), not O(connections) (E13).
 	GGoroutines = "runtime.goroutines"
 
+	// Runtime memory gauges (runtime.ReadMemStats, sampled per snapshot):
+	// live heap bytes, the most recent GC pause, and the GC cycle count.
+	// Together with receive.ns they let cvcstat correlate latency spikes
+	// with collection activity.
+	GHeapBytes = "runtime.heap_bytes"
+	GGCPauseNs = "runtime.gc_pause_ns"
+	GNumGC     = "runtime.num_gc"
+
 	// GResident is the per-session residency bit: 1 while the session holds
 	// a live engine + goroutine, 0 while dehydrated (or closed). Per-session
 	// dashboards (cvcstat) render it as the res column.

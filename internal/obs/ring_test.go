@@ -113,6 +113,62 @@ func TestRingConcurrent(t *testing.T) {
 	}
 }
 
+// TestRingToggleUnderConcurrentWriters flips the ring's enable bit while
+// writers hammer Record — the run-mode race detector is the real assertion;
+// the invariants checked afterward are that the retained window is still
+// contiguous and the total only counts enabled-phase records.
+func TestRingToggleUnderConcurrentWriters(t *testing.T) {
+	r := NewDecisionRing(64)
+	r.SetEnabled(true)
+	stop := make(chan struct{})
+	togglerDone := make(chan struct{})
+	go func() {
+		defer close(togglerDone)
+		on := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.SetEnabled(on)
+			on = !on
+		}
+	}()
+	const writers, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(Decision{Kind: DServerCheck, Site: g, Seq: uint64(i)})
+				if i%500 == 0 {
+					_ = r.Dump(8)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-togglerDone
+
+	if r.Total() > writers*per {
+		t.Fatalf("total = %d, more than the %d records offered", r.Total(), writers*per)
+	}
+	got := r.Dump(0)
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq < got[i-1].Seq && got[i].Site == got[i-1].Site {
+			t.Fatalf("per-writer order lost at %d: %+v then %+v", i, got[i-1], got[i])
+		}
+	}
+	r.SetEnabled(true)
+	r.Reset()
+	if r.Total() != 0 || len(r.Dump(0)) != 0 {
+		t.Fatalf("Reset left total=%d dump=%d", r.Total(), len(r.Dump(0)))
+	}
+}
+
 func TestDecisionKindString(t *testing.T) {
 	for k, want := range map[DecisionKind]string{
 		DClientCheck:     "client.check",

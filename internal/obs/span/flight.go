@@ -1,0 +1,225 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// FlightConfig tunes the SLO flight recorder. Zero values take the defaults
+// noted on each field.
+type FlightConfig struct {
+	// Dir receives one timestamped bundle directory per breach (required).
+	Dir string
+	// ThresholdNs is the p99 ceiling: a poll whose windowed p99 of
+	// receive.ns or span.total.ns exceeds it triggers a dump.
+	ThresholdNs int64
+	// Poll is the sampling period (default 1s).
+	Poll time.Duration
+	// MinGap rate-limits dumps: at most one bundle per MinGap (default 1m).
+	MinGap time.Duration
+	// MinWindow is the least number of new observations a poll window must
+	// contain before its p99 is trusted (default 16) — a lone slow op in an
+	// otherwise idle second is not an SLO breach.
+	MinWindow uint64
+}
+
+// FlightRecorder watches the windowed p99 of the end-to-end latency
+// histograms and, on breach, atomically dumps a diagnostic bundle — recent
+// spans, the causality-decision ring tail, a full metrics snapshot, and
+// goroutine + heap profiles — into a timestamped directory under Dir.
+// Bundles are rate-limited so a sustained breach cannot fill the disk.
+type FlightRecorder struct {
+	snap   func() obs.Snapshot
+	tracer *Tracer
+	ring   *obs.DecisionRing
+	cfg    FlightConfig
+
+	mu       sync.Mutex
+	prev     map[string]obs.HistSnapshot // last poll's cumulative hists
+	lastDump time.Time
+	bundles  atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// watchedHists are the cumulative histograms whose windowed p99 is checked
+// each poll (resolved from the aggregated snapshot).
+var watchedHists = []string{obs.HReceiveNs, HistTotal}
+
+// NewFlightRecorder builds a recorder over the given snapshot source.
+// tracer and ring may be nil; the corresponding bundle files are skipped.
+func NewFlightRecorder(snap func() obs.Snapshot, tracer *Tracer, ring *obs.DecisionRing, cfg FlightConfig) *FlightRecorder {
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = time.Minute
+	}
+	if cfg.MinWindow == 0 {
+		cfg.MinWindow = 16
+	}
+	return &FlightRecorder{
+		snap:   snap,
+		tracer: tracer,
+		ring:   ring,
+		cfg:    cfg,
+		prev:   make(map[string]obs.HistSnapshot),
+	}
+}
+
+// Start launches the polling loop; Stop ends it.
+func (f *FlightRecorder) Start() {
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+		t := time.NewTicker(f.cfg.Poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				f.CheckNow()
+			}
+		}
+	}()
+}
+
+// Stop ends the polling loop started by Start.
+func (f *FlightRecorder) Stop() {
+	if f.stop == nil {
+		return
+	}
+	close(f.stop)
+	<-f.done
+	f.stop = nil
+}
+
+// Bundles returns the number of bundles written so far.
+func (f *FlightRecorder) Bundles() uint64 { return f.bundles.Load() }
+
+// CheckNow runs one poll synchronously: diff the watched histograms against
+// the previous poll, and dump a bundle if any window's p99 breaches the
+// threshold (subject to the rate limit). It returns the bundle directory
+// when one was written. Exposed for deterministic tests; the Start loop
+// calls it on every tick.
+func (f *FlightRecorder) CheckNow() (string, error) {
+	agg := f.snap().Aggregate()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	var breach string
+	var breachP99 uint64
+	for _, name := range watchedHists {
+		cur, ok := agg.Hists[name]
+		if !ok {
+			continue
+		}
+		win := cur.Delta(f.prev[name])
+		f.prev[name] = cur
+		if win.Count < f.cfg.MinWindow {
+			continue
+		}
+		if p99 := win.Quantile(0.99); int64(p99) > f.cfg.ThresholdNs {
+			breach = name
+			breachP99 = p99
+		}
+	}
+	if breach == "" {
+		return "", nil
+	}
+	now := time.Now()
+	if now.Sub(f.lastDump) < f.cfg.MinGap {
+		return "", nil
+	}
+	dir, err := f.dump(agg, breach, breachP99, now)
+	if err != nil {
+		return "", err
+	}
+	f.lastDump = now
+	f.bundles.Add(1)
+	return dir, nil
+}
+
+// dump writes the bundle into a temp directory and renames it into place so
+// readers never observe a half-written bundle.
+func (f *FlightRecorder) dump(agg obs.Snapshot, breach string, p99 uint64, now time.Time) (string, error) {
+	if err := os.MkdirAll(f.cfg.Dir, 0o755); err != nil {
+		return "", err
+	}
+	final := filepath.Join(f.cfg.Dir, "slo-"+now.UTC().Format("20060102T150405.000000000Z"))
+	tmp := final + ".tmp"
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	werr := func(name string, write func(*os.File) error) error {
+		fd, err := os.Create(filepath.Join(tmp, name))
+		if err != nil {
+			return err
+		}
+		if err := write(fd); err != nil {
+			_ = fd.Close()
+			return err
+		}
+		return fd.Close()
+	}
+
+	if err := werr("breach.txt", func(fd *os.File) error {
+		_, err := fmt.Fprintf(fd, "breached: %s\nwindow p99: %dns\nthreshold: %dns\nat: %s\n",
+			breach, p99, f.cfg.ThresholdNs, now.Format(time.RFC3339Nano))
+		return err
+	}); err != nil {
+		return "", err
+	}
+	if err := werr("metricz.json", func(fd *os.File) error {
+		enc := json.NewEncoder(fd)
+		enc.SetIndent("", "  ")
+		return enc.Encode(f.snap())
+	}); err != nil {
+		return "", err
+	}
+	if f.tracer != nil {
+		if err := werr("spans.jsonl", func(fd *os.File) error {
+			for _, s := range f.tracer.Spans(0) {
+				writeSpanJSON(fd, s)
+			}
+			return nil
+		}); err != nil {
+			return "", err
+		}
+	}
+	if f.ring != nil {
+		if err := werr("decisions.jsonl", func(fd *os.File) error {
+			return f.ring.WriteJSONL(fd, 0)
+		}); err != nil {
+			return "", err
+		}
+	}
+	if err := werr("goroutine.txt", func(fd *os.File) error {
+		return pprof.Lookup("goroutine").WriteTo(fd, 1)
+	}); err != nil {
+		return "", err
+	}
+	if err := werr("heap.pprof", func(fd *os.File) error {
+		return pprof.WriteHeapProfile(fd)
+	}); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	return final, nil
+}

@@ -1,0 +1,137 @@
+package span
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFlightRecorderBundle induces a p99 breach and checks exactly one
+// complete bundle appears: the rate limit swallows the immediately following
+// poll, and a later quiet window (no new observations) never triggers.
+func TestFlightRecorderBundle(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	tr := NewTracer(reg, Config{SampleEvery: 1})
+	ring := obs.NewDecisionRing(16)
+	ring.SetEnabled(true)
+	ring.Record(obs.Decision{Kind: obs.DServerIntegrate})
+
+	// One finished span so spans.jsonl has content.
+	ctx := tr.Start(1, 1)
+	tr.FinishAt(ctx, StageRemoteIntegrate)
+
+	dir := t.TempDir()
+	fr := NewFlightRecorder(reg.Snapshot, tr, ring, FlightConfig{
+		Dir:         dir,
+		ThresholdNs: int64(time.Millisecond),
+		MinWindow:   4,
+		MinGap:      time.Hour, // the second breach must be rate-limited
+	})
+
+	// Baseline poll: the histogram is empty, nothing can breach.
+	if b, err := fr.CheckNow(); err != nil || b != "" {
+		t.Fatalf("baseline CheckNow = %q, %v; want no bundle", b, err)
+	}
+
+	h := reg.Histogram(obs.HReceiveNs)
+	for i := 0; i < 32; i++ {
+		h.RecordInt(int(5 * time.Millisecond)) // 5ms >> 1ms threshold
+	}
+	bundle, err := fr.CheckNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle == "" {
+		t.Fatal("breach did not produce a bundle")
+	}
+	if fr.Bundles() != 1 {
+		t.Fatalf("Bundles = %d, want 1", fr.Bundles())
+	}
+	for _, name := range []string{"breach.txt", "metricz.json", "spans.jsonl", "decisions.jsonl", "goroutine.txt", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(bundle, name))
+		if err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 && name != "decisions.jsonl" {
+			t.Errorf("bundle file %s is empty", name)
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(bundle, "breach.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); !strings.Contains(got, "breached: "+obs.HReceiveNs) || !strings.Contains(got, "threshold: 1000000ns") {
+		t.Errorf("breach.txt = %q, want hist name and threshold", got)
+	}
+
+	// Still breaching, but inside MinGap: exactly one bundle total.
+	for i := 0; i < 32; i++ {
+		h.RecordInt(int(5 * time.Millisecond))
+	}
+	if b, err := fr.CheckNow(); err != nil || b != "" {
+		t.Fatalf("rate-limited CheckNow = %q, %v; want no bundle", b, err)
+	}
+	if fr.Bundles() != 1 {
+		t.Errorf("Bundles = %d after rate-limited poll, want 1", fr.Bundles())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("bundle dir has %d entries, want exactly 1: %v", len(entries), entries)
+	}
+}
+
+// TestFlightRecorderWindowed checks the breach test is windowed, not
+// cumulative: a historical breach followed by a healthy window stays quiet,
+// and a thin window (under MinWindow) is never trusted.
+func TestFlightRecorderWindowed(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	h := reg.Histogram(obs.HReceiveNs)
+	fr := NewFlightRecorder(reg.Snapshot, nil, nil, FlightConfig{
+		Dir:         t.TempDir(),
+		ThresholdNs: int64(time.Millisecond),
+		MinWindow:   8,
+	})
+
+	// A thin spike: 2 slow ops < MinWindow — untrusted, no bundle.
+	h.RecordInt(int(10 * time.Millisecond))
+	h.RecordInt(int(10 * time.Millisecond))
+	if b, _ := fr.CheckNow(); b != "" {
+		t.Fatalf("thin window produced a bundle %q", b)
+	}
+
+	// A healthy window after the spike entered prev: cumulative p99 would
+	// still see the old slow ops, the windowed delta must not.
+	for i := 0; i < 64; i++ {
+		h.RecordInt(int(10 * time.Microsecond))
+	}
+	if b, _ := fr.CheckNow(); b != "" {
+		t.Fatalf("healthy window produced a bundle %q", b)
+	}
+	if fr.Bundles() != 0 {
+		t.Errorf("Bundles = %d, want 0", fr.Bundles())
+	}
+}

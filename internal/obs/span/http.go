@@ -1,0 +1,80 @@
+package span
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// Handler serves the completed-span ring: a fixed-width text table by
+// default, one JSON object per line with ?format=jsonl, at most ?limit=N
+// spans (newest first). Mounted at /spanz by the debug handler.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				limit = n
+			}
+		}
+		spans := t.Spans(limit)
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			for _, s := range spans {
+				writeSpanJSON(w, s)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var tb stats.Table
+		cols := make([]string, 0, NumStages+4)
+		cols = append(cols, "site", "seq", "total_us", "done")
+		for i := 0; i < NumStages; i++ {
+			cols = append(cols, Stage(i).Name())
+		}
+		tb.Header(cols...)
+		for _, s := range spans {
+			tb.Row(spanRow(s)...)
+		}
+		fmt.Fprintf(w, "%d spans (newest first)\n\n%s", len(spans), tb.String())
+	})
+}
+
+// spanRow renders one span as table cells: each stage's offset from the
+// span's first stamp in µs, "-" where a stage never fired. Offsets (rather
+// than deltas) stay meaningful even when deployment mode reorders stamping
+// relative to the numeric stage order.
+func spanRow(s Span) []any {
+	out := make([]any, 0, NumStages+4)
+	out = append(out, s.Site, s.Seq, float64(s.Total)/1e3, s.Complete)
+	for i := 0; i < NumStages; i++ {
+		ns := s.Stamps[i]
+		if ns == 0 {
+			out = append(out, "-")
+			continue
+		}
+		out = append(out, fmt.Sprintf("%.1f", float64(ns-s.Start)/1e3))
+	}
+	return out
+}
+
+// writeSpanJSON writes one span as a single JSON line with stage stamps
+// keyed by name (absolute monotonic ns; absent stages omitted).
+func writeSpanJSON(w interface{ Write([]byte) (int, error) }, s Span) {
+	fmt.Fprintf(w, `{"site":%d,"seq":%d,"start_ns":%d,"total_ns":%d,"complete":%v,"stages":{`,
+		s.Site, s.Seq, s.Start, s.Total, s.Complete)
+	first := true
+	for i := 0; i < NumStages; i++ {
+		if s.Stamps[i] == 0 {
+			continue
+		}
+		if !first {
+			fmt.Fprint(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, `"%s":%d`, Stage(i).Name(), s.Stamps[i])
+	}
+	fmt.Fprintln(w, "}}")
+}

@@ -1,0 +1,117 @@
+// Package span is the per-op lifecycle tracer: a sampled op carries a
+// compact trace context (origin site, origin seq, one flags byte) across the
+// wire, and every pipeline stage it crosses — generate, sender enqueue,
+// swap-drain, encode, TCP write, poller wakeup, decode, actor dequeue,
+// formula-(5)/(7) check, transform, execute, broadcast enqueue, remote
+// integrate — stamps a monotonic-clock event into a pooled span record.
+//
+// The trace key is the op's causal identity (origin site, origin sequence
+// number): the same pair the compressed-vector-clock protocol already
+// propagates in every timestamp, used here the way Dotted Version Vectors
+// use a dot — one compact per-op identity that survives transport.
+//
+// Stage latencies are recorded as deltas at stamp time into obs.Histograms
+// (span.stage.ns.<stage>), so /metricz stays current even for spans that
+// never complete; completed spans additionally land in a bounded ring served
+// at /spanz. Disabled and unsampled paths are allocation-free — one atomic
+// load, or one atomic add for a sampling decision — and the budget gate in
+// scripts/check.sh holds them there.
+package span
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FlagSampled marks a context as sampled; it is the only flag bit today.
+// The rest of the byte travels the wire reserved for future use.
+const FlagSampled uint8 = 1 << 0
+
+// Context is the wire-propagated trace identity of one sampled op. The zero
+// value means "not traced" and costs nothing to carry.
+type Context struct {
+	Site  int    // origin site of the traced op
+	Seq   uint64 // origin sequence number at that site
+	Flags uint8  // FlagSampled | reserved bits
+}
+
+// Sampled reports whether this context identifies a live trace.
+func (c Context) Sampled() bool { return c.Flags&FlagSampled != 0 }
+
+// Stage identifies one pipeline checkpoint, in op-lifecycle order.
+type Stage uint8
+
+// The pipeline stages, in the order an op crosses them: the client generates
+// and enqueues, the sender swap-drains/encodes/writes, the server's poller
+// wakes, decodes, and hands to the session actor, which checks causal
+// readiness, transforms, executes, and enqueues the broadcast; remote
+// editors integrate last.
+const (
+	StageGenerate Stage = iota
+	StageSendEnqueue
+	StageDrain
+	StageEncode
+	StageWrite
+	StagePollWake
+	StageDecode
+	StageDequeue
+	StageCheck
+	StageTransform
+	StageExecute
+	StageBcastEnqueue
+	StageRemoteIntegrate
+
+	NumStages = int(StageRemoteIntegrate) + 1
+)
+
+var stageNames = [NumStages]string{
+	"generate",
+	"send_enqueue",
+	"drain",
+	"encode",
+	"write",
+	"poll_wake",
+	"decode",
+	"dequeue",
+	"check",
+	"transform",
+	"execute",
+	"bcast_enqueue",
+	"remote_integrate",
+}
+
+// Name returns the stage's snake_case name (the histogram suffix).
+func (s Stage) Name() string {
+	if int(s) < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Metric names. Each stage records into HistStagePrefix+Stage.Name().
+const (
+	HistStagePrefix = "span.stage.ns."
+	HistTotal       = "span.total.ns"
+	CStarted        = "spans.started"
+	CFinished       = "spans.finished"
+	CEvicted        = "spans.evicted"
+)
+
+// StageHistName returns the registry name of a stage's latency histogram.
+func StageHistName(s Stage) string { return HistStagePrefix + s.Name() }
+
+// base anchors the package monotonic clock; Now is a duration since base, so
+// stamps taken in one process compare and subtract exactly.
+var base = time.Now()
+
+// Now returns the tracer's monotonic clock reading in nanoseconds. It never
+// allocates and is safe from any goroutine.
+func Now() int64 { return int64(time.Since(base)) }
+
+// active counts enabled tracers in the process. Transport code that must
+// stay allocation-free when tracing is off (the epoll poller's wakeup
+// timestamp) gates on Active() with a single atomic load.
+var active atomic.Int32
+
+// Active reports whether any tracer in the process is enabled.
+func Active() bool { return active.Load() > 0 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // registry is the immutable session table the Manager publishes. Readers
@@ -34,6 +35,11 @@ type Manager struct {
 	// engine for causality-decision tracing.
 	obsReg *obs.Registry
 	ring   *obs.DecisionRing
+
+	// spans, when non-nil, is shared by every session: the actor stamps
+	// dequeue/broadcast-enqueue and the engine stamps check/transform/
+	// execute for sampled operations.
+	spans *span.Tracer
 
 	reg atomic.Value // registry
 
@@ -74,6 +80,14 @@ func WithObservability(reg *obs.Registry) ManagerOption {
 // the session's name as its label.
 func WithDecisionRing(ring *obs.DecisionRing) ManagerOption {
 	return func(m *Manager) { m.ring = ring }
+}
+
+// WithSpanTracer shares the op-lifecycle tracer across every session. Each
+// session's actor and engine stamp the stages they own for sampled
+// operations; service connections adopt wire-propagated trace contexts at
+// arrival.
+func WithSpanTracer(tr *span.Tracer) ManagerOption {
+	return func(m *Manager) { m.spans = tr }
 }
 
 // WithQueueDepth sets each session's command-queue buffer (default 64).
@@ -154,7 +168,7 @@ func (m *Manager) GetOrCreate(name string) (*Session, error) {
 	if s, ok := old[name]; ok { // lost the creation race
 		return s, nil
 	}
-	s := newSession(name, m.initial(name), m.queue, m.sessionChild(name), m.ring, m.idleD, m.rehydrations, m.engine...)
+	s := newSession(name, m.initial(name), m.queue, m.sessionChild(name), m.ring, m.spans, m.idleD, m.rehydrations, m.engine...)
 	next := make(registry, len(old)+1)
 	for k, v := range old {
 		next[k] = v
@@ -191,6 +205,10 @@ func (m *Manager) Drop(name string) {
 // Registry returns the observability registry the manager mounts session
 // children on (nil when WithObservability was not used).
 func (m *Manager) Registry() *obs.Registry { return m.obsReg }
+
+// SpanTracer returns the shared op-lifecycle tracer (nil without
+// WithSpanTracer); Service reads it to adopt trace contexts at arrival.
+func (m *Manager) SpanTracer() *span.Tracer { return m.spans }
 
 // sessionChild returns the session's observability child registry, or nil.
 func (m *Manager) sessionChild(name string) *obs.Registry {

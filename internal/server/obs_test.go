@@ -71,6 +71,7 @@ func TestMetricsCatalog(t *testing.T) {
 	assertNames(t, "root counters", snap.Counters, wantRoot)
 	assertNames(t, "root gauges", snap.Gauges, []string{
 		obs.GQueueHighWater, obs.GGoroutines,
+		obs.GHeapBytes, obs.GGCPauseNs, obs.GNumGC,
 		obs.GSessionsResident, obs.GSessionsDehydrated,
 	})
 	assertNames(t, "root histograms", snap.Hists, []string{
@@ -83,6 +84,9 @@ func TestMetricsCatalog(t *testing.T) {
 	}
 	if snap.Gauges[obs.GGoroutines] <= 0 {
 		t.Errorf("runtime.goroutines gauge = %d, want > 0", snap.Gauges[obs.GGoroutines])
+	}
+	if snap.Gauges[obs.GHeapBytes] <= 0 {
+		t.Errorf("runtime.heap_bytes gauge = %d, want > 0", snap.Gauges[obs.GHeapBytes])
 	}
 
 	sess, ok := snap.Child("doc")

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/transport"
 	"repro/internal/transport/netpoll"
 	"repro/internal/wire"
@@ -135,8 +136,10 @@ func (s *Service) String() string {
 // DebugHandler assembles the HTTP introspection endpoint for a server built
 // around reg: it registers the process-wide wire and transport counters on
 // reg and returns the obs handler serving /metricz, /tracez (when ring is
-// non-nil), pprof, and expvar. Both reducesrv modes and tests mount it.
-func DebugHandler(reg *obs.Registry, ring *obs.DecisionRing) http.Handler {
+// non-nil), /healthz, pprof, and expvar. Extra endpoints (the span tracer's
+// /spanz) and the readiness probe arrive via opts. Both reducesrv modes and
+// tests mount it.
+func DebugHandler(reg *obs.Registry, ring *obs.DecisionRing, opts ...obs.HandlerOption) http.Handler {
 	wire.RegisterMetrics(reg)
 	transport.RegisterMetrics(reg)
 	netpoll.RegisterMetrics(reg)
@@ -144,7 +147,37 @@ func DebugHandler(reg *obs.Registry, ring *obs.DecisionRing) http.Handler {
 	// layer it stays O(pool + resident sessions) however many connections
 	// are attached.
 	reg.Gauge(obs.GGoroutines, func() int64 { return int64(runtime.NumGoroutine()) })
-	return obs.NewHandler(reg.Snapshot, ring)
+	// Runtime memory pressure, read fresh per snapshot. ReadMemStats is a
+	// stop-the-world of microseconds — fine at /metricz polling rates.
+	reg.Gauge(obs.GHeapBytes, func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	reg.Gauge(obs.GGCPauseNs, func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.NumGC == 0 {
+			return 0
+		}
+		return int64(ms.PauseNs[(ms.NumGC+255)%256])
+	})
+	reg.Gauge(obs.GNumGC, func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.NumGC)
+	})
+	return obs.NewHandler(reg.Snapshot, ring, opts...)
+}
+
+// connWakeNs reports when the platform poller saw conn become readable
+// (netpoll's pollConn implements the probe), or 0 when the transport cannot
+// say — the poll_wake stage is then simply absent from the span.
+func connWakeNs(c transport.Conn) int64 {
+	if w, ok := c.(interface{ TraceWakeNs() int64 }); ok {
+		return w.TraceWakeNs()
+	}
+	return 0
 }
 
 // Close stops accepting, closes every connection, and waits for the
@@ -244,7 +277,11 @@ func (cs *connState) handleMsg(m wire.Msg) bool {
 		if v.From != cs.site || cs.readOnly {
 			return false // impersonation, or an op from a viewer
 		}
-		return cs.sess.Receive(core.ClientMsg{From: v.From, Op: v.Op, TS: v.TS, Ref: v.Ref}) == nil
+		var ctx span.Context
+		if tr := cs.s.mgr.SpanTracer(); tr.Enabled() {
+			ctx = tr.Arrival(v.Trace, v.Ref.Site, v.Ref.Seq, connWakeNs(cs.conn))
+		}
+		return cs.sess.Receive(core.ClientMsg{From: v.From, Op: v.Op, TS: v.TS, Ref: v.Ref, Trace: ctx}) == nil
 	case wire.Presence:
 		if v.From != cs.site {
 			return false
@@ -301,7 +338,11 @@ func (s *Service) handle(conn transport.Conn) {
 			if v.From != site || readOnly {
 				return // impersonation, or an op from a viewer
 			}
-			if err := sess.Receive(core.ClientMsg{From: v.From, Op: v.Op, TS: v.TS, Ref: v.Ref}); err != nil {
+			var ctx span.Context
+			if tr := s.mgr.SpanTracer(); tr.Enabled() {
+				ctx = tr.Arrival(v.Trace, v.Ref.Site, v.Ref.Seq, connWakeNs(conn))
+			}
+			if err := sess.Receive(core.ClientMsg{From: v.From, Op: v.Op, TS: v.TS, Ref: v.Ref, Trace: ctx}); err != nil {
 				return
 			}
 		case wire.Presence:
@@ -357,6 +398,9 @@ func (s *Service) admitMsg(conn transport.Conn, m wire.Msg) (*Session, int, bool
 	snd := transport.NewPooledSender(conn, ErrClosed, s.pool)
 	if s.queueHist != nil {
 		snd.SetQueueHistogram(s.queueHist)
+	}
+	if tr := s.mgr.SpanTracer(); tr != nil {
+		snd.SetTracer(tr)
 	}
 	s.mu.Lock()
 	if _, ok := s.conns[conn]; ok {

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -146,6 +147,10 @@ type Session struct {
 	// formula-(7) checks, transformation, execution, and fan-out enqueue.
 	recvNs *obs.Histogram
 
+	// spans, when non-nil, stamps the actor-owned stages (dequeue,
+	// broadcast enqueue) of sampled operations.
+	spans *span.Tracer
+
 	// Engine state below is owned by the session goroutine exclusively
 	// (srv is nil while parked; subs survives parking untouched).
 	srv      *core.Server
@@ -159,12 +164,15 @@ type Session struct {
 // into it (trace.MetricsOn), receive latency lands in its receive.ns
 // histogram, and live size gauges are registered on it. ring, when non-nil,
 // streams the engine's causality decisions under the session's name.
-func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.DecisionRing, idleD time.Duration, rehydrations *obs.Counter, opts ...core.ServerOption) *Session {
+func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, idleD time.Duration, rehydrations *obs.Counter, opts ...core.ServerOption) *Session {
 	if child != nil {
 		opts = append(opts[:len(opts):len(opts)], core.WithServerMetrics(trace.MetricsOn(child)))
 	}
 	if ring != nil {
 		opts = append(opts[:len(opts):len(opts)], core.WithServerDecisionRing(ring, name))
+	}
+	if spans != nil {
+		opts = append(opts[:len(opts):len(opts)], core.WithServerSpans(spans))
 	}
 	s := &Session{
 		name:         name,
@@ -175,6 +183,7 @@ func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.
 		lastAct:      time.Now(),
 		engineOpts:   opts,
 		rehydrations: rehydrations,
+		spans:        spans,
 		srv:          core.NewServer(initial, opts...),
 		subs:         make(map[int]*Subscriber),
 		nextSite:     1,
@@ -507,6 +516,7 @@ func (s *Session) Receive(m core.ClientMsg) error {
 	}
 	var err error
 	if derr := s.do(func() {
+		s.spans.Stamp(m.Trace, span.StageDequeue)
 		sub := s.subs[m.From]
 		if sub == nil || sub.ReadOnly {
 			err = ErrRejected
@@ -535,6 +545,7 @@ func (s *Session) Receive(m core.ClientMsg) error {
 						err = berr
 						return
 					}
+					bc.Trace = bm.Trace
 				}
 				bc.Retain()
 				dst.DeliverBroadcast(bc, bm.To, bm.TS)
@@ -545,6 +556,7 @@ func (s *Session) Receive(m core.ClientMsg) error {
 		if bc != nil {
 			bc.Release()
 		}
+		s.spans.Stamp(m.Trace, span.StageBcastEnqueue)
 	}); derr != nil {
 		return derr
 	}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"syscall"
 
+	"repro/internal/obs/span"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -287,6 +288,12 @@ type pollConn struct {
 	warm  bool   // EPOLLOUT currently armed
 	werr  error  // sticky write-side error
 
+	// wakeNs is the span clock reading of the latest read-side readiness
+	// edge, captured only while a tracer is active (span.Active gate: one
+	// atomic load per edge, one store when tracing). The span pipeline
+	// reads it through TraceWakeNs to stamp the poll_wake stage.
+	wakeNs atomic.Int64
+
 	closed atomic.Bool
 }
 
@@ -341,6 +348,9 @@ func (pc *pollConn) SetReadable(fn func()) {
 // half-close, error) and on local close. It must not block: wake a parked
 // Recv and push the conn onto the dispatcher's ready ring via the callback.
 func (pc *pollConn) onReadable() {
+	if span.Active() {
+		pc.wakeNs.Store(span.Now())
+	}
 	pc.rmu.Lock()
 	fn := pc.rcb
 	pc.rcond.Broadcast()
@@ -349,6 +359,11 @@ func (pc *pollConn) onReadable() {
 		fn()
 	}
 }
+
+// TraceWakeNs returns the span clock reading of the latest readiness edge
+// (0 when tracing is off or no edge has fired). The arrival path uses it to
+// stamp the poll_wake stage of sampled ops decoded from this connection.
+func (pc *pollConn) TraceWakeNs() int64 { return pc.wakeNs.Load() }
 
 // TryRecv implements transport.EventConn. The edge-triggered invariant lives
 // here: (false, nil) is returned only after the kernel buffer was read to

@@ -2,9 +2,11 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/wire"
 )
 
@@ -58,6 +60,12 @@ type Sender struct {
 	queueHist *obs.Histogram
 
 	done chan struct{}
+
+	// tracer, when set, receives span stamps (enqueue, drain, encode,
+	// write) for sampled items passing through this sender. Atomic so
+	// SetTracer is race-free against live traffic; a nil tracer costs one
+	// atomic load per push and per drain.
+	tracer atomic.Pointer[span.Tracer]
 
 	// Writer-goroutine scratch, reused across drains so steady-state
 	// sending allocates nothing. In pooled mode the sched bit guarantees a
@@ -124,7 +132,61 @@ func (s *Sender) EnqueueBroadcast(bc *wire.Broadcast, to int, ts core.Timestamp)
 	return nil
 }
 
+// SetTracer attaches the op-lifecycle tracer (nil detaches).
+func (s *Sender) SetTracer(tr *span.Tracer) { s.tracer.Store(tr) }
+
+// itemCtx extracts the span context an outbound item carries, if any.
+func itemCtx(it outItem) span.Context {
+	if it.bc != nil {
+		return it.bc.Trace
+	}
+	switch m := it.m.(type) {
+	case wire.ClientOp:
+		return m.Trace
+	case wire.ServerOp:
+		return m.Trace
+	}
+	return span.Context{}
+}
+
+// traceEnqueue stamps the send-enqueue stage. Not inlined: it keeps the
+// type switch and span call out of push's frame, so the guarded hot path
+// pays only the tracer load when tracing is off.
+//
+//go:noinline
+func (s *Sender) traceEnqueue(tr *span.Tracer, it outItem) {
+	tr.Stamp(itemCtx(it), span.StageSendEnqueue)
+}
+
+// traceBatch stamps one stage for every sampled item in a drained batch,
+// under a single clock reading.
+//
+//go:noinline
+func (s *Sender) traceBatch(tr *span.Tracer, batch []outItem, stage span.Stage) {
+	ns := span.Now()
+	for i := range batch {
+		if c := itemCtx(batch[i]); c.Sampled() {
+			tr.StampAt(c, stage, ns)
+		}
+	}
+}
+
+// traceWrite stamps the write stage for every sampled item after the bytes
+// left; in finish-on-write tracers this also completes the spans.
+//
+//go:noinline
+func (s *Sender) traceWrite(tr *span.Tracer, batch []outItem) {
+	for i := range batch {
+		if c := itemCtx(batch[i]); c.Sampled() {
+			tr.StampWrite(c)
+		}
+	}
+}
+
 func (s *Sender) push(it outItem) error {
+	if tr := s.tracer.Load(); tr != nil {
+		s.traceEnqueue(tr, it)
+	}
 	s.mu.Lock()
 	if s.closed {
 		err := s.err
@@ -318,6 +380,10 @@ func (s *Sender) fail(err error) {
 // write sends one drained batch: a single coalesced SendFrame on the fast
 // path, message-by-message Sends on the compatibility path.
 func (s *Sender) write(batch []outItem) error {
+	tr := s.tracer.Load()
+	if tr != nil {
+		s.traceBatch(tr, batch, span.StageDrain)
+	}
 	if s.fc == nil {
 		for _, it := range batch {
 			m := it.m
@@ -329,6 +395,9 @@ func (s *Sender) write(batch []outItem) error {
 			}
 			senderMsgs.Add(1)
 			senderFlushes.Add(1)
+		}
+		if tr != nil {
+			s.traceWrite(tr, batch)
 		}
 		return nil
 	}
@@ -351,11 +420,17 @@ func (s *Sender) write(batch []outItem) error {
 			s.items[j] = wire.FrameItem{}
 		}
 	}
+	if tr != nil {
+		s.traceBatch(tr, batch, span.StageEncode)
+	}
 	if err := s.fc.SendFrame(s.scratch); err != nil {
 		return err
 	}
 	// One drain, one flush round — however many messages it carried.
 	senderMsgs.Add(uint64(len(batch)))
 	senderFlushes.Add(1)
+	if tr != nil {
+		s.traceWrite(tr, batch)
+	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/causal"
+	"repro/internal/obs/span"
 	"repro/internal/core"
 	"repro/internal/op"
 )
@@ -36,6 +37,11 @@ type Broadcast struct {
 	Ref     causal.OpRef
 	OrigRef causal.OpRef
 	Op      *op.Op
+
+	// Trace is the span context of the op being fanned out; when sampled it
+	// rides every destination's frame as a trace trailer. Set it after
+	// NewBroadcast, before the first enqueue.
+	Trace span.Context
 
 	tail []byte // appendServerOpTail output, shared read-only
 	refs atomic.Int32
@@ -64,6 +70,7 @@ func (bc *Broadcast) Retain() { bc.refs.Add(1) }
 func (bc *Broadcast) Release() {
 	if bc.refs.Add(-1) == 0 {
 		bc.Op = nil
+		bc.Trace = span.Context{}
 		broadcastPool.Put(bc)
 	}
 }
@@ -72,13 +79,14 @@ func (bc *Broadcast) Release() {
 // path for connections that do not implement the pre-encoded fast path.
 // It costs a fresh body encode when sent, like any other Msg.
 func (bc *Broadcast) ServerOp(to int, ts core.Timestamp) ServerOp {
-	return ServerOp{To: to, TS: ts, Ref: bc.Ref, OrigRef: bc.OrigRef, Op: bc.Op}
+	return ServerOp{To: to, TS: ts, Ref: bc.Ref, OrigRef: bc.OrigRef, Op: bc.Op, Trace: bc.Trace}
 }
 
 // WireSize returns the encoded payload size of this broadcast toward one
-// destination (type byte + head + shared tail, without the length prefix).
+// destination (type byte + head + shared tail + trace trailer, without the
+// length prefix).
 func (bc *Broadcast) WireSize(to int, ts core.Timestamp) int {
-	return 1 + UvarintLen(uint64(to)) + TimestampSize(ts) + len(bc.tail)
+	return 1 + UvarintLen(uint64(to)) + TimestampSize(ts) + len(bc.tail) + TraceSize(bc.Trace)
 }
 
 // FrameItem is one destination's slot in a coalesced write: which shared
@@ -101,13 +109,30 @@ func AppendFrames(dst []byte, items []FrameItem) []byte {
 			run = run[:MaxBatchOps]
 		}
 		items = items[len(run):]
+		// A traced run appends trace trailers and sets traceBit; the
+		// untraced path below is byte-identical to the pre-trailer protocol.
+		traced := false
+		for _, it := range run {
+			if it.B.Trace.Sampled() {
+				traced = true
+				break
+			}
+		}
 		if len(run) == 1 {
 			it := run[0]
 			body := 1 + UvarintLen(uint64(it.To)) + TimestampSize(it.TS) + len(it.B.tail)
+			tb := byte(TServerOp)
+			if traced {
+				body += TraceSize(it.B.Trace)
+				tb |= byte(traceBit)
+			}
 			dst = binary.AppendUvarint(dst, uint64(body))
-			dst = append(dst, byte(TServerOp))
+			dst = append(dst, tb)
 			dst = appendServerOpHead(dst, it.To, it.TS)
 			dst = append(dst, it.B.tail...)
+			if traced {
+				dst = appendTrace(dst, it.B.Trace)
+			}
 			countFrame(TServerOp, UvarintLen(uint64(body))+body)
 			encOps.Add(1)
 			continue
@@ -115,13 +140,23 @@ func AppendFrames(dst []byte, items []FrameItem) []byte {
 		body := 1 + UvarintLen(uint64(len(run)))
 		for _, it := range run {
 			body += UvarintLen(uint64(it.To)) + TimestampSize(it.TS) + len(it.B.tail)
+			if traced {
+				body += batchTraceSize(it.B.Trace)
+			}
+		}
+		tb := byte(TOpBatch)
+		if traced {
+			tb |= byte(traceBit)
 		}
 		dst = binary.AppendUvarint(dst, uint64(body))
-		dst = append(dst, byte(TOpBatch))
+		dst = append(dst, tb)
 		dst = binary.AppendUvarint(dst, uint64(len(run)))
 		for _, it := range run {
 			dst = appendServerOpHead(dst, it.To, it.TS)
 			dst = append(dst, it.B.tail...)
+			if traced {
+				dst = appendBatchTrace(dst, it.B.Trace)
+			}
 		}
 		// A batch of K operations is K ops but one frame and one flush unit —
 		// the no-double-counting rule the coalescing ratio depends on.

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/core"
+	"repro/internal/obs/span"
+	"repro/internal/op"
+)
+
+func sampledCtx(site int, seq uint64) span.Context {
+	return span.Context{Site: site, Seq: seq, Flags: span.FlagSampled}
+}
+
+// TestTraceTrailerBackCompat pins the wire contract of the optional trailer:
+// a traced frame is exactly the untraced encoding with traceBit set on the
+// type byte and the trailer appended after the payload — pre-trailer peers
+// keep decoding untraced frames byte-identically.
+func TestTraceTrailerBackCompat(t *testing.T) {
+	o, _ := op.NewInsert(5, 1, "héllo")
+	plain := ClientOp{From: 3, TS: core.Timestamp{T1: 7, T2: 200}, Ref: causal.OpRef{Site: 3, Seq: 200}, Op: o}
+	traced := plain
+	traced.Trace = sampledCtx(3, 200)
+
+	pb, err := Append(nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Append(nil, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb[0]&0x80 != 0 {
+		t.Fatalf("untraced type byte %#x has traceBit set", pb[0])
+	}
+	if tb[0] != pb[0]|0x80 {
+		t.Fatalf("traced type byte = %#x, want %#x", tb[0], pb[0]|0x80)
+	}
+	if want := len(pb) + TraceSize(traced.Trace); len(tb) != want {
+		t.Fatalf("traced frame = %d bytes, want %d (untraced + trailer)", len(tb), want)
+	}
+	if !bytes.Equal(tb[1:len(pb)], pb[1:]) {
+		t.Fatalf("traced payload differs from untraced:\n got %x\nwant %x", tb[1:len(pb)], pb[1:])
+	}
+	// And a zero Trace encodes byte-identically to the pre-trailer protocol.
+	zb, err := Append(nil, ClientOp{From: plain.From, TS: plain.TS, Ref: plain.Ref, Op: plain.Op})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zb, pb) {
+		t.Fatalf("zero-trace encoding differs from untraced")
+	}
+}
+
+// TestClientOpTraceRoundTrip and the server-side sibling check the trailer
+// decodes back to the same context.
+func TestClientOpTraceRoundTrip(t *testing.T) {
+	o, _ := op.NewInsert(5, 1, "x")
+	m := ClientOp{From: 3, TS: core.Timestamp{T1: 1, T2: 2}, Ref: causal.OpRef{Site: 3, Seq: 9}, Op: o,
+		Trace: sampledCtx(3, 9)}
+	got := roundTrip(t, m).(ClientOp)
+	if got.Trace != m.Trace {
+		t.Fatalf("trace = %+v, want %+v", got.Trace, m.Trace)
+	}
+	if got.From != m.From || got.TS != m.TS || got.Ref != m.Ref || !got.Op.Equal(m.Op) {
+		t.Fatalf("payload fields lost under tracing: %+v vs %+v", got, m)
+	}
+}
+
+func TestServerOpTraceRoundTrip(t *testing.T) {
+	m := testServerOp(t, 2)
+	m.Trace = sampledCtx(7, 1<<40) // large seq exercises the uvarint
+	got := roundTrip(t, m).(ServerOp)
+	if got.Trace != m.Trace {
+		t.Fatalf("trace = %+v, want %+v", got.Trace, m.Trace)
+	}
+}
+
+// TestOpBatchTraceRoundTrip checks the per-op trailer of a traced batch:
+// traced and untraced ops mix in one frame and come back exact.
+func TestOpBatchTraceRoundTrip(t *testing.T) {
+	batch := OpBatch{Ops: []ServerOp{testServerOp(t, 1), testServerOp(t, 2), testServerOp(t, 3)}}
+	batch.Ops[1].Trace = sampledCtx(4, 77)
+	b, err := Append(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0]&0x80 == 0 {
+		t.Fatalf("batch with a traced op lacks traceBit: %#x", b[0])
+	}
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(OpBatch)
+	if got.Ops[0].Trace.Sampled() || got.Ops[2].Trace.Sampled() {
+		t.Errorf("untraced ops came back sampled: %+v / %+v", got.Ops[0].Trace, got.Ops[2].Trace)
+	}
+	if got.Ops[1].Trace != batch.Ops[1].Trace {
+		t.Errorf("traced op trace = %+v, want %+v", got.Ops[1].Trace, batch.Ops[1].Trace)
+	}
+}
+
+// TestAppendFramesTraced drives the encode-once fan-out with a traced
+// broadcast: single-destination and batched frames both carry the trailer,
+// and WireSize accounts for it.
+func TestAppendFramesTraced(t *testing.T) {
+	so := testServerOp(t, 3)
+	bc, err := NewBroadcast(so.Ref, so.OrigRef, so.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Release()
+	bc.Trace = sampledCtx(9, 123)
+
+	single := AppendFrames(nil, []FrameItem{{B: bc, To: 3, TS: so.TS}})
+	r := bufio.NewReader(bytes.NewReader(single))
+	m, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSo := m.(ServerOp)
+	if gotSo.Trace != bc.Trace {
+		t.Fatalf("single-frame trace = %+v, want %+v", gotSo.Trace, bc.Trace)
+	}
+
+	items := []FrameItem{
+		{B: bc, To: 1, TS: so.TS},
+		{B: bc, To: 2, TS: so.TS},
+	}
+	blob := AppendFrames(nil, items)
+	m, err = ReadFrame(bufio.NewReader(bytes.NewReader(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gotOp := range m.(OpBatch).Ops {
+		if gotOp.Trace != bc.Trace {
+			t.Errorf("batch op %d trace = %+v, want %+v", i, gotOp.Trace, bc.Trace)
+		}
+	}
+
+	// WireSize is the payload size; the frame adds its uvarint length prefix.
+	if ws, got := bc.WireSize(3, so.TS), len(single); ws+UvarintLen(uint64(ws)) != got {
+		t.Errorf("WireSize = %d (+%d prefix), frame is %d bytes", ws, UvarintLen(uint64(ws)), got)
+	}
+}
+
+// TestTraceTrailerRejectsUnsampled: a trailer whose flags lack the sampled
+// bit is a protocol violation (the canonical encoder never emits one), so
+// decode fails instead of producing a context Append would drop.
+func TestTraceTrailerRejectsUnsampled(t *testing.T) {
+	o, _ := op.NewInsert(5, 1, "x")
+	m := ClientOp{From: 3, TS: core.Timestamp{T1: 1, T2: 2}, Ref: causal.OpRef{Site: 3, Seq: 9}, Op: o,
+		Trace: sampledCtx(3, 9)}
+	b, err := Append(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flags byte is the last byte of the trailer; clear the sampled bit.
+	b[len(b)-1] &^= span.FlagSampled
+	if _, err := Decode(b); err == nil {
+		t.Fatal("decode accepted a trailer without the sampled flag")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/causal"
 	"repro/internal/core"
+	"repro/internal/obs/span"
 	"repro/internal/op"
 	"repro/internal/vclock"
 )
@@ -68,6 +69,14 @@ const (
 	TOpBatch MsgType = 9
 )
 
+// traceBit marks an op-carrying frame (TClientOp, TServerOp, TOpBatch) that
+// ends in a trace trailer: the span context of a sampled op, riding the op
+// it describes. Untraced messages never set the bit and encode byte-for-byte
+// as before the trailer existed, so pre-trailer peers interoperate for the
+// overwhelmingly common unsampled case; other message types reject the bit
+// as an unknown type.
+const traceBit MsgType = 0x80
+
 // MaxBatchOps caps how many operations one TOpBatch frame may carry, keeping
 // every batch frame far below MaxFrame regardless of queue depth.
 const MaxBatchOps = 256
@@ -75,23 +84,28 @@ const MaxBatchOps = 256
 // Msg is a decoded protocol message.
 type Msg interface{ msgType() MsgType }
 
-// ClientOp carries one operation from a client to the notifier.
+// ClientOp carries one operation from a client to the notifier. Trace, when
+// sampled, rides the wire as an optional trailer (traceBit); the zero value
+// costs no bytes.
 type ClientOp struct {
-	From int
-	TS   core.Timestamp
-	Ref  causal.OpRef
-	Op   *op.Op
+	From  int
+	TS    core.Timestamp
+	Ref   causal.OpRef
+	Op    *op.Op
+	Trace span.Context
 }
 
 func (ClientOp) msgType() MsgType { return TClientOp }
 
-// ServerOp carries one operation from the notifier to a client.
+// ServerOp carries one operation from the notifier to a client. Trace, when
+// sampled, rides the wire as an optional trailer (traceBit).
 type ServerOp struct {
 	To      int
 	TS      core.Timestamp
 	Ref     causal.OpRef
 	OrigRef causal.OpRef
 	Op      *op.Op
+	Trace   span.Context
 }
 
 func (ServerOp) msgType() MsgType { return TServerOp }
@@ -171,21 +185,60 @@ type ServerPresence struct {
 
 func (ServerPresence) msgType() MsgType { return TServerPresence }
 
+// typeByte returns a message's frame type byte: its MsgType, with traceBit
+// set on op-carrying messages whose span context is sampled.
+func typeByte(m Msg) byte {
+	t := byte(m.msgType())
+	switch v := m.(type) {
+	case ClientOp:
+		if v.Trace.Sampled() {
+			t |= byte(traceBit)
+		}
+	case ServerOp:
+		if v.Trace.Sampled() {
+			t |= byte(traceBit)
+		}
+	case OpBatch:
+		for _, so := range v.Ops {
+			if so.Trace.Sampled() {
+				t |= byte(traceBit)
+				break
+			}
+		}
+	}
+	return t
+}
+
 // Append encodes a message body (type byte + payload) onto b.
 func Append(b []byte, m Msg) ([]byte, error) {
-	b = append(b, byte(m.msgType()))
+	b = append(b, typeByte(m))
 	switch v := m.(type) {
 	case ClientOp:
 		b = binary.AppendUvarint(b, uint64(v.From))
 		b = appendTimestamp(b, v.TS)
 		b = appendRef(b, v.Ref)
-		return AppendOp(b, v.Op)
+		b, err := AppendOp(b, v.Op)
+		if err == nil && v.Trace.Sampled() {
+			b = appendTrace(b, v.Trace)
+		}
+		return b, err
 	case ServerOp:
 		b = appendServerOpHead(b, v.To, v.TS)
-		return appendServerOpTail(b, v.Ref, v.OrigRef, v.Op)
+		b, err := appendServerOpTail(b, v.Ref, v.OrigRef, v.Op)
+		if err == nil && v.Trace.Sampled() {
+			b = appendTrace(b, v.Trace)
+		}
+		return b, err
 	case OpBatch:
 		if len(v.Ops) == 0 {
 			return nil, fmt.Errorf("wire: empty batch: %w", ErrCorrupt)
+		}
+		traced := false
+		for _, so := range v.Ops {
+			if so.Trace.Sampled() {
+				traced = true
+				break
+			}
 		}
 		b = binary.AppendUvarint(b, uint64(len(v.Ops)))
 		var err error
@@ -193,6 +246,9 @@ func Append(b []byte, m Msg) ([]byte, error) {
 			b = appendServerOpHead(b, so.To, so.TS)
 			if b, err = appendServerOpTail(b, so.Ref, so.OrigRef, so.Op); err != nil {
 				return nil, err
+			}
+			if traced {
+				b = appendBatchTrace(b, so.Trace)
 			}
 		}
 		return b, nil
@@ -232,19 +288,26 @@ func Decode(body []byte) (Msg, error) {
 		return nil, fmt.Errorf("wire: empty body: %w", ErrCorrupt)
 	}
 	d := &decoder{b: body[1:]}
+	traced := MsgType(body[0])&traceBit != 0
 	switch MsgType(body[0]) {
-	case TClientOp:
+	case TClientOp, TClientOp | traceBit:
 		m := ClientOp{}
 		m.From = int(d.uvarint())
 		m.TS = d.timestamp()
 		m.Ref = d.ref()
 		m.Op = d.op()
+		if traced {
+			m.Trace = d.trace()
+		}
 		return m, d.finish()
-	case TServerOp:
+	case TServerOp, TServerOp | traceBit:
 		m := ServerOp{}
 		d.serverOp(&m)
+		if traced {
+			m.Trace = d.trace()
+		}
 		return m, d.finish()
-	case TOpBatch:
+	case TOpBatch, TOpBatch | traceBit:
 		n := d.uvarint()
 		if d.err == nil && (n == 0 || n > uint64(len(d.b))) {
 			d.fail() // each op costs well over one byte
@@ -255,6 +318,9 @@ func Decode(body []byte) (Msg, error) {
 		m := OpBatch{Ops: make([]ServerOp, n)}
 		for i := range m.Ops {
 			d.serverOp(&m.Ops[i])
+			if traced {
+				m.Ops[i].Trace = d.batchTrace()
+			}
 			if d.err != nil {
 				return nil, d.err
 			}
@@ -412,6 +478,43 @@ func appendServerOpTail(b []byte, ref, origRef causal.OpRef, o *op.Op) ([]byte, 
 	b = appendRef(b, ref)
 	b = appendRef(b, origRef)
 	return AppendOp(b, o)
+}
+
+// appendTrace encodes a single-op trace trailer: origin site, origin seq,
+// flags. Only called for sampled contexts.
+func appendTrace(b []byte, c span.Context) []byte {
+	b = binary.AppendUvarint(b, uint64(c.Site))
+	b = binary.AppendUvarint(b, c.Seq)
+	return append(b, c.Flags)
+}
+
+// TraceSize returns the on-wire cost of a context's trailer: 0 when
+// unsampled, else site + seq varints and the flags byte.
+func TraceSize(c span.Context) int {
+	if !c.Sampled() {
+		return 0
+	}
+	return UvarintLen(uint64(c.Site)) + UvarintLen(c.Seq) + 1
+}
+
+// appendBatchTrace encodes one op's slot in a traced batch: a flags byte
+// (0 = this op untraced), then site and seq for sampled ops. Flags without
+// the sampled bit are canonicalized to 0 so re-encoding is stable.
+func appendBatchTrace(b []byte, c span.Context) []byte {
+	if !c.Sampled() {
+		return append(b, 0)
+	}
+	b = append(b, c.Flags)
+	b = binary.AppendUvarint(b, uint64(c.Site))
+	return binary.AppendUvarint(b, c.Seq)
+}
+
+// batchTraceSize returns the encoded size of one op's slot in a traced batch.
+func batchTraceSize(c span.Context) int {
+	if !c.Sampled() {
+		return 1
+	}
+	return 1 + UvarintLen(uint64(c.Site)) + UvarintLen(c.Seq)
 }
 
 func appendTimestamp(b []byte, ts core.Timestamp) []byte {
@@ -580,6 +683,46 @@ func (d *decoder) serverOp(m *ServerOp) {
 	m.Ref = d.ref()
 	m.OrigRef = d.ref()
 	m.Op = d.op()
+}
+
+// trace parses a single-op trace trailer. The flags byte must carry the
+// sampled bit — a trailer describing an unsampled op has no reason to exist
+// and would not re-encode canonically.
+func (d *decoder) trace() span.Context {
+	c := span.Context{Site: int(d.uvarint()), Seq: d.uvarint()}
+	c.Flags = d.byteVal()
+	if d.err == nil && c.Flags&span.FlagSampled == 0 {
+		d.fail()
+	}
+	return c
+}
+
+// batchTrace parses one op's slot in a traced batch: flags byte 0 means the
+// op is untraced; any other value must include the sampled bit and is
+// followed by site and seq.
+func (d *decoder) batchTrace() span.Context {
+	flags := d.byteVal()
+	if flags == 0 || d.err != nil {
+		return span.Context{}
+	}
+	if flags&span.FlagSampled == 0 {
+		d.fail()
+		return span.Context{}
+	}
+	return span.Context{Site: int(d.uvarint()), Seq: d.uvarint(), Flags: flags}
+}
+
+func (d *decoder) byteVal() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
 }
 
 func (d *decoder) boolByte() bool {

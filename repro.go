@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -77,6 +78,11 @@ type Notifier struct {
 	// recvNs observes the receive→transform→broadcast latency. Atomic so
 	// the hot receive path reads it without n.mu ordering concerns.
 	recvNs atomic.Pointer[obs.Histogram]
+
+	// spans, when set (TraceSpans), samples per-op lifecycle spans: arrival
+	// adoption on the read path, check/transform/execute in the engine,
+	// drain/encode/write in the senders.
+	spans atomic.Pointer[span.Tracer]
 
 	wg sync.WaitGroup
 }
@@ -207,6 +213,21 @@ func (n *Notifier) Observe(reg *obs.Registry) {
 		return int64(n.srv.History().ClockWords())
 	})
 	reg.Gauge(obs.GQueueHighWater, func() int64 { return int64(n.QueueHighWater()) })
+}
+
+// TraceSpans mounts the op-lifecycle tracer: arriving client operations
+// carrying a sampled wire trace context (or chosen by tr's own sampler) get
+// per-stage latency stamps from arrival through broadcast write. Existing
+// and future peer senders pick the tracer up for drain/encode/write stamps.
+// The engine-side stamps (check/transform/execute) require the notifier to
+// have been built with core.WithServerSpans(tr).
+func (n *Notifier) TraceSpans(tr *span.Tracer) {
+	n.mu.Lock()
+	for _, p := range n.peers {
+		p.snd.SetTracer(tr)
+	}
+	n.mu.Unlock()
+	n.spans.Store(tr)
 }
 
 // String summarizes the notifier for status logs.
@@ -342,6 +363,9 @@ func (cs *ntfConnState) handleMsg(m wire.Msg) bool {
 		if v.From != cs.site || cs.p.readOnly {
 			return false // impersonation, or an op from a viewer
 		}
+		if tr := cs.n.spans.Load(); tr.Enabled() {
+			v.Trace = tr.Arrival(v.Trace, v.Ref.Site, v.Ref.Seq, connWakeNs(cs.conn))
+		}
 		return cs.n.receive(v) == nil
 	case wire.Presence:
 		if v.From != cs.site {
@@ -404,6 +428,9 @@ func (n *Notifier) handle(conn transport.Conn) {
 		case wire.ClientOp:
 			if v.From != site || p.readOnly {
 				return // impersonation, or an op from a viewer
+			}
+			if tr := n.spans.Load(); tr.Enabled() {
+				v.Trace = tr.Arrival(v.Trace, v.Ref.Site, v.Ref.Seq, connWakeNs(conn))
 			}
 			if err := n.receive(v); err != nil {
 				return
@@ -473,6 +500,9 @@ func (n *Notifier) admitMsg(conn transport.Conn, m wire.Msg) (int, *peer, error)
 	if n.queueHist != nil {
 		p.snd.SetQueueHistogram(n.queueHist)
 	}
+	if tr := n.spans.Load(); tr != nil {
+		p.snd.SetTracer(tr)
+	}
 	n.peers[site] = p
 	if err := p.snd.Enqueue(wire.JoinResp{Site: snap.Site, Text: snap.Text, LocalOps: snap.LocalOps}); err != nil {
 		delete(n.peers, site)
@@ -515,7 +545,7 @@ func (n *Notifier) receive(m wire.ClientOp) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	cm := core.ClientMsg{From: m.From, Op: m.Op, TS: m.TS, Ref: m.Ref}
+	cm := core.ClientMsg{From: m.From, Op: m.Op, TS: m.TS, Ref: m.Ref, Trace: m.Trace}
 	if n.jw != nil {
 		// Write-ahead between validation and application: only operations
 		// the engine will accept are journaled, and they are durable before
@@ -541,6 +571,7 @@ func (n *Notifier) receive(m wire.ClientOp) error {
 	if err != nil {
 		return err
 	}
+	bc.Trace = bcast[0].Trace
 	for _, bm := range bcast {
 		p, ok := n.peers[bm.To]
 		if !ok {
@@ -552,7 +583,18 @@ func (n *Notifier) receive(m wire.ClientOp) error {
 		_ = p.snd.EnqueueBroadcast(bc, bm.To, bm.TS)
 	}
 	bc.Release()
+	n.spans.Load().Stamp(cm.Trace, span.StageBcastEnqueue)
 	return nil
+}
+
+// connWakeNs reports when the platform poller saw conn become readable
+// (netpoll's pollConn implements the probe), or 0 when the transport cannot
+// say — the poll_wake stage is then simply absent from the span.
+func connWakeNs(c transport.Conn) int64 {
+	if w, ok := c.(interface{ TraceWakeNs() int64 }); ok {
+		return w.TraceWakeNs()
+	}
+	return 0
 }
 
 // QueueHighWater reports the deepest any peer's outbound queue has been —

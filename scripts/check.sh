@@ -43,6 +43,17 @@ go test -race ./internal/core ./internal/op ./internal/wire ./internal/transport
 step "obs zero-alloc gate"
 go test ./internal/obs -run='^TestFastPathAllocFree$' -count=1
 
+# The span tracer's disabled and unsampled paths ride every generated and
+# received operation: they must stay at 0 allocs/op or tracing-compiled-in
+# taxes the untraced hot path.
+step "span zero-alloc gate"
+go test ./internal/obs/span -run='^TestFastPathAllocFree$' -count=1
+
+# E14: with sampling on, the full 13-stage table must materialize over
+# loopback TCP — every stage histogram sees exactly one delta per op.
+step "E14 stage-breakdown smoke"
+go test . -run='^TestE14StageBreakdown$' -count=1 -short
+
 # The E13 capacity claim: 1000 idle connections on the lean layer (writer
 # pool + event dispatch + idle dehydration) must cost O(pool) goroutines,
 # and live traffic must still flow with the idle fleet attached.
