@@ -158,10 +158,24 @@ func runChaosChurn(t *testing.T, dialConn func() (transport.Conn, error), nt *No
 // retire: the dispatcher must drain to zero registered connections — a leaked
 // dispatchConn or a double-retire would leave the count wrong forever.
 func TestChaosPollerTCP(t *testing.T) {
+	chaosPollerTCP(t, 0) // package defaults: single-instance layout on 1-CPU boxes
+}
+
+// TestChaosPollerTCPSharded reruns the poller churn with the sharded
+// scheduling layout forced on (DESIGN.md §18): 4 epoll shards, 4 writers and
+// dispatch workers over 4-way ready rings, and the parallel broadcast fan-out
+// engaged for every multi-destination broadcast (threshold 1). Kill/replace
+// races must survive work stealing and chunked fan-out with the same
+// exactly-once retire guarantee.
+func TestChaosPollerTCPSharded(t *testing.T) {
+	chaosPollerTCP(t, 4)
+}
+
+func chaosPollerTCP(t *testing.T, shards int) {
 	if !netpoll.Available() {
 		t.Skip("epoll poller not available on this platform")
 	}
-	p, err := netpoll.NewPoller()
+	p, err := netpoll.NewPoller(netpoll.WithPollerShards(shards))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +185,19 @@ func TestChaosPollerTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nt, err := ServeLean(ln, "chaos base document", LeanOptions{WriterPool: -1, EventDispatch: -1})
+	lean := LeanOptions{WriterPool: -1, EventDispatch: -1}
+	if shards > 0 {
+		lean = LeanOptions{WriterPool: shards, EventDispatch: shards,
+			DispatchShards: shards, FanoutThreshold: 1}
+	}
+	nt, err := ServeLean(ln, "chaos base document", lean)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer nt.Close()
+	if shards > 0 && p.Shards() != shards {
+		t.Fatalf("poller built %d shards, want %d", p.Shards(), shards)
+	}
 	addr := ln.Addr()
 	runChaosChurn(t, func() (transport.Conn, error) { return transport.DialTCP(addr) }, nt)
 

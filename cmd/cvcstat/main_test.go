@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -255,6 +256,54 @@ func TestRenderStageTable(t *testing.T) {
 	// Pipeline order, not alphabetical: generate precedes decode.
 	if strings.Index(text, "generate") > strings.Index(text, "\ndecode") && strings.Contains(text, "\ndecode") {
 		t.Errorf("stage table not in pipeline order:\n%s", text)
+	}
+}
+
+// TestRenderShardTable checks the sharded-scheduling section: with the
+// per-shard wakeup counters in the snapshot, the shard table renders one row
+// per registered shard plus the ready-ring depth distribution and the steal
+// and fan-out totals — and the wakeup counters do NOT repeat in the generic
+// process-wide counter table. A snapshot without shard counters (a server on
+// a non-poller platform) renders no shard section.
+func TestRenderShardTable(t *testing.T) {
+	snap := obs.Snapshot{
+		Name: "reducesrv",
+		Counters: map[string]int64{
+			obs.CPollerShard0Wakeups: 40,
+			obs.CPollerShard1Wakeups: 30,
+			obs.CPollerShard2Wakeups: 20,
+			obs.CPollerShard3Wakeups: 10,
+			obs.CDispatchSteals:      7,
+			obs.CFanoutParallel:      5,
+			"sender.msgs":            99,
+		},
+	}
+	var out strings.Builder
+	render(&out, snap)
+	text := out.String()
+	for _, want := range []string{"shard", "wakeups", "steals", "fanouts"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shard table missing %q:\n%s", want, text)
+		}
+	}
+	for i, count := range []string{"40", "30", "20", "10"} {
+		line := tableLine(text, count)
+		if line == "" || !strings.Contains(line, fmt.Sprint(i)) {
+			t.Errorf("shard %d wakeup row missing or misaligned: %q\n%s", i, line, text)
+		}
+	}
+	if strings.Contains(text, "poller.shard.wakeups.0") {
+		t.Errorf("per-shard counters duplicated in the generic counter table:\n%s", text)
+	}
+	// The steal/fan-out totals still appear in the generic table by name.
+	if tableLine(text, obs.CDispatchSteals) == "" {
+		t.Errorf("generic counter table lost %s:\n%s", obs.CDispatchSteals, text)
+	}
+
+	var bare strings.Builder
+	render(&bare, obs.Snapshot{Name: "reducesrv", Counters: map[string]int64{"sender.msgs": 1}})
+	if strings.Contains(bare.String(), "wakeups") {
+		t.Errorf("shard section rendered without shard counters:\n%s", bare.String())
 	}
 }
 

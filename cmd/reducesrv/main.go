@@ -27,6 +27,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/transport/netpoll"
 )
 
 func main() {
@@ -43,6 +44,9 @@ func main() {
 	writerPool := flag.Int("writer-pool", 0, "drain outbound queues with this many shared writer goroutines (-1 = GOMAXPROCS, 0 = one dedicated writer per connection)")
 	idleDehydrate := flag.Duration("idle-dehydrate", 0, "with -multi: park sessions idle for this long into compact checkpoints (0 disables)")
 	poller := flag.String("poller", "auto", "TCP readiness poller: auto (use it when the platform has one), on (require it), off (dedicated readers)")
+	pollerShards := flag.Int("poller-shards", 0, "split the readiness poller into this many epoll instances (0 = platform default, min(GOMAXPROCS, 4); needs a poller-capable platform)")
+	dispatchShards := flag.Int("dispatch-shards", 0, "split the writer-pool and dispatcher ready rings into this many work-stealing shards (0 = one per worker; needs -writer-pool)")
+	fanoutThreshold := flag.Int("fanout-threshold", 0, "broadcasts to at least this many destinations fan out in parallel across pool shards (0 = default 16, negative = always serial; needs -writer-pool)")
 	spanSample := flag.Int("span-sample", 0, "trace every Nth operation's lifecycle (stage latencies at /spanz; 0 disables; needs -debug)")
 	sloP99 := flag.Duration("slo-p99", 0, "SLO flight recorder: dump a diagnostic bundle when the windowed p99 of receive.ns or span.total.ns exceeds this (0 disables; needs -debug)")
 	sloDir := flag.String("slo-dir", "slo-bundles", "directory receiving flight-recorder bundles")
@@ -64,14 +68,28 @@ func main() {
 	var ln transport.Listener
 	var err error
 	switch *poller {
-	case "auto":
-		ln, err = transport.ListenEventTCP(*listen)
-	case "on":
-		if !transport.PollerCapable() {
+	case "auto", "on":
+		if *poller == "on" && !transport.PollerCapable() {
 			log.Fatalf("reducesrv: -poller=on but this platform has no readiness poller")
 		}
-		ln, err = transport.ListenEventTCP(*listen)
+		if *pollerShards > 0 {
+			// An explicit shard count needs its own poller: the process-wide
+			// default is built lazily with the platform default shard count.
+			if !transport.PollerCapable() {
+				log.Fatalf("reducesrv: -poller-shards needs a poller-capable platform")
+			}
+			var pl *netpoll.Poller
+			if pl, err = netpoll.NewPoller(netpoll.WithPollerShards(*pollerShards)); err != nil {
+				log.Fatalf("reducesrv: -poller-shards: %v", err)
+			}
+			ln, err = netpoll.ListenTCP(*listen, netpoll.WithPoller(pl))
+		} else {
+			ln, err = transport.ListenEventTCP(*listen)
+		}
 	case "off":
+		if *pollerShards > 0 {
+			log.Fatalf("reducesrv: -poller-shards conflicts with -poller=off")
+		}
 		ln, err = transport.ListenTCP(*listen)
 	default:
 		log.Fatalf("reducesrv: -poller=%q (want auto, on, or off)", *poller)
@@ -119,11 +137,15 @@ func main() {
 		log.Fatalf("reducesrv: -slo-p99 needs -debug")
 	}
 
+	if *writerPool == 0 && (*dispatchShards != 0 || *fanoutThreshold != 0) {
+		log.Fatalf("reducesrv: -dispatch-shards and -fanout-threshold need -writer-pool (the sharded rings live in the lean connection layer)")
+	}
+
 	if *multi {
 		if *journalPath != "" {
 			log.Fatalf("reducesrv: -journal is not supported with -multi (per-session journals are not implemented)")
 		}
-		runMulti(ln, initial, *status, *debug, reg, ring, spans, *sloP99, *sloDir, opts, *writerPool, *idleDehydrate)
+		runMulti(ln, initial, *status, *debug, reg, ring, spans, *sloP99, *sloDir, opts, *writerPool, *dispatchShards, *fanoutThreshold, *idleDehydrate)
 		return
 	}
 	if *idleDehydrate > 0 {
@@ -150,7 +172,8 @@ func main() {
 		// The lean connection layer: pooled writers (and, on event-capable
 		// transports, dispatched readers — TCP keeps dedicated readers).
 		nt, err = repro.ServeLean(ln, initial,
-			repro.LeanOptions{WriterPool: *writerPool, EventDispatch: *writerPool}, opts...)
+			repro.LeanOptions{WriterPool: *writerPool, EventDispatch: *writerPool,
+				DispatchShards: *dispatchShards, FanoutThreshold: *fanoutThreshold}, opts...)
 	default:
 		nt, err = repro.Serve(ln, initial, opts...)
 	}
@@ -189,7 +212,7 @@ func main() {
 // runMulti serves many documents concurrently: each session name maps to an
 // independent notifier engine on its own goroutine (internal/server), so
 // unrelated documents scale across cores instead of sharing one lock.
-func runMulti(ln transport.Listener, initial string, status time.Duration, debug string, reg *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, sloP99 time.Duration, sloDir string, opts []core.ServerOption, writerPool int, idleDehydrate time.Duration) {
+func runMulti(ln transport.Listener, initial string, status time.Duration, debug string, reg *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, sloP99 time.Duration, sloDir string, opts []core.ServerOption, writerPool, dispatchShards, fanoutThreshold int, idleDehydrate time.Duration) {
 	mopts := []server.ManagerOption{
 		server.WithInitialText(initial),
 		server.WithEngineOptions(opts...),
@@ -207,7 +230,8 @@ func runMulti(ln transport.Listener, initial string, status time.Duration, debug
 	mgr := server.NewManager(mopts...)
 	var sopts []server.ServeOption
 	if writerPool != 0 {
-		sopts = append(sopts, server.WithWriterPool(writerPool), server.WithEventDispatch(writerPool))
+		sopts = append(sopts, server.WithWriterPool(writerPool), server.WithEventDispatch(writerPool),
+			server.WithDispatchShards(dispatchShards), server.WithFanoutThreshold(fanoutThreshold))
 	}
 	svc := server.Serve(ln, mgr, sopts...)
 	log.Printf("reducesrv: multi-session notifier listening on %s (%d bytes of initial text per new session)",

@@ -27,40 +27,80 @@ import (
 
 // e14Session is one traced loopback-TCP session behind the session server.
 type e14Session struct {
-	reg  *obs.Registry
-	tr   *span.Tracer
-	mgr  *server.Manager
-	svc  *server.Service
-	ln   transport.Listener
-	eds  []*Editor
-	poll bool // server listener is the epoll path, so poll_wake fires
+	reg    *obs.Registry
+	tr     *span.Tracer
+	mgr    *server.Manager
+	svc    *server.Service
+	ln     transport.Listener
+	pl     *netpoll.Poller // private poller (epoll path only)
+	eds    []*Editor
+	poll   bool // server listener is the epoll path, so poll_wake fires
+	shards int  // scheduling shard count (0 = package defaults)
+}
+
+// e14Shards reads the E14_SHARDS knob: the worker/shard count for the
+// poller, the ready rings, and the writer pool. Unset (0) keeps every
+// package default; 1 pins the single-ring/single-instance reference layout;
+// check.sh gates the stage breakdown at both 1 and 4.
+func e14Shards(tb testing.TB) int {
+	v := os.Getenv("E14_SHARDS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		tb.Fatalf("bad E14_SHARDS=%q", v)
+	}
+	return n
 }
 
 // startE14 brings up the lean session server on a loopback TCP listener
 // (epoll-backed where the platform has it), attaches `sites` editors to one
-// session, and wires every layer to a single SampleEvery=1 tracer.
+// session, and wires every layer to a single SampleEvery=1 tracer. On the
+// epoll path both the listener AND the client dials attach to one private
+// poller: the in-process client readers then ride the poller's
+// spin-then-park wakeups instead of each parking in the runtime netpoller
+// (whose forced-poll quantization is exactly what E14 measures).
 func startE14(tb testing.TB, sites int) *e14Session {
 	tb.Helper()
-	s := &e14Session{reg: obs.NewRegistry("e14")}
+	s := &e14Session{reg: obs.NewRegistry("e14"), shards: e14Shards(tb)}
 	s.tr = span.NewTracer(s.reg, span.Config{SampleEvery: 1})
 
-	var err error
 	if netpoll.Available() {
-		if s.ln, err = netpoll.ListenTCP("127.0.0.1:0"); err == nil {
-			s.poll = true
+		pl, err := netpoll.NewPoller(netpoll.WithPollerShards(s.shards))
+		if err != nil {
+			tb.Fatal(err)
 		}
+		if s.ln, err = netpoll.ListenTCP("127.0.0.1:0", netpoll.WithPoller(pl)); err != nil {
+			_ = pl.Close()
+			tb.Fatal(err)
+		}
+		s.pl, s.poll = pl, true
 	}
 	if s.ln == nil {
+		var err error
 		if s.ln, err = transport.ListenTCP("127.0.0.1:0"); err != nil {
 			tb.Fatal(err)
 		}
 	}
+	workers := -1
+	if s.shards > 0 {
+		workers = s.shards
+	}
 	s.mgr = server.NewManager(server.WithSpanTracer(s.tr))
-	s.svc = server.Serve(s.ln, s.mgr, server.WithWriterPool(-1), server.WithEventDispatch(-1))
+	s.svc = server.Serve(s.ln, s.mgr,
+		server.WithWriterPool(workers), server.WithEventDispatch(workers),
+		server.WithDispatchShards(s.shards))
 
 	s.eds = make([]*Editor, sites)
 	for i := range s.eds {
-		conn, err := transport.DialTCP(s.ln.Addr())
+		var conn transport.Conn
+		var err error
+		if s.poll {
+			conn, err = netpoll.DialTCP(s.ln.Addr(), netpoll.WithPoller(s.pl))
+		} else {
+			conn, err = transport.DialTCP(s.ln.Addr())
+		}
 		if err != nil {
 			tb.Fatalf("dial %d: %v", i, err)
 		}
@@ -81,6 +121,9 @@ func (s *e14Session) close() {
 	}
 	s.svc.Close()
 	s.mgr.Close()
+	if s.pl != nil {
+		_ = s.pl.Close()
+	}
 }
 
 // waitFinished spins until the tracer has completed `want` spans — i.e. every
@@ -229,6 +272,8 @@ func BenchmarkE14StageBreakdown(b *testing.B) {
 	s := startE14(b, sites)
 	ed := s.eds[0]
 
+	stealsBase := transport.DispatchSteals()
+	fanoutBase := transport.FanoutParallel()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ed.Insert(ed.Len(), "x"); err != nil {
@@ -255,4 +300,8 @@ func BenchmarkE14StageBreakdown(b *testing.B) {
 		b.ReportMetric(float64(h.Quantile(0.5)), "total_p50_ns")
 		b.ReportMetric(float64(h.Quantile(0.99)), "total_p99_ns")
 	}
+	// Sharded-scheduling activity: cross-shard ready-ring steals and
+	// parallel fan-outs per op (both 0 in the shards=1 reference layout).
+	b.ReportMetric(float64(transport.DispatchSteals()-stealsBase)/float64(b.N), "steals_per_op")
+	b.ReportMetric(float64(transport.FanoutParallel()-fanoutBase)/float64(b.N), "fanout_per_op")
 }

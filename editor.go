@@ -231,8 +231,11 @@ func (e *Editor) edit(gen func(*core.Client) (core.ClientMsg, error)) error {
 	// order — the FIFO property the clocks rely on. The queue never
 	// blocks, so the local path stays as fast as a single-user editor.
 	sendErr := e.snd.Enqueue(wire.ClientOp{From: m.From, TS: m.TS, Ref: m.Ref, Op: m.Op, Trace: ctx})
-	text := e.client.Text()
+	var text string
 	fn := e.onChange
+	if fn != nil {
+		text = e.client.Text()
+	}
 	e.mu.Unlock()
 
 	if fn != nil {
@@ -323,8 +326,12 @@ func (e *Editor) integrate(so wire.ServerOp) bool {
 	if err == nil {
 		e.transformSelection(res.Executed, false)
 		e.advanceRemoteSelections(res.Executed)
-		text = e.client.Text()
-		fn = e.onChange
+		// Materialize the document only when someone is listening: Text()
+		// walks the whole rope, and with no onChange registered that walk
+		// would dominate the integrate path at large documents.
+		if fn = e.onChange; fn != nil {
+			text = e.client.Text()
+		}
 	}
 	e.mu.Unlock()
 	if err != nil {

@@ -137,3 +137,46 @@ func (c *eventConn) file() int { return c.fd }
 func (c *eventConn) rogueStats() uint64 {
 	return c.partial // want "field partial is read plainly"
 }
+
+// --- sharded-ring idiom ---------------------------------------------------
+
+// workRing mirrors the §18 sharded ready ring: idle is the cross-shard
+// parked-worker count, bumped and read only through the typed atomic; the
+// per-shard wakeup slots are an array of typed atomics folded by index.
+type workRing struct {
+	idle   atomic.Int32
+	shards []int
+}
+
+// Producers consult idle atomically before scanning siblings.
+func (r *workRing) producerSkipsScan() bool { return r.idle.Load() == 0 }
+
+func (r *workRing) park()   { r.idle.Add(1) }
+func (r *workRing) unpark() { r.idle.Add(-1) }
+
+// Reading the parked count as a value copies it out from under the workers.
+func (r *workRing) rogueIdlePeek() {
+	_ = r.idle // want "atomic-typed value r.idle copied or read"
+}
+
+// Zeroing the count by assignment at close is the non-atomic reset: a worker
+// mid-park increments concurrently and the store tears.
+func (r *workRing) rogueCloseReset() {
+	r.idle = atomic.Int32{} // want "non-atomically"
+}
+
+// Per-shard wakeup counters: index folding (clamping an out-of-range shard
+// into the last slot) keeps every access a method call on an element.
+var shardWakeups [4]atomic.Uint64
+
+func recordShardWakeup(idx int) {
+	if idx >= len(shardWakeups) {
+		idx = len(shardWakeups) - 1
+	}
+	shardWakeups[idx].Add(1)
+}
+
+// Snapshotting the whole array by value copies every slot non-atomically.
+func rogueShardSnapshot() {
+	_ = shardWakeups // want "atomic-typed value shardWakeups copied or read"
+}

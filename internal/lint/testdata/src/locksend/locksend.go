@@ -131,3 +131,59 @@ func (n *notifier) resolveThenRecord() {
 	h.Record(1)
 	n.mu.Unlock()
 }
+
+// --- sharded ready ring (§18) ---------------------------------------------
+
+// ringShard mirrors one shard of the work-stealing ready ring: a mutex, a
+// condvar, and a queue of ready work.
+type ringShard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []wire.Msg
+}
+
+type shardedRing struct {
+	shards []ringShard
+}
+
+// pushSignalsUnderLock: the wake-token handoff — a targeted Signal under the
+// shard mutex is the §18 idiom and is not a blocking call.
+func (r *shardedRing) pushSignalsUnderLock(i int, m wire.Msg) {
+	sh := &r.shards[i]
+	sh.mu.Lock()
+	sh.q = append(sh.q, m)
+	sh.cond.Signal()
+	sh.mu.Unlock()
+}
+
+// drainHeld: servicing the popped item's connection while still holding the
+// shard lock stalls every producer and stealer behind one slow peer.
+func (r *shardedRing) drainHeld(n *notifier, i int) error {
+	sh := &r.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return n.conn.Send(sh.q[0]) // want "blocking transport.Send while sh.mu is held"
+}
+
+// stealScanPopsThenServices: the blessed §18 shape — hold at most one shard
+// lock at a time, pop under it, service the item outside every lock.
+func (r *shardedRing) stealScanPopsThenServices(n *notifier) error {
+	var m wire.Msg
+	ok := false
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		if len(sh.q) > 0 {
+			m, ok = sh.q[0], true
+			sh.q = sh.q[1:]
+		}
+		sh.mu.Unlock()
+		if ok {
+			break
+		}
+	}
+	if !ok {
+		return nil
+	}
+	return n.conn.Send(m)
+}

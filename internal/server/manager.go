@@ -41,11 +41,22 @@ type Manager struct {
 	// execute for sampled operations.
 	spans *span.Tracer
 
+	// fanoutThreshold is the destination count at which sessions scatter a
+	// broadcast's enqueues across the writer pool instead of looping
+	// serially (0 = transport.DefaultFanoutThreshold, < 0 = always
+	// serial). Shared by every session; Serve sets it from
+	// WithFanoutThreshold.
+	fanoutThreshold atomic.Int32
+
 	reg atomic.Value // registry
 
 	mu     sync.Mutex // serializes registry writes and Close
 	closed bool
 }
+
+// SetFanoutThreshold sets the parallel broadcast fan-out threshold for every
+// session (0 restores the default, negative disables parallel fan-out).
+func (m *Manager) SetFanoutThreshold(n int) { m.fanoutThreshold.Store(int32(n)) }
 
 // ManagerOption configures a Manager.
 type ManagerOption func(*Manager)
@@ -168,7 +179,7 @@ func (m *Manager) GetOrCreate(name string) (*Session, error) {
 	if s, ok := old[name]; ok { // lost the creation race
 		return s, nil
 	}
-	s := newSession(name, m.initial(name), m.queue, m.sessionChild(name), m.ring, m.spans, m.idleD, m.rehydrations, m.engine...)
+	s := newSession(name, m.initial(name), m.queue, m.sessionChild(name), m.ring, m.spans, m.idleD, m.rehydrations, &m.fanoutThreshold, m.engine...)
 	next := make(registry, len(old)+1)
 	for k, v := range old {
 		next[k] = v

@@ -62,6 +62,9 @@ func TestMetricsCatalog(t *testing.T) {
 		obs.CWireEncodes, obs.CWireOps,
 		obs.CSessionRehydrations,
 		obs.CPollerWakeups, obs.CPollerRearm, obs.CConnPartialReads,
+		obs.CDispatchSteals, obs.CFanoutParallel,
+		obs.CPollerShard0Wakeups, obs.CPollerShard1Wakeups,
+		obs.CPollerShard2Wakeups, obs.CPollerShard3Wakeups,
 	}
 	for ty := wire.TClientOp; ty <= wire.TOpBatch; ty++ {
 		wantRoot = append(wantRoot,
@@ -75,7 +78,7 @@ func TestMetricsCatalog(t *testing.T) {
 		obs.GSessionsResident, obs.GSessionsDehydrated,
 	})
 	assertNames(t, "root histograms", snap.Hists, []string{
-		obs.HQueueDepth, obs.HPollerEventsPerWait,
+		obs.HQueueDepth, obs.HPollerEventsPerWait, obs.HDispatchShardDepth,
 	})
 
 	if snap.Gauges[obs.GSessionsResident] != 1 || snap.Gauges[obs.GSessionsDehydrated] != 0 {

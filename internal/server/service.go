@@ -54,8 +54,10 @@ type Service struct {
 type ServeOption func(*serveConfig)
 
 type serveConfig struct {
-	writerPool    int
-	eventDispatch int
+	writerPool      int
+	eventDispatch   int
+	dispatchShards  int
+	fanoutThreshold int
 }
 
 // WithWriterPool drains all connections' outbound queues with a fixed pool
@@ -76,6 +78,23 @@ func WithEventDispatch(n int) ServeOption {
 	return func(c *serveConfig) { c.eventDispatch = n }
 }
 
+// WithDispatchShards splits the writer pool's and event dispatcher's ready
+// rings into n per-worker shards with work stealing (DESIGN.md §18). n == 0
+// keeps the default of one shard per worker; n == 1 is the single-ring §15
+// layout. Effective only with WithWriterPool / WithEventDispatch.
+func WithDispatchShards(n int) ServeOption {
+	return func(c *serveConfig) { c.dispatchShards = n }
+}
+
+// WithFanoutThreshold sets the destination count at which a session's
+// broadcast fan-out scatters its enqueues across the writer pool's shards
+// instead of looping serially (0 = transport.DefaultFanoutThreshold,
+// negative = always serial). The setting lands on the manager, shared by
+// every session it runs.
+func WithFanoutThreshold(n int) ServeOption {
+	return func(c *serveConfig) { c.fanoutThreshold = n }
+}
+
 // Serve starts accepting connections for mgr's sessions on ln and returns
 // immediately. The caller retains ownership of mgr (Close does not close it),
 // so one manager can serve several listeners.
@@ -86,10 +105,13 @@ func Serve(ln transport.Listener, mgr *Manager, opts ...ServeOption) *Service {
 	}
 	s := &Service{ln: ln, mgr: mgr, conns: make(map[transport.Conn]*transport.Sender)}
 	if cfg.writerPool != 0 {
-		s.pool = transport.NewWriterPool(cfg.writerPool)
+		s.pool = transport.NewWriterPool(cfg.writerPool, transport.WithShards(cfg.dispatchShards))
 	}
 	if cfg.eventDispatch != 0 {
-		s.disp = transport.NewDispatcher(cfg.eventDispatch, 0)
+		s.disp = transport.NewDispatcher(cfg.eventDispatch, 0, transport.WithShards(cfg.dispatchShards))
+	}
+	if cfg.fanoutThreshold != 0 {
+		mgr.SetFanoutThreshold(cfg.fanoutThreshold)
 	}
 	if reg := mgr.Registry(); reg != nil {
 		// Live connection-queue metrics for /metricz. One gauge per manager:
@@ -415,6 +437,7 @@ func (s *Service) admitMsg(conn transport.Conn, m wire.Msg) (*Session, int, bool
 		DeliverBroadcast: func(bc *wire.Broadcast, to int, ts core.Timestamp) {
 			_ = snd.EnqueueBroadcast(bc, to, ts)
 		},
+		FanoutSender: snd,
 		Presence: func(o core.PresenceOut) {
 			_ = snd.Enqueue(wire.ServerPresence{
 				To: o.To, From: o.From, Anchor: o.Anchor, Head: o.Head, Active: o.Active,

@@ -15,12 +15,14 @@ package server
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -47,6 +49,13 @@ type Subscriber struct {
 	// Release it after the bytes are written. Network transports set this;
 	// in-process consumers keep the simpler Deliver.
 	DeliverBroadcast func(bc *wire.Broadcast, to int, ts core.Timestamp)
+	// FanoutSender, when non-nil alongside DeliverBroadcast, lets the
+	// session batch this destination into a parallel fan-out across the
+	// writer pool's shards (transport.FanoutScratch, DESIGN.md §18)
+	// instead of invoking DeliverBroadcast serially. The enqueue semantics
+	// are identical — one retained reference per destination, consumed by
+	// EnqueueBroadcast — only the goroutine doing the enqueue may differ.
+	FanoutSender *transport.Sender
 	// Presence, when non-nil, receives relayed presence reports.
 	Presence func(core.PresenceOut)
 	// Admitted, when non-nil, is called with the join snapshot after the
@@ -151,6 +160,13 @@ type Session struct {
 	// broadcast enqueue) of sampled operations.
 	spans *span.Tracer
 
+	// fanoutT, when non-nil, is the manager's shared fan-out threshold
+	// (0 = transport.DefaultFanoutThreshold, < 0 = always serial); fanout
+	// is the actor-owned scratch that scatters broadcast enqueues across
+	// the writer pool's shards when destinations opt in via FanoutSender.
+	fanoutT *atomic.Int32
+	fanout  transport.FanoutScratch
+
 	// Engine state below is owned by the session goroutine exclusively
 	// (srv is nil while parked; subs survives parking untouched).
 	srv      *core.Server
@@ -164,7 +180,7 @@ type Session struct {
 // into it (trace.MetricsOn), receive latency lands in its receive.ns
 // histogram, and live size gauges are registered on it. ring, when non-nil,
 // streams the engine's causality decisions under the session's name.
-func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, idleD time.Duration, rehydrations *obs.Counter, opts ...core.ServerOption) *Session {
+func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.DecisionRing, spans *span.Tracer, idleD time.Duration, rehydrations *obs.Counter, fanoutT *atomic.Int32, opts ...core.ServerOption) *Session {
 	if child != nil {
 		opts = append(opts[:len(opts):len(opts)], core.WithServerMetrics(trace.MetricsOn(child)))
 	}
@@ -184,6 +200,7 @@ func newSession(name, initial string, queue int, child *obs.Registry, ring *obs.
 		engineOpts:   opts,
 		rehydrations: rehydrations,
 		spans:        spans,
+		fanoutT:      fanoutT,
 		srv:          core.NewServer(initial, opts...),
 		subs:         make(map[int]*Subscriber),
 		nextSite:     1,
@@ -547,13 +564,26 @@ func (s *Session) Receive(m core.ClientMsg) error {
 					}
 					bc.Trace = bm.Trace
 				}
+				if dst.FanoutSender != nil {
+					// Batched: the scratch Retains per destination itself
+					// when it scatters (or walks) the list below.
+					s.fanout.Add(dst.FanoutSender, bm.To, bm.TS)
+					continue
+				}
 				bc.Retain()
 				dst.DeliverBroadcast(bc, bm.To, bm.TS)
 			case dst.Deliver != nil:
 				dst.Deliver(bm)
 			}
 		}
-		if bc != nil {
+		if s.fanout.Len() > 0 {
+			thr := 0
+			if s.fanoutT != nil {
+				thr = int(s.fanoutT.Load())
+			}
+			s.fanout.Broadcast(bc, thr) // consumes bc
+			s.fanout.Reset()
+		} else if bc != nil {
 			bc.Release()
 		}
 		s.spans.Stamp(m.Trace, span.StageBcastEnqueue)

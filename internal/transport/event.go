@@ -1,14 +1,11 @@
 package transport
 
 import (
-	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
-
-// defaultWorkers sizes a dispatcher or pool at one worker per CPU.
-func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // EventConn is a Conn whose inbound side can be drained without parking a
 // goroutine in Recv. SetReadable registers a wake callback; TryRecv pulls
@@ -37,17 +34,20 @@ type EventConn interface {
 // the reader half of the goroutine-lean connection layer (WriterPool is the
 // writer half). An idle connection costs one dispatchConn record and zero
 // goroutines; when a message is delivered the conn's readable callback
-// places it on a ready ring, a worker pops it and steps the connection's
-// per-message handler until the inbound queue is empty or a fairness burst
-// is used up. The sched bit guarantees at most one worker drains a given
-// conn at a time, preserving the Conn contract that Recv (here TryRecv) has
-// a single caller, and therefore per-connection FIFO handling.
+// places it on its sticky shard of the ready ring (workRing, DESIGN.md
+// §18), a worker pops it — its home worker usually, an idle sibling via
+// stealing under imbalance — and steps the connection's per-message handler
+// until the inbound queue is empty or a fairness burst is used up. The
+// sched bit guarantees at most one worker drains a given conn at a time,
+// preserving the Conn contract that Recv (here TryRecv) has a single
+// caller, and therefore per-connection FIFO handling — independent of which
+// shard or worker the turn lands on.
 type Dispatcher struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	ring   []*dispatchConn // circular: ring[head..head+n) are ready
-	head   int
-	n      int
+	ring *workRing[*dispatchConn]
+	// assign hands out sticky shards round-robin as conns register.
+	assign atomic.Uint32
+
+	mu     sync.Mutex // guards conns + closed (registration table only)
 	closed bool
 	conns  map[*dispatchConn]struct{}
 
@@ -61,6 +61,7 @@ type dispatchConn struct {
 	ec     EventConn
 	handle func(wire.Msg) bool // false = connection is finished
 	finish func()              // invoked exactly once when the conn retires
+	shard  int                 // sticky ready-ring shard
 
 	mu      sync.Mutex
 	sched   bool // on the ready ring or being drained by a worker
@@ -68,25 +69,37 @@ type dispatchConn struct {
 	dead    bool
 }
 
+// service lets a dispatchConn ride the workRing directly in tests; workers
+// normally call drain via their pop loop.
+func (dc *dispatchConn) service() { dc.drain() }
+
 // NewDispatcher starts workers dispatch goroutines (GOMAXPROCS when
 // workers <= 0). burst caps the messages drained from one connection per
-// worker turn before it rotates to the back of the ring (default 32 when
-// <= 0).
-func NewDispatcher(workers, burst int) *Dispatcher {
+// worker turn before it rotates to the back of its shard (default 32 when
+// <= 0). The ready ring defaults to one shard per worker; WithShards
+// overrides (1 = the single-ring §15 layout).
+func NewDispatcher(workers, burst int, opts ...RingOption) *Dispatcher {
 	if burst <= 0 {
 		burst = 32
 	}
-	d := &Dispatcher{burst: burst, conns: make(map[*dispatchConn]struct{})}
-	d.cond = sync.NewCond(&d.mu)
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
+	cfg := buildRingConfig(opts)
+	d := &Dispatcher{
+		burst: burst,
+		conns: make(map[*dispatchConn]struct{}),
+		ring:  newWorkRing[*dispatchConn](cfg.shards, workers),
+	}
 	d.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go d.worker()
+		go d.worker(i % d.ring.size())
 	}
 	return d
 }
+
+// Shards returns the ready-ring shard count.
+func (d *Dispatcher) Shards() int { return d.ring.size() }
 
 // Add registers ec: handle is stepped once per inbound message on a worker
 // goroutine (never concurrently for the same conn, in delivery order);
@@ -97,6 +110,7 @@ func NewDispatcher(workers, burst int) *Dispatcher {
 // back to a dedicated reader or close the conn).
 func (d *Dispatcher) Add(ec EventConn, handle func(wire.Msg) bool, finish func()) bool {
 	dc := &dispatchConn{d: d, ec: ec, handle: handle, finish: finish}
+	dc.shard = int(d.assign.Add(1)-1) % d.ring.size()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -112,7 +126,8 @@ func (d *Dispatcher) Add(ec EventConn, handle func(wire.Msg) bool, finish func()
 
 // notify is the readable callback: mark pending and schedule the conn if no
 // worker has it. Runs on the delivering goroutine (a pool writer, a session
-// actor, or a closer) and must stay non-blocking: ring push + signal.
+// actor, a poller shard, or a closer) and must stay non-blocking: shard push
+// + targeted signal.
 func (dc *dispatchConn) notify() {
 	dc.mu.Lock()
 	if dc.dead {
@@ -128,58 +143,23 @@ func (dc *dispatchConn) notify() {
 	}
 }
 
-// ready places dc at the back of the ready ring. On a closed dispatcher the
-// conn is retired instead — its finish hook still runs, so teardown never
-// strands a session registration.
+// ready places dc at the back of its sticky shard. On a closed dispatcher
+// the conn is retired instead — its finish hook still runs, so teardown
+// never strands a session registration.
 func (d *Dispatcher) ready(dc *dispatchConn) {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	depth, ok := d.ring.push(dc.shard, dc)
+	if !ok {
 		dc.retire()
 		return
 	}
-	d.push(dc)
-	d.cond.Signal()
-	d.mu.Unlock()
+	recordShardDepth(depth)
 }
 
-// push appends dc at the tail of the circular ring, doubling when full.
-// Called with d.mu held.
-func (d *Dispatcher) push(dc *dispatchConn) {
-	if d.n == len(d.ring) {
-		grown := make([]*dispatchConn, maxInt(8, 2*len(d.ring)))
-		for i := 0; i < d.n; i++ {
-			grown[i] = d.ring[(d.head+i)%len(d.ring)]
-		}
-		d.ring, d.head = grown, 0
-	}
-	d.ring[(d.head+d.n)%len(d.ring)] = dc
-	d.n++
-}
-
-// pop removes and returns the head of the ring (nil when empty). Called
-// with d.mu held.
-func (d *Dispatcher) pop() *dispatchConn {
-	if d.n == 0 {
-		return nil
-	}
-	dc := d.ring[d.head]
-	d.ring[d.head] = nil
-	d.head = (d.head + 1) % len(d.ring)
-	d.n--
-	return dc
-}
-
-func (d *Dispatcher) worker() {
+func (d *Dispatcher) worker(home int) {
 	defer d.wg.Done()
 	for {
-		d.mu.Lock()
-		for d.n == 0 && !d.closed {
-			d.cond.Wait()
-		}
-		dc := d.pop()
-		d.mu.Unlock()
-		if dc == nil {
+		dc, ok := d.ring.next(home)
+		if !ok {
 			return // closed and drained
 		}
 		dc.drain()
@@ -211,7 +191,7 @@ func (dc *dispatchConn) drain() {
 			dc.mu.Lock()
 			if dc.pending {
 				// A delivery raced the empty read: keep sched and take
-				// another turn from the back of the ring.
+				// another turn from the back of the shard.
 				dc.mu.Unlock()
 				dc.d.ready(dc)
 				return
@@ -257,6 +237,11 @@ func (d *Dispatcher) Len() int {
 	return len(d.conns)
 }
 
+// QueueLen returns the number of scheduled conns waiting across all ring
+// shards (aggregated, not per-shard — Len and QueueLen must stay meaningful
+// whatever the shard count).
+func (d *Dispatcher) QueueLen() int { return d.ring.queued() }
+
 // Close stops the workers and retires every registered connection (running
 // their finish hooks). Messages already queued on a conn are dropped —
 // Close is teardown, not drain.
@@ -267,12 +252,12 @@ func (d *Dispatcher) Close() {
 		return
 	}
 	d.closed = true
-	d.cond.Broadcast()
 	remaining := make([]*dispatchConn, 0, len(d.conns))
 	for dc := range d.conns {
 		remaining = append(remaining, dc)
 	}
 	d.mu.Unlock()
+	d.ring.close()
 	d.wg.Wait()
 	for _, dc := range remaining {
 		dc.retire()

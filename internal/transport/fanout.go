@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// DefaultFanoutThreshold is the destination count below which a broadcast
+// fan-out stays serial: scattering a handful of enqueues across workers
+// costs more in chunk setup and wakeups than the loop it replaces.
+const DefaultFanoutThreshold = 16
+
+// FanoutDest is one destination of an encode-once broadcast fan-out: the
+// destination's pooled sender plus the (to, ts) pair its TOp frame header
+// carries.
+type FanoutDest struct {
+	S  *Sender
+	To int
+	TS core.Timestamp
+}
+
+// FanoutScratch accumulates one broadcast's destination list and scatters
+// the EnqueueBroadcast calls across the writer pool's shards (DESIGN.md
+// §18). The serial fan-out loops it replaces (repro receive, server
+// session.Receive) walk 127 destinations one EnqueueBroadcast at a time on
+// the hot actor goroutine — each taking a sender mutex and possibly a ring
+// push — while pool workers sit idle. Broadcast splits the list into
+// per-shard chunks, pushes each chunk onto its shard of the ready ring, and
+// helps service them from the calling goroutine, so enqueue work proceeds
+// in parallel with per-sender FIFO intact (the call is synchronous: every
+// destination has op K enqueued before the caller can fan out op K+1).
+//
+// A scratch is single-owner (one session actor / one notifier loop) and
+// reusable: Reset, Add destinations, Broadcast.
+type FanoutScratch struct {
+	dests  []FanoutDest
+	sorted []FanoutDest // counting-sort output, grouped by shard
+	counts []int        // per-shard destination counts
+}
+
+// Reset clears the destination list for the next broadcast, dropping sender
+// pointers so departed connections are not pinned against the GC.
+func (f *FanoutScratch) Reset() {
+	for i := range f.dests {
+		f.dests[i] = FanoutDest{}
+	}
+	f.dests = f.dests[:0]
+}
+
+// Add appends one destination.
+func (f *FanoutScratch) Add(s *Sender, to int, ts core.Timestamp) {
+	f.dests = append(f.dests, FanoutDest{S: s, To: to, TS: ts})
+}
+
+// Len returns the number of destinations added since the last Reset.
+func (f *FanoutScratch) Len() int { return len(f.dests) }
+
+// Broadcast enqueues bc toward every added destination, in parallel across
+// the writer pool's ring shards when that pays (serial otherwise — see
+// below). Each destination consumes one reference exactly as in the serial
+// loop: Retain before EnqueueBroadcast, which Releases on refusal.
+// Broadcast consumes the caller's reference — the module-wide handoff
+// convention — so the caller must not Release bc afterwards.
+//
+// The parallel path requires every destination to share one pooled sender
+// pool with more than one shard and at least threshold destinations
+// (DefaultFanoutThreshold when 0; < 0 forces serial); anything else —
+// dedicated-mode senders, mixed pools, a single-shard ring, a small
+// fan-out — runs the plain loop, byte-identical to the pre-§18 behavior.
+func (f *FanoutScratch) Broadcast(bc *wire.Broadcast, threshold int) {
+	if threshold < 0 {
+		f.serial(bc)
+		return
+	}
+	if threshold == 0 {
+		threshold = DefaultFanoutThreshold
+	}
+	pool := f.commonPool()
+	if pool == nil || pool.Shards() <= 1 || len(f.dests) < threshold {
+		f.serial(bc)
+		return
+	}
+	f.parallel(bc, pool)
+}
+
+// commonPool returns the writer pool shared by every destination, or nil if
+// destinations are dedicated-mode or attached to different pools.
+func (f *FanoutScratch) commonPool() *WriterPool {
+	if len(f.dests) == 0 {
+		return nil
+	}
+	pool := f.dests[0].S.pool
+	if pool == nil {
+		return nil
+	}
+	for i := 1; i < len(f.dests); i++ {
+		if f.dests[i].S.pool != pool {
+			return nil
+		}
+	}
+	return pool
+}
+
+// serial is the reference fan-out loop: one Retain + EnqueueBroadcast per
+// destination on the calling goroutine, then the handed-in reference is
+// dropped.
+func (f *FanoutScratch) serial(bc *wire.Broadcast) {
+	for i := range f.dests {
+		d := &f.dests[i]
+		bc.Retain()
+		_ = d.S.EnqueueBroadcast(bc, d.To, d.TS)
+	}
+	bc.Release()
+}
+
+// fanoutChunk is one shard's slice of a parallel fan-out, pushed onto that
+// shard's ready ring as a poolTask. The claim CAS makes the chunk
+// exactly-once under the race between a pool worker popping it and the
+// broadcasting goroutine helping: the loser returns without touching the
+// destination slice, so a stale ring entry popped after Broadcast returned
+// (when the scratch's sorted buffer may already hold the next fan-out) is
+// harmless. Chunks are allocated per call for exactly that reason.
+type fanoutChunk struct {
+	bc    *wire.Broadcast
+	dests []FanoutDest
+	wg    *sync.WaitGroup
+	shard int
+	claim atomic.Uint32
+}
+
+// service claims and runs the chunk: one Retain + EnqueueBroadcast per
+// destination (poolTask).
+func (c *fanoutChunk) service() {
+	if !c.claim.CompareAndSwap(0, 1) {
+		return
+	}
+	for i := range c.dests {
+		d := &c.dests[i]
+		c.bc.Retain()
+		_ = d.S.EnqueueBroadcast(c.bc, d.To, d.TS)
+	}
+	c.wg.Done()
+}
+
+// parallel counting-sorts the destinations by sticky shard, scatters one
+// chunk per non-empty shard onto the pool's ready ring, then helps drain
+// the chunks itself and waits. The caller-help loop guarantees progress
+// even when every pool worker is wedged behind a slow peer's write, so
+// Broadcast never deadlocks against the pool it feeds.
+func (f *FanoutScratch) parallel(bc *wire.Broadcast, pool *WriterPool) {
+	fanoutParallel.Add(1)
+	shards := pool.Shards()
+	if cap(f.counts) < shards {
+		f.counts = make([]int, shards)
+	}
+	f.counts = f.counts[:shards]
+	for i := range f.counts {
+		f.counts[i] = 0
+	}
+	for i := range f.dests {
+		f.counts[f.dests[i].S.shard]++
+	}
+	if cap(f.sorted) < len(f.dests) {
+		f.sorted = make([]FanoutDest, len(f.dests))
+	}
+	f.sorted = f.sorted[:len(f.dests)]
+	// counts become start offsets as destinations are placed.
+	start, nonEmpty := 0, 0
+	for s := 0; s < shards; s++ {
+		n := f.counts[s]
+		f.counts[s] = start
+		start += n
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	for i := range f.dests {
+		s := f.dests[i].S.shard
+		f.sorted[f.counts[s]] = f.dests[i]
+		f.counts[s]++
+	}
+	// f.counts[s] is now the END offset of shard s's group.
+	var wg sync.WaitGroup
+	wg.Add(nonEmpty)
+	chunks := make([]fanoutChunk, 0, nonEmpty)
+	start = 0
+	for s := 0; s < shards; s++ {
+		end := f.counts[s]
+		if end == start {
+			continue
+		}
+		chunks = append(chunks, fanoutChunk{bc: bc, dests: f.sorted[start:end], wg: &wg, shard: s})
+		start = end
+	}
+	for i := range chunks {
+		pool.ready(&chunks[i], chunks[i].shard)
+	}
+	for i := range chunks {
+		chunks[i].service()
+	}
+	wg.Wait()
+	// Every chunk has done its per-destination Retains; drop the handed-in
+	// reference and unpin the sorted scratch from the GC.
+	bc.Release()
+	for i := range f.sorted {
+		f.sorted[i] = FanoutDest{}
+	}
+}

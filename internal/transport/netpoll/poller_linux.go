@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -29,18 +30,44 @@ const (
 	writeEvents = readEvents | uint32(syscall.EPOLLOUT)
 )
 
+// spinRounds is how many zero-timeout re-polls (each followed by a Gosched)
+// a shard loop runs after a wakeup that carried events before parking back
+// into the runtime netpoller. Parking is cheap but waking is not: on a
+// saturated GOMAXPROCS=1 box the runtime skips netpoll while its run queue
+// is non-empty, and only sysmon forces one every ~10ms — so a parked poller
+// under load sees readiness at sysmon latency, quantizing every TCP hop at
+// ~10ms (the poll_wake tail E14 measured). A recently-busy shard therefore
+// stays runnable for a bounded number of scheduler round-trips, discovering
+// new events at run-queue latency; a genuinely idle shard exhausts the
+// budget and parks, costing zero CPU.
+const spinRounds = 64
+
 // Available reports whether this platform has a readiness poller.
 func Available() bool { return true }
 
-// Poller owns one epoll instance and the single goroutine that drains it.
-// Registered connections cost no goroutines: their read-side edges are
-// forwarded to the readable callback (feeding a transport.Dispatcher's ready
-// ring) and their write-side edges to the pending-flush path. Everything is
-// raw syscall — no cgo, no dependencies — and edge-triggered, so the kernel
-// notifies once per readiness transition and the wait set stays O(1) per
-// event regardless of how many tens of thousands of idle connections are
-// registered.
+// Poller owns N epoll instances ("shards"), each drained by its own
+// goroutine. Registered connections cost no goroutines: their read-side
+// edges are forwarded to the readable callback (feeding a
+// transport.Dispatcher's ready ring) and their write-side edges to the
+// pending-flush path. Everything is raw syscall — no cgo, no dependencies —
+// and edge-triggered, so the kernel notifies once per readiness transition
+// and the wait set stays O(1) per event regardless of how many tens of
+// thousands of idle connections are registered.
+//
+// Sharding (DESIGN.md §18) bounds the batch a single hot edge can queue
+// behind: with one instance, 128 simultaneously-readable connections are
+// serviced by one goroutine in one pass; with N instances, connections are
+// assigned round-robin at registration and N loops forward their shares
+// independently.
 type Poller struct {
+	shards []*pollShard
+	// next hands out shard assignments round-robin as conns register.
+	next atomic.Uint32
+}
+
+// pollShard is one epoll instance and the goroutine that drains it.
+type pollShard struct {
+	idx  int
 	epfd int
 	// epf wraps epfd so the loop can park in the runtime netpoller instead
 	// of blocking an OS thread inside epoll_wait. A raw blocking wait holds
@@ -61,47 +88,88 @@ type Poller struct {
 	done chan struct{}
 }
 
-// NewPoller creates a poller with its own epoll instance and event loop.
-// Most callers want the shared Default instead; tests create private
-// pollers so Close tears the loop down deterministically.
-func NewPoller() (*Poller, error) {
+// DefaultPollerShards is the default epoll shard count:
+// min(GOMAXPROCS, 4). More shards than CPUs cannot run concurrently, and
+// beyond 4 the per-shard goroutine overhead outgrows the batching win.
+func DefaultPollerShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewPoller creates a poller with its own epoll shard set and event loops
+// (shard count from WithPollerShards, default DefaultPollerShards). Most
+// callers want the shared Default instead; tests create private pollers so
+// Close tears the loops down deterministically.
+func NewPoller(opts ...Option) (*Poller, error) {
+	cfg := buildConfig(opts)
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = DefaultPollerShards()
+	}
+	p := &Poller{shards: make([]*pollShard, 0, shards)}
+	for i := 0; i < shards; i++ {
+		sh, err := newPollShard(i)
+		if err != nil {
+			_ = p.Close()
+			return nil, err
+		}
+		p.shards = append(p.shards, sh)
+	}
+	return p, nil
+}
+
+// Shards returns the number of epoll instances this poller runs.
+func (p *Poller) Shards() int { return len(p.shards) }
+
+// pick assigns the next connection's shard (round-robin).
+func (p *Poller) pick() *pollShard {
+	return p.shards[int(p.next.Add(1)-1)%len(p.shards)]
+}
+
+func newPollShard(idx int) (*pollShard, error) {
 	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
 	if err != nil {
 		return nil, os.NewSyscallError("epoll_create1", err)
 	}
-	p := &Poller{epfd: epfd, conns: make(map[int32]*pollConn), done: make(chan struct{})}
-	if err := syscall.Pipe2(p.wake[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+	sh := &pollShard{idx: idx, epfd: epfd, conns: make(map[int32]*pollConn), done: make(chan struct{})}
+	if err := syscall.Pipe2(sh.wake[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
 		_ = syscall.Close(epfd)
 		return nil, os.NewSyscallError("pipe2", err)
 	}
 	// The wake pipe stays level-triggered: it only ever carries the close
 	// signal and must not be lost to an edge raced by a spurious wakeup.
-	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(p.wake[0])}
-	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wake[0], &ev); err != nil {
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(sh.wake[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, sh.wake[0], &ev); err != nil {
 		_ = syscall.Close(epfd)
-		_ = syscall.Close(p.wake[0])
-		_ = syscall.Close(p.wake[1])
+		_ = syscall.Close(sh.wake[0])
+		_ = syscall.Close(sh.wake[1])
 		return nil, os.NewSyscallError("epoll_ctl", err)
 	}
 	// Nonblocking BEFORE os.NewFile: that is what makes the runtime register
 	// the fd with its own netpoller (see newFile's pollable check).
 	if err := syscall.SetNonblock(epfd, true); err != nil {
 		_ = syscall.Close(epfd)
-		_ = syscall.Close(p.wake[0])
-		_ = syscall.Close(p.wake[1])
+		_ = syscall.Close(sh.wake[0])
+		_ = syscall.Close(sh.wake[1])
 		return nil, os.NewSyscallError("setnonblock", err)
 	}
-	p.epf = os.NewFile(uintptr(epfd), "epoll")
-	rc, err := p.epf.SyscallConn()
+	sh.epf = os.NewFile(uintptr(epfd), "epoll")
+	rc, err := sh.epf.SyscallConn()
 	if err != nil {
-		_ = p.epf.Close() // owns epfd now
-		_ = syscall.Close(p.wake[0])
-		_ = syscall.Close(p.wake[1])
+		_ = sh.epf.Close() // owns epfd now
+		_ = syscall.Close(sh.wake[0])
+		_ = syscall.Close(sh.wake[1])
 		return nil, err
 	}
-	p.eprc = rc
-	go p.loop()
-	return p, nil
+	sh.eprc = rc
+	go sh.loop()
+	return sh, nil
 }
 
 var (
@@ -111,30 +179,33 @@ var (
 )
 
 // Default returns the process-wide poller, created on first use and never
-// closed — the epoll fd and its goroutine are process-lifetime fixtures,
+// closed — the epoll fds and their goroutines are process-lifetime fixtures,
 // like the runtime's own netpoller.
 func Default() (*Poller, error) {
 	defaultOnce.Do(func() { defaultP, defaultErr = NewPoller() })
 	return defaultP, defaultErr
 }
 
-// loop is the poller goroutine: wait, then forward each event to its
+// loop is one shard's goroutine: wait, then forward each event to its
 // connection. It holds no locks across callbacks beyond the conn-table
 // lookup, and the event slice is its only allocation, made once.
 //
-// The wait itself is two-level: RawConn.Read parks this goroutine in the
-// runtime netpoller until the epoll fd reports readable (it has pending
-// events), and the callback drains them with a zero-timeout epoll_wait.
-// The callback always polls before parking, so a batch larger than the
-// events slice is picked up on the next iteration without needing a fresh
-// readiness edge.
-func (p *Poller) loop() {
-	defer close(p.done)
-	// The wait closure is built once: it, the event slice, and n are the
-	// loop's only allocations, paid per poller rather than per wakeup.
+// The wait is three-level. While the shard was recently busy it re-polls
+// with a zero-timeout epoll_wait between Gosched yields (see spinRounds) —
+// readiness then surfaces at run-queue latency even when the runtime
+// netpoller is starved by a saturated run queue. After the spin budget, the
+// RawConn.Read parks this goroutine in the runtime netpoller until the
+// epoll fd itself reports readable, and the callback drains it with the
+// same zero-timeout wait. The callback always polls before parking, so a
+// batch larger than the events slice is picked up on the next iteration
+// without needing a fresh readiness edge.
+func (sh *pollShard) loop() {
+	defer close(sh.done)
+	// The wait closures are built once: they, the event slice, and n are
+	// the loop's only allocations, paid per shard rather than per wakeup.
 	events := make([]syscall.EpollEvent, 128)
 	n := 0
-	wait := func(fd uintptr) bool {
+	poll := func(fd uintptr) bool {
 		for {
 			var err error
 			n, err = syscall.EpollWait(int(fd), events, 0)
@@ -148,96 +219,132 @@ func (p *Poller) loop() {
 			return n > 0 // no events: park until the epoll fd is readable
 		}
 	}
+	epfd := uintptr(sh.epfd)
+	spin := 0
 	for {
-		if p.eprc.Read(wait) != nil || n < 0 {
+		if spin > 0 {
+			spin--
+			if poll(epfd); n < 0 {
+				return
+			}
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+		} else if sh.eprc.Read(poll) != nil || n < 0 {
 			return
 		}
 		wakeups.Add(1)
+		shardWakeup(sh.idx)
 		if h := eventsHist.Load(); h != nil {
 			h.RecordInt(n)
 		}
+		// Read-side edges first, pending-flush second: inbound ops start
+		// their dispatch before this batch's outbound backlog is drained,
+		// so a stalled writer never adds to arrival latency.
 		for i := 0; i < n; i++ {
 			fd, evs := events[i].Fd, events[i].Events
-			if int(fd) == p.wake[0] {
-				if p.drainWake() {
+			if int(fd) == sh.wake[0] {
+				if sh.drainWake() {
 					return
 				}
 				continue
 			}
-			p.mu.Lock()
-			pc := p.conns[fd]
-			p.mu.Unlock()
-			if pc == nil {
-				continue // deregistered while the event was in flight
+			if evs&(uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP|syscall.EPOLLERR|syscall.EPOLLHUP)) == 0 {
+				continue
 			}
-			if evs&uint32(syscall.EPOLLOUT) != 0 {
-				pc.flushPending()
-			}
-			if evs&(uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP|syscall.EPOLLERR|syscall.EPOLLHUP)) != 0 {
+			if pc := sh.lookup(fd); pc != nil {
 				pc.onReadable()
 			}
 		}
+		for i := 0; i < n; i++ {
+			if events[i].Events&uint32(syscall.EPOLLOUT) == 0 {
+				continue
+			}
+			if pc := sh.lookup(events[i].Fd); pc != nil {
+				pc.flushPending()
+			}
+		}
+		spin = spinRounds
 	}
+}
+
+// lookup resolves an event's fd to its connection (nil when it was
+// deregistered while the event was in flight).
+func (sh *pollShard) lookup(fd int32) *pollConn {
+	sh.mu.Lock()
+	pc := sh.conns[fd]
+	sh.mu.Unlock()
+	return pc
 }
 
 // drainWake empties the self-pipe and reports whether Close asked the loop
 // to exit.
-func (p *Poller) drainWake() bool {
+func (sh *pollShard) drainWake() bool {
 	var buf [16]byte
 	for {
-		if n, err := syscall.Read(p.wake[0], buf[:]); n <= 0 || err != nil {
+		if n, err := syscall.Read(sh.wake[0], buf[:]); n <= 0 || err != nil {
 			break
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.closed
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.closed
 }
 
-// Close stops the event loop and closes every registered connection, which
-// surfaces transport.ErrClosed through their Recv/TryRecv paths and so
-// retires them from any dispatcher. Only test-owned pollers are closed; see
-// Default.
+// Close stops every shard's event loop and closes every registered
+// connection, which surfaces transport.ErrClosed through their Recv/TryRecv
+// paths and so retires them from any dispatcher. Only test-owned pollers are
+// closed; see Default.
 func (p *Poller) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil
+	for _, sh := range p.shards {
+		if sh != nil {
+			sh.close()
+		}
 	}
-	p.closed = true
-	p.mu.Unlock()
-	one := [1]byte{1}
-	_, _ = syscall.Write(p.wake[1], one[:])
-	<-p.done
-	p.mu.Lock()
-	conns := make([]*pollConn, 0, len(p.conns))
-	for _, pc := range p.conns {
-		conns = append(conns, pc)
-	}
-	p.mu.Unlock()
-	for _, pc := range conns {
-		_ = pc.Close()
-	}
-	_ = p.epf.Close() // owns epfd
-	_ = syscall.Close(p.wake[0])
-	_ = syscall.Close(p.wake[1])
 	return nil
 }
 
-// add registers pc's fd with the epoll instance under the read interest set.
-func (p *Poller) add(pc *pollConn) error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+func (sh *pollShard) close() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.closed = true
+	sh.mu.Unlock()
+	one := [1]byte{1}
+	_, _ = syscall.Write(sh.wake[1], one[:])
+	<-sh.done
+	sh.mu.Lock()
+	conns := make([]*pollConn, 0, len(sh.conns))
+	for _, pc := range sh.conns {
+		conns = append(conns, pc)
+	}
+	sh.mu.Unlock()
+	for _, pc := range conns {
+		_ = pc.Close()
+	}
+	_ = sh.epf.Close() // owns epfd
+	_ = syscall.Close(sh.wake[0])
+	_ = syscall.Close(sh.wake[1])
+}
+
+// add registers pc's fd with the shard's epoll instance under the read
+// interest set.
+func (sh *pollShard) add(pc *pollConn) error {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return transport.ErrClosed
 	}
-	p.conns[int32(pc.fd)] = pc
-	p.mu.Unlock()
+	sh.conns[int32(pc.fd)] = pc
+	sh.mu.Unlock()
 	ev := syscall.EpollEvent{Events: readEvents, Fd: int32(pc.fd)}
-	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, pc.fd, &ev); err != nil {
-		p.mu.Lock()
-		delete(p.conns, int32(pc.fd))
-		p.mu.Unlock()
+	if err := syscall.EpollCtl(sh.epfd, syscall.EPOLL_CTL_ADD, pc.fd, &ev); err != nil {
+		sh.mu.Lock()
+		delete(sh.conns, int32(pc.fd))
+		sh.mu.Unlock()
 		return os.NewSyscallError("epoll_ctl", err)
 	}
 	return nil
@@ -247,20 +354,20 @@ func (p *Poller) add(pc *pollConn) error {
 // complete before pc's fd is closed: the kernel reuses fd numbers, and a
 // stale table entry would route a future connection's events to this dead
 // one.
-func (p *Poller) deregister(pc *pollConn) {
-	p.mu.Lock()
-	delete(p.conns, int32(pc.fd))
-	p.mu.Unlock()
-	_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, pc.fd, nil)
+func (sh *pollShard) deregister(pc *pollConn) {
+	sh.mu.Lock()
+	delete(sh.conns, int32(pc.fd))
+	sh.mu.Unlock()
+	_ = syscall.EpollCtl(sh.epfd, syscall.EPOLL_CTL_DEL, pc.fd, nil)
 }
 
 // mod swaps pc's interest set (read-only ↔ read+write). With edge
 // triggering, EPOLL_CTL_MOD also re-checks readiness: if the socket is
 // already writable when EPOLLOUT is armed, an event fires immediately, so
 // the arm-after-EAGAIN window loses no edge.
-func (p *Poller) mod(pc *pollConn, events uint32) error {
+func (sh *pollShard) mod(pc *pollConn, events uint32) error {
 	ev := syscall.EpollEvent{Events: events, Fd: int32(pc.fd)}
-	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, pc.fd, &ev); err != nil {
+	if err := syscall.EpollCtl(sh.epfd, syscall.EPOLL_CTL_MOD, pc.fd, &ev); err != nil {
 		return os.NewSyscallError("epoll_ctl", err)
 	}
 	return nil
@@ -269,10 +376,10 @@ func (p *Poller) mod(pc *pollConn, events uint32) error {
 // pollConn is a poller-owned TCP connection: transport.EventConn on the read
 // side (non-blocking reads through a frameBuf), transport.FrameConn on the
 // write side (short writes park on wpend and re-arm EPOLLOUT). It holds zero
-// goroutines; the poller goroutine and the caller's dispatcher/writer-pool
+// goroutines; the shard goroutine and the caller's dispatcher/writer-pool
 // workers do all the work.
 type pollConn struct {
-	p     *Poller
+	sh    *pollShard
 	f     *os.File // keeps the dup'd descriptor alive against the finalizer
 	fd    int
 	chunk int
@@ -303,7 +410,8 @@ var (
 )
 
 // newPollConn takes ownership of tc: dup the fd out of the runtime's
-// netpoller, close the original, and register the dup with p.
+// netpoller, close the original, and register the dup with one of p's
+// shards (round-robin).
 func newPollConn(tc *net.TCPConn, p *Poller, cfg config) (*pollConn, error) {
 	_ = tc.SetNoDelay(true)
 	f, err := tc.File() // dup sharing the file description
@@ -323,9 +431,9 @@ func newPollConn(tc *net.TCPConn, p *Poller, cfg config) (*pollConn, error) {
 		_ = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_RCVBUF, cfg.sockBuf)
 		_ = syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_SNDBUF, cfg.sockBuf)
 	}
-	pc := &pollConn{p: p, f: f, fd: fd, chunk: cfg.readChunk}
+	pc := &pollConn{sh: p.pick(), f: f, fd: fd, chunk: cfg.readChunk}
 	pc.rcond = sync.NewCond(&pc.rmu)
-	if err := p.add(pc); err != nil {
+	if err := pc.sh.add(pc); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
@@ -344,7 +452,7 @@ func (pc *pollConn) SetReadable(fn func()) {
 	}
 }
 
-// onReadable runs on the poller goroutine for every read-side edge (data,
+// onReadable runs on the shard goroutine for every read-side edge (data,
 // half-close, error) and on local close. It must not block: wake a parked
 // Recv and push the conn onto the dispatcher's ready ring via the callback.
 func (pc *pollConn) onReadable() {
@@ -494,7 +602,7 @@ func (pc *pollConn) armWrite() error {
 	if pc.warm {
 		return nil
 	}
-	if err := pc.p.mod(pc, writeEvents); err != nil {
+	if err := pc.sh.mod(pc, writeEvents); err != nil {
 		pc.werr = err
 		return err
 	}
@@ -503,7 +611,7 @@ func (pc *pollConn) armWrite() error {
 	return nil
 }
 
-// flushPending runs on the poller goroutine when EPOLLOUT reports the socket
+// flushPending runs on the shard goroutine when EPOLLOUT reports the socket
 // writable again: drain wpend, then drop back to the read-only interest set.
 // An EAGAIN mid-drain simply returns — the interest set still has EPOLLOUT,
 // so the next writability edge resumes.
@@ -531,7 +639,7 @@ func (pc *pollConn) flushPending() {
 		}
 	}
 	pc.wpend = nil // release the drained backing array
-	if err := pc.p.mod(pc, readEvents); err == nil {
+	if err := pc.sh.mod(pc, readEvents); err == nil {
 		pc.warm = false
 	}
 }
@@ -546,7 +654,7 @@ func (pc *pollConn) Close() error {
 	if !pc.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	pc.p.deregister(pc)
+	pc.sh.deregister(pc)
 	pc.rmu.Lock()
 	if pc.rerr == nil {
 		pc.rerr = transport.ErrClosed
@@ -593,6 +701,33 @@ func ListenTCP(addr string, opts ...Option) (transport.Listener, error) {
 		return nil, err
 	}
 	return &pollListener{l: l, p: p, cfg: cfg}, nil
+}
+
+// DialTCP connects to addr and hands the connection to the poller: the
+// returned conn is a transport.EventConn/FrameConn identical to an accepted
+// one, with its blocking Recv woken by a shard loop instead of the runtime
+// netpoller. Clients driving many connections from one process (benchmarks,
+// load generators) use it so their reads share the poller's spin-then-park
+// wakeup path rather than each parking in the runtime poller.
+func DialTCP(addr string, opts ...Option) (transport.Conn, error) {
+	cfg := buildConfig(opts)
+	p := cfg.poller
+	if p == nil {
+		var err error
+		if p, err = Default(); err != nil {
+			return nil, err
+		}
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		_ = c.Close()
+		return nil, fmt.Errorf("netpoll: non-TCP connection %T", c)
+	}
+	return newPollConn(tc, p, cfg)
 }
 
 // Accept implements transport.Listener.

@@ -1,9 +1,16 @@
 package transport
 
 import (
-	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// poolTask is one unit of writer-pool work: a hot Sender taking a service
+// turn, or one shard's chunk of a parallel broadcast fan-out (fanout.go).
+// Both are pushed as pointers, so the interface costs no allocation.
+type poolTask interface {
+	service()
+}
 
 // WriterPool drains many pooled Senders with a fixed set of worker
 // goroutines. A dedicated-mode Sender pins one goroutine per connection for
@@ -16,37 +23,39 @@ import (
 // the queue header; write cost is unchanged (same coalesced single-SendFrame
 // drain); the goroutine count is O(workers), not O(connections).
 //
-// Per-sender FIFO is preserved because the scheduled bit guarantees at most
-// one worker services a given sender at a time, and a sender that is still
-// hot after one drained batch goes to the back of the ring — round-robin
-// fairness across hot connections instead of head-of-line capture of a
-// worker. The known cost of sharing: a worker blocked in a slow peer's
-// SendFrame is unavailable to other senders, so a deployment expecting
-// pathologically slow consumers should size the pool above the expected
-// number of simultaneously-stalled peers, or keep dedicated mode.
+// The ready ring is sharded (workRing, DESIGN.md §18): each sender is
+// assigned a sticky shard at attach time, workers drain their home shard and
+// steal from siblings before parking. Per-sender FIFO is preserved because
+// the scheduled bit guarantees at most one worker services a given sender at
+// a time — stealing only changes WHICH worker takes the turn — and a sender
+// that is still hot after one drained batch goes to the back of its shard:
+// round-robin fairness across hot connections instead of head-of-line
+// capture of a worker. The known cost of sharing: a worker blocked in a slow
+// peer's SendFrame is unavailable to other senders, so a deployment
+// expecting pathologically slow consumers should size the pool above the
+// expected number of simultaneously-stalled peers, or keep dedicated mode.
 type WriterPool struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	ring   []*Sender // circular buffer: ring[head..head+n) are ready
-	head   int
-	n      int
-	closed bool
+	ring *workRing[poolTask]
+	// assign hands out sticky shards round-robin as senders attach.
+	assign atomic.Uint32
 
 	wg      sync.WaitGroup
 	workers int
 }
 
 // NewWriterPool starts a pool of workers writer goroutines (GOMAXPROCS when
-// workers <= 0). Senders attach via NewPooledSender.
-func NewWriterPool(workers int) *WriterPool {
+// workers <= 0). Senders attach via NewPooledSender. The ready ring defaults
+// to one shard per worker; WithShards overrides (1 = the single-ring §15
+// layout).
+func NewWriterPool(workers int, opts ...RingOption) *WriterPool {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultWorkers()
 	}
-	p := &WriterPool{workers: workers}
-	p.cond = sync.NewCond(&p.mu)
+	cfg := buildRingConfig(opts)
+	p := &WriterPool{workers: workers, ring: newWorkRing[poolTask](cfg.shards, workers)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i % p.ring.size())
 	}
 	return p
 }
@@ -54,64 +63,41 @@ func NewWriterPool(workers int) *WriterPool {
 // Workers returns the pool size.
 func (p *WriterPool) Workers() int { return p.workers }
 
-// ready places s at the back of the ready ring. Called by a sender whose
-// queue just became non-empty (push) or that is still hot after a drained
-// batch (serviceOnce). On a closed pool the sender is serviced by a
-// spawned goroutine instead, so Close semantics (drain, then release
-// waiters) survive pool shutdown ordering mistakes.
-func (p *WriterPool) ready(s *Sender) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		go s.serviceOnce()
+// Shards returns the ready-ring shard count.
+func (p *WriterPool) Shards() int { return p.ring.size() }
+
+// assignShard hands out the next sticky shard (round-robin).
+func (p *WriterPool) assignShard() int {
+	return int(p.assign.Add(1)-1) % p.ring.size()
+}
+
+// QueueLen returns the number of tasks waiting across all ring shards —
+// scheduled senders and fan-out chunks not yet picked up by a worker.
+func (p *WriterPool) QueueLen() int { return p.ring.queued() }
+
+// ready places t at the back of its shard's ready ring. Called by a sender
+// whose queue just became non-empty (push), by one still hot after a drained
+// batch (serviceOnce), and by the parallel fan-out scattering chunks. On a
+// closed pool the task is serviced by a spawned goroutine instead, so Close
+// semantics (drain, then release waiters) survive pool shutdown ordering
+// mistakes.
+func (p *WriterPool) ready(t poolTask, shard int) {
+	depth, ok := p.ring.push(shard, t)
+	if !ok {
+		go t.service()
 		return
 	}
-	p.push(s)
-	p.cond.Signal()
-	p.mu.Unlock()
+	recordShardDepth(depth)
 }
 
-// push appends s at the tail of the circular ring, doubling the buffer when
-// full. Called with p.mu held.
-func (p *WriterPool) push(s *Sender) {
-	if p.n == len(p.ring) {
-		grown := make([]*Sender, maxInt(8, 2*len(p.ring)))
-		for i := 0; i < p.n; i++ {
-			grown[i] = p.ring[(p.head+i)%len(p.ring)]
-		}
-		p.ring, p.head = grown, 0
-	}
-	p.ring[(p.head+p.n)%len(p.ring)] = s
-	p.n++
-}
-
-// pop removes and returns the head of the ring (nil when empty). Called
-// with p.mu held. The vacated slot is zeroed so a sender that closes while
-// off the ring is not pinned against the GC.
-func (p *WriterPool) pop() *Sender {
-	if p.n == 0 {
-		return nil
-	}
-	s := p.ring[p.head]
-	p.ring[p.head] = nil
-	p.head = (p.head + 1) % len(p.ring)
-	p.n--
-	return s
-}
-
-func (p *WriterPool) worker() {
+func (p *WriterPool) worker(home int) {
 	defer p.wg.Done()
 	for {
-		p.mu.Lock()
-		for p.n == 0 && !p.closed {
-			p.cond.Wait()
-		}
-		s := p.pop()
-		p.mu.Unlock()
-		if s == nil {
+		t, ok := p.ring.next(home)
+		if !ok {
 			return // closed and drained
 		}
-		s.serviceOnce()
+		t.service()
 	}
 }
 
@@ -120,20 +106,6 @@ func (p *WriterPool) worker() {
 // spawned goroutines (see ready), so the pool can be torn down before or
 // after its senders without stranding queued messages.
 func (p *WriterPool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	p.ring.close()
 	p.wg.Wait()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

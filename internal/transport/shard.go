@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workRing is the sharded ready ring behind both the Dispatcher and the
+// WriterPool (DESIGN.md §18). The single-ring layout of §15 funnels every
+// enqueue and every worker wakeup through one mutex+cond pair: at N=128
+// hot connections that lock is acquired twice per message by producers and
+// once per turn by every worker, and each enqueue's Signal contends with the
+// whole worker set. Sharding splits the ring into one sub-ring per worker:
+// producers push to an item's sticky shard (assigned once at registration,
+// so the sched-bit/FIFO invariants of §15 are untouched — which ring a conn
+// waits on never affects who drains it or in what order), workers pop from
+// their home shard, steal from siblings before parking, and wakeups are
+// targeted signals carrying a token instead of broadcasts.
+//
+// The wake-token protocol closes the cross-shard lost-wakeup window: a
+// producer that finds its own shard's waiter set exhausted (waiting == wake)
+// scans sibling shards for a parked worker and hands it one token
+// (wake++, Signal). A worker only blocks while its shard is empty AND it
+// holds no token (wake == 0); on wakeup it consumes one token and re-runs
+// the full pop-then-steal scan, so the promised item — wherever it lives —
+// is found. A stale token (the item was taken first) costs one spurious
+// scan, never a stall. Workers park only after a full steal scan that began
+// strictly after the waiting count was published, so a producer that reads
+// idle == 0 is guaranteed the scan that follows will see its item.
+type workRing[T any] struct {
+	shards []ringShard[T]
+	// idle approximates the number of workers between waiting-publication
+	// and wakeup, letting producers skip the sibling scan entirely while
+	// every worker is busy — the common case under load.
+	idle atomic.Int32
+}
+
+// ringShard is one sub-ring: a circular buffer plus the parking state of the
+// workers homed on it. Padded so neighboring shards' hot fields do not share
+// a cache line under cross-CPU push/steal traffic.
+type ringShard[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    []T
+	head    int
+	n       int
+	waiting int  // workers parked (or scanning before parking) on this shard
+	wake    int  // outstanding wake tokens promised to those workers
+	closed  bool
+	_       [64]byte
+}
+
+// newWorkRing builds a ring of `shards` sub-rings. Shards are clamped to
+// [1, workers]: a shard with no home worker would only ever be drained by
+// steals, inverting the locality the layout exists for.
+func newWorkRing[T any](shards, workers int) *workRing[T] {
+	if shards < 1 {
+		shards = workers
+	}
+	if shards > workers {
+		shards = workers
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	r := &workRing[T]{shards: make([]ringShard[T], shards)}
+	for i := range r.shards {
+		r.shards[i].cond = sync.NewCond(&r.shards[i].mu)
+	}
+	return r
+}
+
+// size returns the shard count; callers mod their sticky assignments by it.
+func (r *workRing[T]) size() int { return len(r.shards) }
+
+// push appends v to shard i and wakes at most one worker. It reports false
+// — without queuing — when the ring is closed; the caller owns the fallback
+// (retire the conn, spawn a drain goroutine). The returned depth is the
+// shard's queue length after the push, for the dispatch.shard.depth
+// histogram the caller records.
+func (r *workRing[T]) push(i int, v T) (depth int, ok bool) {
+	sh := &r.shards[i]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return 0, false
+	}
+	sh.pushLocked(v)
+	depth = sh.n
+	if sh.waiting > sh.wake {
+		// A worker homed here is parked (or committed to parking) with no
+		// token: hand it one. Signal under the mutex pairs with the
+		// wait-loop's re-check, so the token is never missed.
+		sh.wake++
+		sh.cond.Signal()
+		sh.mu.Unlock()
+		return depth, true
+	}
+	sh.mu.Unlock()
+	if len(r.shards) > 1 && r.idle.Load() > 0 {
+		r.wakeIdle(i)
+	}
+	return depth, true
+}
+
+// wakeIdle hands one wake token to a parked worker on any shard but `except`
+// (whose waiters were already found exhausted). Scanning stops at the first
+// shard with an unpromised waiter; holding at most one shard lock at a time
+// keeps push/steal/wake free of lock-order cycles.
+func (r *workRing[T]) wakeIdle(except int) {
+	for j := range r.shards {
+		if j == except {
+			continue
+		}
+		sh := &r.shards[j]
+		sh.mu.Lock()
+		if !sh.closed && sh.waiting > sh.wake {
+			sh.wake++
+			sh.cond.Signal()
+			sh.mu.Unlock()
+			return
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// next returns the next item for a worker homed on shard `home`: pop the
+// home shard, steal from siblings, then park until a push or a token
+// arrives. ok is false only when the ring is closed AND every shard has
+// drained — Close keeps the §15 semantics of servicing leftover ready items
+// before the workers exit.
+func (r *workRing[T]) next(home int) (v T, ok bool) {
+	hs := &r.shards[home]
+	for {
+		hs.mu.Lock()
+		if v, ok = hs.popLocked(); ok {
+			hs.mu.Unlock()
+			return v, true
+		}
+		if hs.closed {
+			hs.mu.Unlock()
+			return r.steal(home)
+		}
+		// Publish intent to park BEFORE the steal scan: a producer that
+		// reads idle == 0 afterward pushed its item before this point, so
+		// the scan below is guaranteed to see it.
+		hs.waiting++
+		r.idle.Add(1)
+		hs.mu.Unlock()
+
+		if v, ok = r.steal(home); ok {
+			hs.mu.Lock()
+			hs.waiting--
+			hs.mu.Unlock()
+			r.idle.Add(-1)
+			return v, true
+		}
+
+		hs.mu.Lock()
+		// Re-check the home shard: a push may have landed during the scan
+		// and found waiting == wake (token already pending elsewhere) or
+		// idle racing to zero.
+		if v, ok = hs.popLocked(); ok {
+			hs.waiting--
+			hs.mu.Unlock()
+			r.idle.Add(-1)
+			return v, true
+		}
+		for hs.n == 0 && hs.wake == 0 && !hs.closed {
+			hs.cond.Wait()
+		}
+		if hs.wake > 0 {
+			// Consume the token whatever woke us: the promised item is
+			// found by the scan the loop re-runs (or was already taken,
+			// costing one spurious scan).
+			hs.wake--
+		}
+		hs.waiting--
+		hs.mu.Unlock()
+		r.idle.Add(-1)
+	}
+}
+
+// steal scans every sibling shard once, popping the oldest item of the first
+// non-empty one. Per-item FIFO survives stealing because order within one
+// connection is enforced by its sched bit (one servicer at a time), not by
+// which worker runs the service turn — see DESIGN.md §18.
+func (r *workRing[T]) steal(home int) (v T, ok bool) {
+	n := len(r.shards)
+	for d := 1; d < n; d++ {
+		sh := &r.shards[(home+d)%n]
+		sh.mu.Lock()
+		if v, ok = sh.popLocked(); ok {
+			sh.mu.Unlock()
+			ringSteals.Add(1)
+			return v, true
+		}
+		sh.mu.Unlock()
+	}
+	return v, false
+}
+
+// queued returns the total number of items waiting across all shards.
+func (r *workRing[T]) queued() int {
+	total := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		total += sh.n
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// close marks every shard closed and releases all parked workers; pushes
+// from here on report false. Queued items stay queued — the workers drain
+// them (via next's closed path) before exiting.
+func (r *workRing[T]) close() {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+}
+
+// pushLocked appends v at the tail of the circular buffer, doubling when
+// full. Called with sh.mu held.
+func (sh *ringShard[T]) pushLocked(v T) {
+	if sh.n == len(sh.ring) {
+		grown := make([]T, maxInt(8, 2*len(sh.ring)))
+		for i := 0; i < sh.n; i++ {
+			grown[i] = sh.ring[(sh.head+i)%len(sh.ring)]
+		}
+		sh.ring, sh.head = grown, 0
+	}
+	sh.ring[(sh.head+sh.n)%len(sh.ring)] = v
+	sh.n++
+}
+
+// popLocked removes and returns the head of the buffer. Called with sh.mu
+// held. The vacated slot is zeroed so items that retire while off the ring
+// are not pinned against the GC.
+func (sh *ringShard[T]) popLocked() (v T, ok bool) {
+	if sh.n == 0 {
+		return v, false
+	}
+	var zero T
+	v = sh.ring[sh.head]
+	sh.ring[sh.head] = zero
+	sh.head = (sh.head + 1) % len(sh.ring)
+	sh.n--
+	return v, true
+}
+
+// RingOption configures the sharded ready ring of a Dispatcher or a
+// WriterPool.
+type RingOption func(*ringConfig)
+
+type ringConfig struct {
+	shards int
+}
+
+// WithShards splits the ready ring into n per-worker sub-rings with work
+// stealing (clamped to the worker count; n <= 0 keeps the default of one
+// shard per worker). WithShards(1) is the single-ring §15 layout — the
+// reference semantics the sharded paths are differentially tested against.
+func WithShards(n int) RingOption {
+	return func(c *ringConfig) { c.shards = n }
+}
+
+func buildRingConfig(opts []RingOption) ringConfig {
+	var c ringConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// defaultWorkers sizes a dispatcher or pool at one worker per CPU.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

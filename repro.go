@@ -65,6 +65,12 @@ type Notifier struct {
 	pool *transport.WriterPool
 	disp *transport.Dispatcher
 
+	// fanout scatters broadcast enqueues across the pool's ring shards when
+	// the destination count reaches fanoutThr (DESIGN.md §18). Owned by the
+	// receive path under n.mu.
+	fanout    transport.FanoutScratch
+	fanoutThr int
+
 	mu       sync.Mutex
 	srv      *core.Server
 	peers    map[int]*peer
@@ -113,6 +119,15 @@ type LeanOptions struct {
 	// TCP connections keep a dedicated reader either way: without a platform
 	// poller their readiness is only observable from a blocked Read.
 	EventDispatch int
+	// DispatchShards splits both workers' ready rings into per-worker
+	// shards with work stealing (DESIGN.md §18). 0 = one shard per worker;
+	// 1 = the single-ring §15 layout.
+	DispatchShards int
+	// FanoutThreshold is the destination count at which the broadcast
+	// fan-out scatters its enqueues across the pool's shards instead of
+	// looping serially (0 = transport.DefaultFanoutThreshold, negative =
+	// always serial).
+	FanoutThreshold int
 }
 
 // ServeLean is Serve with the goroutine-lean connection layer: outbound
@@ -129,11 +144,12 @@ func ServeLean(ln transport.Listener, initial string, lean LeanOptions, opts ...
 		nextSite: 1,
 	}
 	if lean.WriterPool != 0 {
-		n.pool = transport.NewWriterPool(lean.WriterPool)
+		n.pool = transport.NewWriterPool(lean.WriterPool, transport.WithShards(lean.DispatchShards))
 	}
 	if lean.EventDispatch != 0 {
-		n.disp = transport.NewDispatcher(lean.EventDispatch, 0)
+		n.disp = transport.NewDispatcher(lean.EventDispatch, 0, transport.WithShards(lean.DispatchShards))
 	}
+	n.fanoutThr = lean.FanoutThreshold
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -572,17 +588,20 @@ func (n *Notifier) receive(m wire.ClientOp) error {
 		return err
 	}
 	bc.Trace = bcast[0].Trace
+	// A broken peer's own handler cleans it up; its failure must not abort
+	// everyone else's broadcast — EnqueueBroadcast errors are ignored on
+	// both paths. The scratch scatters the enqueues across the writer
+	// pool's ring shards at large fan-outs (DESIGN.md §18); with no pool or
+	// below the threshold it walks the same serial loop as always.
 	for _, bm := range bcast {
 		p, ok := n.peers[bm.To]
 		if !ok {
 			continue
 		}
-		// A broken peer's own handler cleans it up; its failure must not
-		// abort everyone else's broadcast.
-		bc.Retain()
-		_ = p.snd.EnqueueBroadcast(bc, bm.To, bm.TS)
+		n.fanout.Add(p.snd, bm.To, bm.TS)
 	}
-	bc.Release()
+	n.fanout.Broadcast(bc, n.fanoutThr) // consumes bc
+	n.fanout.Reset()
 	n.spans.Load().Stamp(cm.Trace, span.StageBcastEnqueue)
 	return nil
 }

@@ -64,6 +64,12 @@ go test -run '^$' -bench '^BenchmarkE13IdleConnections$' -benchmem -benchtime "$
 # readiness poller (falls back to dedicated readers off-linux or with
 # E13_TCP_POLLER=off); it raises RLIMIT_NOFILE toward 2*conns+512 first.
 go test -run '^$' -bench '^BenchmarkE13IdleConnectionsTCP$' -benchmem -benchtime "${E13_BENCHTIME:-100x}" . | tee -a "$tmp" >&2
+# E14 drives the pipelined stage-decomposition benchmark over loopback TCP in
+# the sharded scheduling layout (E14_SHARDS epoll shards + ring shards +
+# parallel fan-out, DESIGN.md §18; default 4). Fixed iteration count: the
+# end-to-end quantiles depend on the steady-state pipeline window, so
+# cross-version comparisons need matched iterations.
+E14_SHARDS="${E14_SHARDS:-4}" go test -run '^$' -bench '^BenchmarkE14StageBreakdown$' -benchmem -benchtime "${E14_BENCHTIME:-2000x}" . | tee -a "$tmp" >&2
 
 if [ "$(git rev-parse HEAD 2>/dev/null || echo unknown)" != "$commit_start" ]; then
 	echo "bench.sh: HEAD moved during the run; refusing to emit a mislabeled trajectory point" >&2
@@ -124,7 +130,7 @@ END {
     printf "  \"go\": \"%s\",\n", gover >> out
     printf "  \"cpus\": %d,\n", cpus >> out
     printf "  \"benchtime\": \"%s\",\n", benchtime >> out
-    printf "  \"note\": \"ServerReceive/E6 baselines measured at seed commit a92b2e7; BroadcastTCP allocs baselines at ff0b141 (pre encode-once, when ns/op at matched 2700 iterations was ~1.9ms for N=128 vs ~1.4ms after). Benchmarks without a static seed anchor (E6 N=256, MultiSession, later additions) carry baseline_allocs_op forward from the prior committed point. BenchmarkLaggedCatchup reports transforms/op from the engine counter: the pairwise path is its own baseline (transforms/op == bridge depth) and the composed path must stay O(1); composes/op amortizes the one-time cache build over b.N. BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs. BenchmarkBroadcastTCP per-op cost grows with b.N (history-buffer ack lag under the pipelined writer), so cross-version ns/op comparisons must use matched iteration counts (-benchtime Nx); allocs/op and encodes/broadcast are iteration-stable. BenchmarkE13IdleConnections measures the goroutine-lean connection layer: goroutines_conn and b_idleconn are per-idle-connection capacity costs after the fleet parks (E13_CONNS connections, default 2048; b_idleconn is dominated by the in-memory pipe buffers, not server state), and p99_ns is the editor-to-editor round-trip of the ~1%% active set with the fleet attached; its ns/op times only the active path. BenchmarkE13IdleConnectionsTCP is the same protocol over loopback TCP through the epoll readiness poller (zero reader goroutines per connection); b_idleconn there includes kernel-adjacent runtime state (os.File, pollConn) instead of pipe buffers.\",\n" >> out
+    printf "  \"note\": \"ServerReceive/E6 baselines measured at seed commit a92b2e7; BroadcastTCP allocs baselines at ff0b141 (pre encode-once, when ns/op at matched 2700 iterations was ~1.9ms for N=128 vs ~1.4ms after). Benchmarks without a static seed anchor (E6 N=256, MultiSession, later additions) carry baseline_allocs_op forward from the prior committed point. BenchmarkLaggedCatchup reports transforms/op from the engine counter: the pairwise path is its own baseline (transforms/op == bridge depth) and the composed path must stay O(1); composes/op amortizes the one-time cache build over b.N. BenchmarkE6MultiSession shards load across independent sessions; its speedup over sessions=1 only materializes with multiple CPUs. BenchmarkBroadcastTCP per-op cost grows with b.N (history-buffer ack lag under the pipelined writer), so cross-version ns/op comparisons must use matched iteration counts (-benchtime Nx); allocs/op and encodes/broadcast are iteration-stable. BenchmarkE13IdleConnections measures the goroutine-lean connection layer: goroutines_conn and b_idleconn are per-idle-connection capacity costs after the fleet parks (E13_CONNS connections, default 2048; b_idleconn is dominated by the in-memory pipe buffers, not server state), and p99_ns is the editor-to-editor round-trip of the ~1%% active set with the fleet attached; its ns/op times only the active path. BenchmarkE13IdleConnectionsTCP is the same protocol over loopback TCP through the epoll readiness poller (zero reader goroutines per connection); b_idleconn there includes kernel-adjacent runtime state (os.File, pollConn) instead of pipe buffers. BenchmarkE14StageBreakdown drives b.N pipelined ops through 128 loopback-TCP clients under the sharded scheduling layout (E14_SHARDS, default 4: sharded ready rings with work stealing, multi-shard epoll, parallel fan-out); total_p99_ns is the end-to-end generate-to-remote-integrate latency, poll_wake_p99_ns and remote_integrate_p99_ns are the dominant stage tails, and steals_per_op / fanout_per_op count cross-shard steals and parallel fan-outs actually taken, proving the sharded paths engage. Its quantiles depend on the pipeline window, so comparisons need matched iteration counts (E14_BENCHTIME, default 2000x).\",\n" >> out
     printf "  \"benchmarks\": {\n" >> out
     for (i = 0; i < n; i++) {
         printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", \
@@ -145,6 +151,18 @@ END {
             printf ", \"b_idleconn\": %s", field(i, "B_idleconn") >> out
         if (field(i, "p99_ns") != "")
             printf ", \"p99_ns\": %s", field(i, "p99_ns") >> out
+        if (field(i, "total_p50_ns") != "")
+            printf ", \"total_p50_ns\": %s", field(i, "total_p50_ns") >> out
+        if (field(i, "total_p99_ns") != "")
+            printf ", \"total_p99_ns\": %s", field(i, "total_p99_ns") >> out
+        if (field(i, "poll_wake_p99_ns") != "")
+            printf ", \"poll_wake_p99_ns\": %s", field(i, "poll_wake_p99_ns") >> out
+        if (field(i, "remote_integrate_p99_ns") != "")
+            printf ", \"remote_integrate_p99_ns\": %s", field(i, "remote_integrate_p99_ns") >> out
+        if (field(i, "steals_per_op") != "")
+            printf ", \"steals_per_op\": %s", field(i, "steals_per_op") >> out
+        if (field(i, "fanout_per_op") != "")
+            printf ", \"fanout_per_op\": %s", field(i, "fanout_per_op") >> out
         if (names[i] in base) {
             printf ", \"baseline_allocs_op\": %d, \"allocs_change_pct\": %.1f", \
                 base[names[i]], 100 * (field(i, "allocs_op") - base[names[i]]) / base[names[i]] >> out

@@ -50,9 +50,15 @@ step "span zero-alloc gate"
 go test ./internal/obs/span -run='^TestFastPathAllocFree$' -count=1
 
 # E14: with sampling on, the full 13-stage table must materialize over
-# loopback TCP — every stage histogram sees exactly one delta per op.
-step "E14 stage-breakdown smoke"
-go test . -run='^TestE14StageBreakdown$' -count=1 -short
+# loopback TCP — every stage histogram sees exactly one delta per op — in
+# BOTH scheduling layouts: the single-ring/single-instance reference
+# (E14_SHARDS=1) and the sharded rings + multi-shard epoll + parallel
+# fan-out layout (E14_SHARDS=4, DESIGN.md §18).
+step "E14 stage-breakdown smoke (shards=1)"
+E14_SHARDS=1 go test . -run='^TestE14StageBreakdown$' -count=1 -short
+
+step "E14 stage-breakdown smoke (shards=4)"
+E14_SHARDS=4 go test . -run='^TestE14StageBreakdown$' -count=1 -short
 
 # The E13 capacity claim: 1000 idle connections on the lean layer (writer
 # pool + event dispatch + idle dehydration) must cost O(pool) goroutines,
@@ -64,7 +70,7 @@ go test . -run='^TestE13GoroutineLean$' -count=1
 # and over the dedicated-reader fallback must both pass the same gates, so
 # -poller=off deployments keep the capacity claim they had before the poller.
 step "E13 poller + fallback smoke"
-go test . -run='^(TestE13PollerTCP|TestPollerFallback|TestChaosPollerTCP)$' -count=1
+go test . -run='^(TestE13PollerTCP|TestPollerFallback|TestChaosPollerTCP|TestChaosPollerTCPSharded)$' -count=1
 
 step "bench smoke (benchtime=10x)"
 BENCHTIME=10x bash scripts/bench.sh /tmp/bench_smoke.$$.json >/dev/null 2>&1 \
